@@ -1,0 +1,80 @@
+"""Ablation A2: view-set cost amortisation over repeated accesses.
+
+Paper §8.2: "t_i has to be paid only at view setting and can be
+amortized over several accesses."  This ablation measures the break-even
+behaviour: total time for k accesses with one view set, versus paying
+the mapping per access (re-setting the view each time).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import MatrixWorkload
+from repro.clusterfile import Clusterfile
+from repro.simulation import ClusterConfig
+
+N = 512
+
+
+def _fresh_fs(workload):
+    fs = Clusterfile(ClusterConfig())
+    fs.create("m", workload.physical())
+    return fs
+
+
+@pytest.mark.parametrize("layout", ["c", "r"])
+def test_one_view_set_many_writes(benchmark, layout):
+    w = MatrixWorkload(N, layout)
+    data = w.data()
+    fs = _fresh_fs(w)
+    logical = w.logical()
+    for c in range(w.nprocs):
+        fs.set_view("m", c, logical)
+    accesses = w.view_accesses(data)
+    benchmark.group = f"amortization-{layout}"
+    benchmark.pedantic(
+        lambda: [fs.write("m", accesses) for _ in range(8)],
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("layout", ["c", "r"])
+def test_view_set_per_write(benchmark, layout):
+    """The anti-pattern: recompute the mapping state for every access."""
+    w = MatrixWorkload(N, layout)
+    data = w.data()
+    fs = _fresh_fs(w)
+    logical = w.logical()
+    accesses = w.view_accesses(data)
+
+    def run():
+        for _ in range(8):
+            for c in range(w.nprocs):
+                fs.set_view("m", c, logical)
+            fs.write("m", accesses)
+
+    benchmark.group = f"amortization-{layout}"
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_amortization_claim():
+    """t_i dominates a single small access but vanishes over many."""
+    w = MatrixWorkload(256, "c")
+    data = w.data()
+    fs = _fresh_fs(w)
+    logical = w.logical()
+    views = [fs.set_view("m", c, logical) for c in range(w.nprocs)]
+    t_i_total = sum(v.set_time_s for v in views) * 1e6
+
+    accesses = w.view_accesses(data)
+    res = fs.write("m", accesses)
+    per_access_us = sum(
+        bd.t_m + bd.t_g for bd in res.per_compute.values()
+    )
+    # One access: view-set cost exceeds per-access mapping cost.
+    assert t_i_total > per_access_us
+    # Over 100 accesses the view-set share drops below 20 percent.
+    k = 100
+    share = t_i_total / (t_i_total + k * max(per_access_us, 1e-9))
+    assert share < 0.5

@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the core operations behind the paper's phases.
+
+These isolate the costs that the table columns aggregate: flat and
+nested intersection (t_i), scalar and vectorised mapping (t_m),
+gather/scatter strategies (t_g, t_sc).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ElementMapper,
+    Falls,
+    intersect_elements,
+    intersect_falls,
+    map_offset,
+    project,
+    unmap_offset,
+)
+from repro.core.segments import segments_from_pairs
+from repro.distributions import matrix_partition
+from repro.redistribution.gather_scatter import gather_segments, scatter_segments
+
+N = 1024
+
+
+class TestIntersection:
+    def test_flat_intersect(self, benchmark):
+        f1 = Falls(0, 255, 1024, 256)
+        f2 = Falls(0, 63, 256, 1024)
+        benchmark.group = "intersect"
+        out = benchmark(lambda: intersect_falls(f1, f2))
+        assert out
+
+    def test_nested_element_intersection(self, benchmark):
+        rows = matrix_partition("r", N, N, 4)
+        cols = matrix_partition("c", N, N, 4)
+        benchmark.group = "intersect"
+        inter = benchmark(lambda: intersect_elements(rows, 0, cols, 0))
+        assert not inter.is_empty
+
+    def test_projection(self, benchmark):
+        rows = matrix_partition("r", N, N, 4)
+        cols = matrix_partition("c", N, N, 4)
+        inter = intersect_elements(rows, 0, cols, 0)
+        mapper = ElementMapper(cols, 0)
+        benchmark.group = "intersect"
+        proj = benchmark(lambda: project(inter, cols, 0, mapper))
+        assert proj.size_per_period == inter.size_per_period
+
+
+class TestMapping:
+    def test_scalar_map(self, benchmark):
+        cols = matrix_partition("c", N, N, 4)
+        benchmark.group = "mapping"
+        benchmark(lambda: map_offset(cols, 1, 123_456, mode="next"))
+
+    def test_scalar_unmap(self, benchmark):
+        cols = matrix_partition("c", N, N, 4)
+        benchmark.group = "mapping"
+        benchmark(lambda: unmap_offset(cols, 1, 54_321))
+
+    def test_vectorised_map_100k(self, benchmark):
+        cols = matrix_partition("c", N, N, 4)
+        mapper = ElementMapper(cols, 1)
+        ranks = np.arange(100_000, dtype=np.int64)
+        offsets = mapper.unmap_many(ranks)
+        benchmark.group = "mapping"
+        out = benchmark(lambda: mapper.map_many(offsets))
+        np.testing.assert_array_equal(out, ranks)
+
+    def test_mapper_construction(self, benchmark):
+        cols = matrix_partition("c", N, N, 4)
+        benchmark.group = "mapping"
+        benchmark(lambda: ElementMapper(cols, 2))
+
+
+class TestGatherScatter:
+    def _segments(self, runs, run_len, stride):
+        return segments_from_pairs(
+            [(i * stride, i * stride + run_len - 1) for i in range(runs)]
+        )
+
+    @pytest.mark.parametrize("strategy", ["strided", "fancy", "slices"])
+    def test_gather_uniform_1k_runs(self, benchmark, strategy):
+        segs = self._segments(1024, 256, 1024)
+        src = np.zeros(1024 * 1024 + 256, dtype=np.uint8)
+        benchmark.group = "gather-uniform"
+        out = benchmark(lambda: gather_segments(src, segs, strategy=strategy))
+        assert out.size == 1024 * 256
+
+    @pytest.mark.parametrize("strategy", ["strided", "fancy", "slices"])
+    def test_scatter_uniform_1k_runs(self, benchmark, strategy):
+        segs = self._segments(1024, 256, 1024)
+        dst = np.zeros(1024 * 1024 + 256, dtype=np.uint8)
+        src = np.arange(1024 * 256, dtype=np.uint8)
+        benchmark.group = "scatter-uniform"
+        benchmark(lambda: scatter_segments(dst, segs, src, strategy=strategy))
+
+    def test_gather_contiguous_baseline(self, benchmark):
+        """The copy cost floor: one memcpy of the same volume."""
+        src = np.zeros(1024 * 256, dtype=np.uint8)
+        benchmark.group = "gather-uniform"
+        benchmark(lambda: src.copy())

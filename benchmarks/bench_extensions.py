@@ -1,0 +1,90 @@
+"""Extension experiments: the read-side table and weak scaling.
+
+The paper presents only the write side of its benchmark ("the write and
+read are reverse symmetrical", §8) and runs on a fixed 4+4-node subset
+of its cluster.  These benchmarks produce the read-side mirror of
+Table 1 and a weak-scaling sweep, asserting that the paper's claims
+survive both.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.extensions import read_table, scaling_table
+from repro.bench import MatrixWorkload
+from repro.clusterfile import Clusterfile
+from repro.simulation import ClusterConfig
+
+
+@pytest.mark.parametrize("layout", ["c", "r"])
+def test_read_operation(benchmark, layout):
+    """Wall time of one concurrent 4-process view read."""
+    w = MatrixWorkload(512, layout)
+    data = w.data()
+    fs = Clusterfile(ClusterConfig())
+    fs.create("m", w.physical())
+    logical = w.logical()
+    for c in range(4):
+        fs.set_view("m", c, logical)
+    fs.write("m", w.view_accesses(data))
+    per = w.bytes_per_process
+    accesses = [(c, 0, per) for c in range(4)]
+    benchmark.group = "read-512"
+    bufs = benchmark.pedantic(
+        lambda: fs.read("m", accesses), rounds=3, iterations=1
+    )
+    assert sum(b.size for b in bufs) == data.size
+
+
+def test_read_symmetry(output_dir):
+    """The read-side table mirrors the write-side orderings."""
+    rows = read_table(sizes=(256, 512), repeats=2)
+    by = {(r.size, r.physical): r for r in rows}
+    lines = [
+        f"{'Size':>5} {'Ph':>3} | {'t_m':>7} {'t_s':>9} {'t_r_bc':>9} "
+        f"{'t_r_disk':>9}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.size:>5} {r.physical:>3} | {r.t_m:7.1f} {r.t_s:9.1f} "
+            f"{r.t_r_bc:9.0f} {r.t_r_disk:9.0f}"
+        )
+    text = "\n".join(lines)
+    with open(os.path.join(output_dir, "read_table.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    for s in (256, 512):
+        # Matched layout: no client-side scatter, near-zero extremity
+        # mapping - the write-side claims, mirrored.
+        assert by[(s, "r")].t_s == 0.0
+        assert by[(s, "r")].t_m < 50
+        assert by[(s, "r")].t_r_disk < by[(s, "c")].t_r_disk
+
+
+def test_weak_scaling(output_dir):
+    """The matching penalty grows with the all-to-all width."""
+    rows = scaling_table(nprocs_list=(2, 4, 8), repeats=1)
+    by = {(r.nprocs, r.physical): r for r in rows}
+    lines = [
+        f"{'np':>3} {'Ph':>3} | {'B/proc':>8} {'msgs':>5} {'t_g':>9} "
+        f"{'t_w_disk':>10}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.nprocs:>3} {r.physical:>3} | {r.bytes_per_process:>8} "
+            f"{r.messages:>5} {r.t_g:9.1f} {r.t_w_disk:10.0f}"
+        )
+    text = "\n".join(lines)
+    with open(os.path.join(output_dir, "scaling.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    for p in (2, 4, 8):
+        # Mismatched layout always needs p^2 message pairs, matched p.
+        assert by[(p, "c")].messages > by[(p, "r")].messages
+        assert by[(p, "r")].t_g == 0.0
+    # The message gap widens with the process count.
+    gap = {
+        p: by[(p, "c")].messages / by[(p, "r")].messages for p in (2, 4, 8)
+    }
+    assert gap[8] > gap[2]

@@ -1,0 +1,67 @@
+"""Benchmark: on-the-fly physical re-layout (extension of paper §3).
+
+Measures the cost of re-laying a file out between the evaluation's
+physical layouts — the Panda-style operation the paper says the
+redistribution algorithm enables — and verifies the break-even claim:
+a re-layout costs a bounded number of access-equivalents.
+"""
+
+import numpy as np
+import pytest
+
+from repro import matrix_partition, row_blocks
+from repro.clusterfile import Clusterfile
+from repro.clusterfile.relayout import relayout
+from repro.simulation import ClusterConfig
+
+N = 256
+PAIRS = [("c", "r"), ("b", "r"), ("r", "c"), ("r", "r")]
+
+
+def _file_with_data(layout):
+    data = np.random.default_rng(9).integers(0, 256, N * N, dtype=np.uint8)
+    fs = Clusterfile(ClusterConfig())
+    fs.create("m", matrix_partition(layout, N, N, 4))
+    logical = row_blocks(N, N, 4)
+    for c in range(4):
+        fs.set_view("m", c, logical)
+    per = N * N // 4
+    fs.write("m", [(c, 0, data[c * per : (c + 1) * per]) for c in range(4)])
+    return fs, data
+
+
+@pytest.mark.parametrize("src,dst", PAIRS, ids=[f"{a}->{b}" for a, b in PAIRS])
+def test_relayout_wall_time(benchmark, src, dst):
+    """Wall time of the real data movement plus schedule execution."""
+    benchmark.group = "relayout"
+
+    def run():
+        fs, data = _file_with_data(src)
+        res = relayout(fs, "m", matrix_partition(dst, N, N, 4))
+        return fs, data, res
+
+    fs, data, res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.bytes_moved == data.size
+    np.testing.assert_array_equal(fs.linear_contents("m", data.size), data)
+
+
+def test_relayout_simulated_cost_scales_with_mismatch(output_dir):
+    """Simulated makespans: identity is free-ish, all-to-all is not."""
+    import os
+
+    lines = [f"{'pair':>7} {'makespan_ms':>12} {'cross_msgs':>10}"]
+    makespans = {}
+    for src, dst in PAIRS:
+        fs, _ = _file_with_data(src)
+        res = relayout(fs, "m", matrix_partition(dst, N, N, 4))
+        makespans[(src, dst)] = res.makespan_s
+        lines.append(
+            f"{src + '->' + dst:>7} {res.makespan_s * 1e3:12.2f} "
+            f"{res.cross_node_messages:10d}"
+        )
+    text = "\n".join(lines)
+    with open(os.path.join(output_dir, "relayout.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    assert makespans[("r", "r")] < makespans[("c", "r")]
+    assert makespans[("r", "r")] < makespans[("b", "r")]

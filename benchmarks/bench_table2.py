@@ -1,0 +1,73 @@
+"""Regenerates the paper's Table 2: scatter time at the I/O node.
+
+Benchmarks the server-side scatter path (the real NumPy data movement
+into the subfile store) per cell, and asserts the paper's qualitative
+claims: c > b > r ordering at small sizes, convergence of all three
+layouts at large sizes, growth with size.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    MatrixWorkload,
+    PAPER_PHYSICAL_LAYOUTS,
+    PAPER_SIZES,
+    format_table2,
+    shape_checks_table2,
+    table2,
+)
+from repro.clusterfile import Clusterfile
+from repro.clusterfile.file_model import SubfileStore
+from repro.clusterfile.server import IOServer
+from repro.clusterfile.view import set_view
+from repro.simulation import Cluster, ClusterConfig
+
+CELLS = [(n, ph) for n in (256, 1024) for ph in PAPER_PHYSICAL_LAYOUTS]
+
+
+def _prepared_scatter(n, layout):
+    """One I/O server request exactly as the write path issues it."""
+    w = MatrixWorkload(n, layout)
+    phys = w.physical()
+    logical = w.logical()
+    view = set_view(0, logical, 0, phys)
+    subfile = sorted(view.links)[0]
+    link = view.links[subfile]
+    cluster = Cluster(ClusterConfig())
+    server = IOServer(cluster.io_node_for(subfile), SubfileStore(subfile), cluster.config)
+    per = w.bytes_per_process
+    nbytes = link.proj_view.count_in(0, per - 1)
+    payload = np.arange(nbytes, dtype=np.uint8)
+    from repro.core.mapping import map_offset, unmap_offset
+
+    x0 = unmap_offset(logical, 0, 0)
+    x1 = unmap_offset(logical, 0, per - 1)
+    l_s = map_offset(phys, subfile, x0, mode="next")
+    r_s = map_offset(phys, subfile, x1, mode="prev")
+
+    def do_scatter():
+        return server.write(l_s, r_s, payload, link.proj_subfile, to_disk=True)
+
+    return do_scatter
+
+
+@pytest.mark.parametrize("n,layout", CELLS, ids=[f"{n}-{ph}" for n, ph in CELLS])
+def test_server_scatter(benchmark, n, layout):
+    do_scatter = _prepared_scatter(n, layout)
+    benchmark.group = f"table2-scatter-{n}"
+    cost = benchmark.pedantic(do_scatter, rounds=5, iterations=1, warmup_rounds=1)
+    assert cost.nbytes > 0
+
+
+def test_table2_shapes(output_dir):
+    rows = table2(repeats=2)
+    text = format_table2(rows)
+    with open(os.path.join(output_dir, "table2.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    checks = shape_checks_table2(rows)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"shape checks failed: {failed}"

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each ``bench_table*``
+module regenerates one table/figure of the paper; the ``bench_ablation_*``
+modules quantify design choices DESIGN.md calls out.  Formatted
+paper-vs-measured tables are written to ``benchmarks/output/``.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    path = os.path.join(os.path.dirname(__file__), "output")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks are ordered: micro-benchmarks first, tables last, so a
+    # partial run still exercises the core operations.
+    items.sort(key=lambda it: ("table" in it.nodeid, it.nodeid))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The paper's case study: writing through Clusterfile views (§8).
+
+Reproduces the write flow of figure 5 on the simulated cluster — four
+compute nodes, four I/O nodes — for the three physical layouts of the
+evaluation, and prints the Table-1-style timing breakdown for each.
+
+Run:  python examples/clusterfile_write.py [matrix_side_bytes]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bench import LAYOUT_NAMES, MatrixWorkload
+from repro.clusterfile import Clusterfile
+from repro.simulation import ClusterConfig
+
+
+def run_layout(n, layout):
+    w = MatrixWorkload(n, layout)
+    data = w.data(seed=7)
+
+    fs = Clusterfile(ClusterConfig(compute_nodes=4, io_nodes=4))
+    fs.create("matrix", w.physical())
+
+    # Every compute node sets a row-block view once (pays t_i).
+    for c in range(w.nprocs):
+        fs.set_view("matrix", c, w.logical())
+
+    # All four nodes write their view concurrently, through to disk.
+    result = fs.write("matrix", w.view_accesses(data), to_disk=True)
+
+    # Verify the file holds exactly the matrix.
+    assert np.array_equal(fs.linear_contents("matrix", data.size), data)
+
+    # And read it back through the views.
+    per = w.bytes_per_process
+    bufs = fs.read("matrix", [(c, 0, per) for c in range(4)])
+    for c, buf in enumerate(bufs):
+        assert np.array_equal(buf, data[c * per : (c + 1) * per])
+
+    return result
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    print(f"Writing a {n}x{n}-byte matrix through row-block views")
+    print("(4 compute nodes, 4 I/O nodes; timings in microseconds)\n")
+    header = (
+        f"{'physical layout':>16} | {'t_i':>8} {'t_m':>7} {'t_g':>8} "
+        f"{'t_w_bc':>8} {'t_w_disk':>9} | msgs"
+    )
+    print(header)
+    print("-" * len(header))
+    for layout in ("c", "b", "r"):
+        res = run_layout(n, layout)
+        bds = list(res.per_compute.values())
+        mean = lambda f: float(np.mean([getattr(b, f) for b in bds]))
+        mx = lambda f: max(getattr(b, f) for b in bds)
+        print(
+            f"{LAYOUT_NAMES[layout]:>16} |"
+            f" {mean('t_i'):8.0f} {mean('t_m'):7.1f} {mean('t_g'):8.1f}"
+            f" {mx('t_w_bc'):8.0f} {mx('t_w_disk'):9.0f} |"
+            f" {res.messages:4d}"
+        )
+    print(
+        "\nNote how the matched layout (row blocks) needs no gather at"
+        "\nall (t_g = 0), maps extremities for free (t_m ~ 0), and wins"
+        "\nthe write makespan - the paper's 'optimal physical"
+        "\ndistribution for a given logical distribution' (§6.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Two-phase collective I/O vs direct writes.
+
+Column-block views writing into a row-block file are the canonical
+collective-buffering motivation: every process touches every subfile
+with tiny fragments.  This example runs the same collective write both
+ways and prints the traffic and simulated completion times.
+
+Run:  python examples/collective_io.py
+"""
+
+import numpy as np
+
+from repro import matrix_partition
+from repro.clusterfile import Clusterfile
+from repro.clusterfile.collective import two_phase_write
+from repro.redistribution import build_plan, distribute
+from repro.simulation import ClusterConfig
+
+N = 256
+P = 4
+
+
+def fresh(logical, phys):
+    fs = Clusterfile(ClusterConfig())
+    fs.create("m", matrix_partition(phys, N, N, P))
+    for c in range(P):
+        fs.set_view("m", c, matrix_partition(logical, N, N, P))
+    return fs
+
+
+def main():
+    data = np.random.default_rng(8).integers(0, 256, N * N, dtype=np.uint8)
+    logical, phys = "c", "r"
+    pieces = distribute(data, matrix_partition(logical, N, N, P))
+    accesses = [(c, 0, pieces[c]) for c in range(P)]
+
+    plan = build_plan(
+        matrix_partition(logical, N, N, P), matrix_partition(phys, N, N, P)
+    )
+    frags = sum(t.dst_fragments_per_period for t in plan.transfers)
+    print(f"{N}x{N} matrix, {logical}-views -> {phys}-file: "
+          f"{plan.message_count} element pairs, {frags} scatter fragments\n")
+
+    fs = fresh(logical, phys)
+    direct = fs.write("m", accesses, to_disk=True)
+    t_direct = max(b.t_w_disk for b in direct.per_compute.values())
+    assert np.array_equal(fs.linear_contents("m", data.size), data)
+    print(f"direct write:     {direct.messages:3d} messages, "
+          f"completion {t_direct:9.0f} us")
+
+    fs = fresh(logical, phys)
+    res = two_phase_write(fs, "m", accesses, to_disk=True)
+    t_write = max(b.t_w_disk for b in res.write.per_compute.values())
+    assert np.array_equal(fs.linear_contents("m", data.size), data)
+    print(f"two-phase write:  {res.shuffle_messages:3d} shuffle messages "
+          f"({res.shuffle_bytes} B, {res.shuffle_time_s * 1e6:.0f} us) + "
+          f"{res.write.messages} file messages, completion "
+          f"{t_write + res.shuffle_time_s * 1e6:9.0f} us")
+    print(f"                  scatter fragments: {res.scatter_fragments} "
+          f"(vs {frags} direct)")
+
+    speedup = t_direct / (t_write + res.shuffle_time_s * 1e6)
+    print(f"\ncollective buffering wins by {speedup:.0f}x here - the "
+          f"shuffle runs at\nnetwork speed while the direct write drags "
+          f"fragments through the disks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""On-the-fly physical re-layout (the paper's Panda-style use case, §3).
+
+A file is created with a column-block physical layout but the
+application accesses it through row-block views — the worst match.
+The example measures the access cost, re-lays the file out on the fly
+to row blocks using the redistribution algorithm between the I/O nodes,
+and measures again: gathers disappear and messages drop 4x.
+
+Run:  python examples/disk_relayout.py
+"""
+
+import numpy as np
+
+from repro import matrix_partition, row_blocks
+from repro.clusterfile import Clusterfile
+from repro.clusterfile.relayout import relayout
+from repro.core.matching import matching_degree
+from repro.simulation import ClusterConfig
+
+N = 256
+P = 4
+
+
+def measure_write(fs, data):
+    logical = row_blocks(N, N, P)
+    for c in range(P):
+        fs.set_view("m", c, logical)
+    per = N * N // P
+    accesses = [(c, 0, data[c * per : (c + 1) * per]) for c in range(P)]
+    fs.write("m", accesses, to_disk=True)  # warm up the device state
+    res = fs.write("m", accesses, to_disk=True)  # steady-state measure
+    t_g = float(np.mean([bd.t_g for bd in res.per_compute.values()]))
+    t_w = max(bd.t_w_disk for bd in res.per_compute.values())
+    return t_g, t_w, res.messages
+
+
+def main():
+    data = np.random.default_rng(5).integers(0, 256, N * N, dtype=np.uint8)
+
+    fs = Clusterfile(ClusterConfig())
+    fs.create("m", matrix_partition("c", N, N, P))
+
+    deg = matching_degree(matrix_partition("c", N, N, P), row_blocks(N, N, P))
+    print(f"initial layout: column blocks; matching degree vs the "
+          f"row-block access pattern = {deg.degree():.3f}")
+    t_g, t_w, msgs = measure_write(fs, data)
+    print(f"  write: t_g = {t_g:7.1f} us   t_w_disk = {t_w:8.0f} us   "
+          f"messages = {msgs}")
+
+    print("\nre-laying the file out to row blocks on the fly...")
+    res = relayout(fs, "m", matrix_partition("r", N, N, P))
+    print(f"  moved {res.bytes_moved} bytes in {res.transfers} transfers "
+          f"({res.cross_node_messages} crossed the network), simulated "
+          f"makespan {res.makespan_s * 1e3:.1f} ms")
+    assert np.array_equal(fs.linear_contents("m", data.size), data)
+
+    deg = matching_degree(matrix_partition("r", N, N, P), row_blocks(N, N, P))
+    print(f"\nnew layout: row blocks; matching degree = {deg.degree():.3f}")
+    t_g, t_w, msgs = measure_write(fs, data)
+    print(f"  write: t_g = {t_g:7.1f} us   t_w_disk = {t_w:8.0f} us   "
+          f"messages = {msgs}")
+
+    print("\nThe re-layout pays once what every access was paying before -"
+          "\nexactly the trade the paper describes for Panda-style disk"
+          "\nredistribution (§3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Redistributing a 2-D matrix between HPF-style layouts.
+
+The scenario the paper's introduction motivates: a multidimensional
+array stored on parallel disks in one decomposition while the
+application wants another.  This example distributes a matrix over four
+processes as column blocks, square blocks and CYCLIC(k) stripes, builds
+redistribution schedules between them, prints the matching-degree
+statistics, and verifies every move byte-exactly.
+
+Run:  python examples/matrix_redistribution.py
+"""
+
+import numpy as np
+
+from repro import (
+    Block,
+    BlockCyclic,
+    build_plan,
+    collect,
+    distribute,
+    execute_plan,
+    matrix_partition,
+    multidim_partition,
+)
+
+ROWS = COLS = 256
+NPROCS = 4
+
+
+def show_plan(name, plan, file_bytes):
+    s = plan.fragment_statistics()
+    print(
+        f"{name:>18}: {s['transfers']:2d} transfers, "
+        f"{s['src_fragments']:5d} gather frags/period, "
+        f"{s['dst_fragments']:5d} scatter frags/period, "
+        f"mean fragment {s['mean_fragment_bytes']:8.1f} B"
+        f"{'  [identity]' if plan.is_identity else ''}"
+    )
+
+
+def main():
+    matrix = np.random.default_rng(1).integers(
+        0, 256, ROWS * COLS, dtype=np.uint8
+    )
+
+    layouts = {
+        "row blocks": matrix_partition("r", ROWS, COLS, NPROCS),
+        "column blocks": matrix_partition("c", ROWS, COLS, NPROCS),
+        "square blocks": matrix_partition("b", ROWS, COLS, NPROCS),
+        "cyclic(8) rows": multidim_partition(
+            (ROWS, COLS), 1, (BlockCyclic(8), Block()), (2, 2)
+        ),
+    }
+
+    print(f"{ROWS}x{COLS} matrix over {NPROCS} processes\n")
+    print("Schedules between every pair of layouts:")
+    plans = {}
+    for a_name, a in layouts.items():
+        for b_name, b in layouts.items():
+            plan = build_plan(a, b)
+            plans[(a_name, b_name)] = plan
+            show_plan(f"{a_name[:8]}->{b_name[:8]}", plan, matrix.size)
+
+    print("\nExecuting every redistribution and verifying...")
+    for (a_name, b_name), plan in plans.items():
+        src_buffers = distribute(matrix, layouts[a_name])
+        dst_buffers = execute_plan(plan, src_buffers, matrix.size)
+        back = collect(dst_buffers, layouts[b_name], matrix.size)
+        assert np.array_equal(back, matrix), (a_name, b_name)
+    print(f"all {len(plans)} layout pairs redistribute byte-exactly.")
+
+    print("\nPer-process ownership under 'square blocks':")
+    sq = layouts["square blocks"]
+    for p in range(NPROCS):
+        buf = distribute(matrix, sq)[p]
+        print(f"  process {p}: {buf.size} bytes,"
+              f" first 8 = {buf[:8].tolist()}")
+
+
+if __name__ == "__main__":
+    main()

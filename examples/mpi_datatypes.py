@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""MPI derived datatypes on top of nested FALLS (paper §3).
+
+The paper claims MPI datatypes "can be built on top of" nested FALLS and
+that GATHER/SCATTER "can also be used to implement MPI's pack and unpack
+operations".  This example builds vector, indexed, subarray and struct
+types with the :mod:`repro.distributions.mpi_types` constructors, packs
+and unpacks real buffers through them, and checks the results against
+direct NumPy slicing.
+
+Run:  python examples/mpi_datatypes.py
+"""
+
+import numpy as np
+
+from repro.core import PeriodicFallsSet
+from repro.distributions.mpi_types import (
+    contiguous,
+    indexed,
+    primitive,
+    struct_like,
+    subarray,
+    vector,
+)
+from repro.redistribution import gather, scatter
+
+
+def pack(buf, t, count=1):
+    """MPI_Pack: gather a type's significant bytes into a packed buffer."""
+    pfs = PeriodicFallsSet(t.falls, 0, t.extent)
+    out = np.empty(t.size * count, dtype=np.uint8)
+    gather(out, buf, 0, t.extent * count - 1, pfs)
+    return out
+
+
+def unpack(packed, t, count, total_len):
+    """MPI_Unpack: scatter packed bytes back to the type's layout."""
+    pfs = PeriodicFallsSet(t.falls, 0, t.extent)
+    out = np.zeros(total_len, dtype=np.uint8)
+    scatter(out, packed, 0, t.extent * count - 1, pfs)
+    return out
+
+
+def main():
+    double = primitive(8)
+
+    # -- MPI_Type_vector: a matrix column ---------------------------------
+    n = 16
+    col = vector(count=n, blocklength=1, stride=n, base=double)
+    print(f"column type: size={col.size} extent={col.extent}")
+    mat = np.arange(n * n * 8, dtype=np.uint8)
+    packed = pack(mat, col)
+    want = mat.reshape(n, n * 8)[:, 8 : 16].reshape(-1)  # column 1 is bytes 8..15
+    np.testing.assert_array_equal(packed, mat.reshape(n, n * 8)[:, :8].reshape(-1))
+    print("  packed column 0 matches numpy slicing")
+
+    # -- MPI_Type_indexed: an upper-triangular row set ---------------------
+    tri = indexed(
+        blocklengths=[4, 3, 2, 1],
+        displacements=[0, 5, 10, 15],
+        base=double,
+    )
+    buf = np.arange(tri.extent, dtype=np.uint8)
+    packed = pack(buf, tri)
+    print(f"indexed type: size={tri.size} extent={tri.extent},"
+          f" packed {packed.size} bytes")
+    back = unpack(packed, tri, 1, tri.extent)
+    mask = np.zeros(tri.extent, dtype=bool)
+    for blen, disp in zip([4, 3, 2, 1], [0, 5, 10, 15]):
+        mask[disp * 8 : (disp + blen) * 8] = True
+    np.testing.assert_array_equal(back[mask], buf[mask])
+    assert not back[~mask].any()
+    print("  pack -> unpack roundtrip verified")
+
+    # -- MPI_Type_create_subarray: a 3-D interior region -------------------
+    shape, subsizes, starts = (8, 8, 8), (4, 4, 4), (2, 2, 2)
+    sub = subarray(shape, subsizes, starts, primitive(1))
+    cube = np.arange(8 * 8 * 8, dtype=np.uint8)
+    packed = pack(cube, sub)
+    want = cube.reshape(shape)[2:6, 2:6, 2:6].reshape(-1)
+    np.testing.assert_array_equal(packed, want)
+    print(f"subarray type: {subsizes} of {shape} -> {packed.size} bytes,"
+          " matches numpy slicing")
+
+    # -- MPI_Type_create_struct: a header-plus-payload record --------------
+    record = struct_like([(0, primitive(4)), (8, contiguous(3, double))])
+    print(f"struct type: size={record.size} extent={record.extent}")
+    buf = np.arange(record.extent * 4, dtype=np.uint8)  # 4 records
+    packed = pack(buf, record, count=4)
+    assert packed.size == record.size * 4
+    back = unpack(packed, record, 4, record.extent * 4)
+    view = buf.reshape(4, record.extent)
+    bv = back.reshape(4, record.extent)
+    np.testing.assert_array_equal(bv[:, :4], view[:, :4])
+    np.testing.assert_array_equal(bv[:, 8:32], view[:, 8:32])
+    assert not bv[:, 4:8].any()
+    print("  4 records packed/unpacked; gaps skipped as MPI requires")
+
+    print("\nAll MPI-datatype scenarios verified.")
+
+
+if __name__ == "__main__":
+    main()

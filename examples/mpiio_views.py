@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""MPI-IO semantics on the parallel file model (paper §3).
+
+Recreates two canonical MPI-IO programs with :mod:`repro.mpiio`:
+
+1. the mpi4py tutorial's *non-contiguous collective write*: each rank
+   views every ``size``-th integer of the file through a resized vector
+   filetype;
+2. a 2-D subarray decomposition: each rank views its quadrant of a
+   matrix via ``MPI_Type_create_subarray`` and writes it with one
+   contiguous call.
+
+Run:  python examples/mpiio_views.py
+"""
+
+import numpy as np
+
+from repro import matrix_partition, round_robin
+from repro.clusterfile import Clusterfile
+from repro.distributions.mpi_types import primitive, subarray, vector
+from repro.mpiio import MPIFile
+from repro.simulation import ClusterConfig
+
+NP = 4
+
+
+def interleaved_integers():
+    print("=== interleaved integers (MPI_Type_vector + resized) ===")
+    fs = Clusterfile(ClusterConfig(compute_nodes=NP, io_nodes=NP))
+    fs.create("data.noncontig", round_robin(NP, 4))
+    f = MPIFile(fs, "data.noncontig", NP)
+
+    intt = primitive(4)
+    item_count = 10
+    for rank in range(NP):
+        filetype = vector(1, 1, NP, intt).resized(NP * 4)
+        f.set_view(rank, rank * 4, intt, filetype)
+        buf = np.full(item_count, rank, np.int32)
+        f.write_at(rank, 0, buf.view(np.uint8))
+
+    raw = fs.linear_contents("data.noncontig", NP * 4 * item_count)
+    ints = raw.view(np.int32)
+    print("file contents (int32):", ints[: 2 * NP].tolist(), "...")
+    assert ints.reshape(item_count, NP).T.tolist() == [
+        [r] * item_count for r in range(NP)
+    ]
+    print("each rank's integers land every", NP, "slots - verified\n")
+
+
+def subarray_quadrants():
+    print("=== 2-D quadrants (MPI_Type_create_subarray) ===")
+    n = 16
+    fs = Clusterfile(ClusterConfig(compute_nodes=NP, io_nodes=NP))
+    fs.create("matrix", matrix_partition("b", n, n, NP))
+    f = MPIFile(fs, "matrix", NP)
+
+    for rank in range(NP):
+        r, c = divmod(rank, 2)
+        ft = subarray(
+            (n, n), (n // 2, n // 2), (r * n // 2, c * n // 2), primitive(1)
+        )
+        f.set_view(rank, 0, primitive(1), ft)
+        f.write_at(rank, 0, np.full((n // 2) ** 2, rank + 1, np.uint8))
+
+    mat = fs.linear_contents("matrix", n * n).reshape(n, n)
+    print("assembled matrix corners:",
+          mat[0, 0], mat[0, -1], mat[-1, 0], mat[-1, -1])
+    assert (mat[0, 0], mat[0, -1], mat[-1, 0], mat[-1, -1]) == (1, 2, 3, 4)
+
+    # Every rank reads back its quadrant through the same view.
+    for rank in range(NP):
+        got = f.read_at(rank, 0, (n // 2) ** 2)
+        assert (got == rank + 1).all()
+    print("per-rank quadrant reads verified\n")
+
+
+if __name__ == "__main__":
+    interleaved_integers()
+    subarray_quadrants()
+    print("All MPI-IO scenarios verified.")

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation tables (a thin wrapper).
+
+Equivalent to ``python -m repro.bench all`` but shaped as an example of
+the harness API, at reduced size/repetition so it finishes in seconds.
+
+Run:  python examples/paper_tables.py [--full]
+"""
+
+import sys
+
+from repro.bench import (
+    format_table1,
+    format_table2,
+    shape_checks_table1,
+    shape_checks_table2,
+    table1,
+    table2,
+)
+
+
+def main():
+    full = "--full" in sys.argv
+    sizes = (256, 512, 1024, 2048) if full else (256, 512)
+    repeats = 3 if full else 1
+
+    rows1 = table1(sizes=sizes, repeats=repeats)
+    print(format_table1(rows1))
+    print()
+    rows2 = table2(sizes=sizes, repeats=repeats)
+    print(format_table2(rows2))
+
+    if full:
+        print("\nShape checks:")
+        for name, ok in {
+            **{f"T1 {k}": v for k, v in shape_checks_table1(rows1).items()},
+            **{f"T2 {k}": v for k, v in shape_checks_table2(rows2).items()},
+        }.items():
+            print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+
+
+if __name__ == "__main__":
+    main()

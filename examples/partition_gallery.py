@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""A gallery of partitions, drawn the way the paper draws them.
+
+Renders the paper's figure-3 file layout, the three evaluation layouts
+on a miniature matrix, an HPF CYCLIC(k) distribution, an intersection
+with its projections (figure 4), and the matching-degree matrix.
+
+Run:  python examples/partition_gallery.py
+"""
+
+from repro import (
+    Falls,
+    FallsSet,
+    Partition,
+    cyclic_pitfalls,
+    intersect_elements,
+    matrix_partition,
+    project,
+)
+from repro.core.matching import matching_degree
+from repro.viz import render_falls, render_partition, render_periodic
+
+
+def banner(title):
+    print("\n" + "=" * 68)
+    print(title)
+    print("=" * 68)
+
+
+def main():
+    banner("Figure 1: the FALLS (3,5,6,5)")
+    print(render_falls(Falls(3, 5, 6, 5)))
+
+    banner("Figure 3: displacement 2, three strided subfiles")
+    print(
+        render_partition(
+            Partition(
+                [Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)],
+                displacement=2,
+            ),
+            length=26,
+        )
+    )
+
+    banner("The evaluation's layouts on an 8x8 matrix (4 processes)")
+    for layout, name in (("r", "row blocks"), ("c", "column blocks"),
+                         ("b", "square blocks")):
+        print(f"\n-- {name} --")
+        print(render_partition(matrix_partition(layout, 8, 8, 4), length=64))
+
+    banner("HPF CYCLIC(2) over 3 processors as one PITFALLS")
+    pf = cyclic_pitfalls(24, 2, 3)
+    print("PITFALLS:", pf)
+    print(render_partition(pf.partition(), length=24))
+
+    banner("Figure 4: intersection and projections")
+    view = Partition([
+        FallsSet([Falls(0, 7, 16, 2, (Falls(0, 1, 4, 2),))]),
+        FallsSet([Falls(0, 7, 16, 2, (Falls(2, 3, 4, 2),))]),
+        FallsSet([Falls(8, 15, 16, 2)]),
+    ])
+    phys = Partition([
+        FallsSet([Falls(0, 3, 8, 4, (Falls(0, 0, 2, 2),))]),
+        FallsSet([Falls(0, 3, 8, 4, (Falls(1, 1, 2, 2),))]),
+        FallsSet([Falls(4, 7, 8, 4)]),
+    ])
+    inter = intersect_elements(view, 0, phys, 0)
+    print("V ∩ S in file space:")
+    print(render_periodic(inter, 32))
+    print("\nPROJ_V:")
+    print(render_periodic(project(inter, view, 0), 16))
+    print("\nPROJ_S:")
+    print(render_periodic(project(inter, phys, 0), 16))
+
+    banner("Matching degrees between the evaluation layouts (64x64)")
+    print(f"{'':>4}" + "".join(f"{b:>8}" for b in "rcb"))
+    for a in "rcb":
+        cells = []
+        for b in "rcb":
+            m = matching_degree(
+                matrix_partition(a, 64, 64, 4), matrix_partition(b, 64, 64, 4)
+            )
+            cells.append(f"{m.degree():8.3f}")
+        print(f"{a:>4}" + "".join(cells))
+
+
+if __name__ == "__main__":
+    main()

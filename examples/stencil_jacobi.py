@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""A distributed Jacobi iteration using halo-exchange schedules.
+
+Solves the steady-state heat equation on an N x N grid distributed over
+a 2x2 process grid.  Every piece of distributed-memory machinery — who
+owns what, which ghost bytes travel where, how the converged field is
+checkpointed — comes from the FALLS toolkit:
+
+* ownership and halo regions are nested FALLS (subarray types),
+* the exchange schedule is FALLS intersections (built once, reused
+  every iteration — the paper's amortisation story in its natural
+  habitat),
+* the result is checkpointed with layout metadata and re-read with a
+  different decomposition.
+
+The distributed solution is verified against a single-process NumPy
+reference, iteration for iteration.
+
+Run:  python examples/stencil_jacobi.py
+"""
+
+import numpy as np
+
+from repro import matrix_partition
+from repro.apps import CheckpointStore, HaloExchange
+from repro.redistribution import collect, distribute
+
+N = 32            # grid side (float64 cells)
+GRID = (2, 2)     # process grid
+ITERS = 50
+
+
+def reference_solution(field, iters):
+    f = field.copy()
+    for _ in range(iters):
+        nxt = f.copy()
+        nxt[1:-1, 1:-1] = 0.25 * (
+            f[:-2, 1:-1] + f[2:, 1:-1] + f[1:-1, :-2] + f[1:-1, 2:]
+        )
+        f = nxt
+    return f
+
+
+def main():
+    # Initial condition: hot left edge, cold elsewhere.
+    field = np.zeros((N, N))
+    field[:, 0] = 100.0
+
+    itemsize = 8
+    ex = HaloExchange.block_2d(N, N, GRID, halo=1, itemsize=itemsize)
+    nprocs = GRID[0] * GRID[1]
+    br, bc = N // GRID[0], N // GRID[1]
+
+    raw = np.frombuffer(field.tobytes(), dtype=np.uint8)
+    buffers = [ex.scatter_owned(p, raw) for p in range(nprocs)]
+    print(f"{N}x{N} grid over a {GRID[0]}x{GRID[1]} process grid; "
+          f"{len(ex.messages)} halo messages per iteration")
+
+    def local_geometry(p):
+        r, c = divmod(p, GRID[1])
+        g_r0, g_r1 = max(0, r * br - 1), min(N, (r + 1) * br + 1)
+        g_c0, g_c1 = max(0, c * bc - 1), min(N, (c + 1) * bc + 1)
+        return r, c, g_r0, g_r1, g_c0, g_c1
+
+    for it in range(ITERS):
+        ex.exchange(buffers)  # refresh ghosts (schedule reused)
+        new_buffers = []
+        for p in range(nprocs):
+            r, c, g_r0, g_r1, g_c0, g_c1 = local_geometry(p)
+            local = buffers[p].view(np.float64).reshape(
+                g_r1 - g_r0, g_c1 - g_c0
+            )
+            nxt = local.copy()
+            # Jacobi update on interior points of the *global* grid that
+            # this rank owns.
+            for i in range(local.shape[0]):
+                gi = g_r0 + i
+                if not (r * br <= gi < (r + 1) * br) or gi in (0, N - 1):
+                    continue
+                for j in range(local.shape[1]):
+                    gj = g_c0 + j
+                    if not (c * bc <= gj < (c + 1) * bc) or gj in (0, N - 1):
+                        continue
+                    nxt[i, j] = 0.25 * (
+                        local[i - 1, j] + local[i + 1, j]
+                        + local[i, j - 1] + local[i, j + 1]
+                    )
+            new_buffers.append(
+                np.frombuffer(nxt.tobytes(), dtype=np.uint8).copy()
+            )
+        buffers = new_buffers
+
+    # Assemble the distributed result: each rank contributes its OWNED
+    # cells (drop ghosts) through the ownership FALLS.
+    from repro.core.segments import leaf_segment_arrays_set, merge_segment_arrays
+    from repro.redistribution.gather_scatter import gather_segments, scatter_segments
+
+    result_raw = np.zeros(N * N * itemsize, dtype=np.uint8)
+    for p in range(nprocs):
+        segs = merge_segment_arrays(
+            leaf_segment_arrays_set(ex.owned[p].falls)
+        )
+        packed = gather_segments(buffers[p], ex.index[p].localize(segs))
+        scatter_segments(result_raw, segs, packed)
+    result = result_raw.view(np.float64).reshape(N, N)
+
+    want = reference_solution(field, ITERS)
+    err = np.max(np.abs(result - want))
+    print(f"max |distributed - reference| after {ITERS} iterations: {err:.2e}")
+    assert err == 0.0, "distributed Jacobi diverged from the reference"
+
+    # Checkpoint the converged field; restart decomposed differently.
+    store = CheckpointStore()
+    writer = matrix_partition("b", N, N * itemsize, 4)
+    store.save("heat", distribute(result_raw, writer), writer,
+               (N, N), np.float64)
+    reader = matrix_partition("r", N, N * itemsize, 2)
+    pieces = store.load("heat", reader)
+    merged = collect(pieces, reader, result_raw.size)
+    assert np.array_equal(
+        merged.view(np.float64).reshape(N, N), result
+    )
+    print("checkpointed on 4 ranks (blocks), restarted on 2 (rows): verified")
+    print("\nDistributed Jacobi verified bit-exactly against NumPy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Non-contiguous I/O through views: the MPI-IO-style usage.
+
+The paper's file model turns non-contiguous access into *contiguous*
+access of a linear view (§2: "Non-contiguous I/O is realized by setting
+a linear view on the data set and accessing it contiguously").  This
+example demonstrates:
+
+* a matrix written by row-block views and read back by **column** views
+  (a transpose-flavoured access pattern),
+* a halo-exchange-style read where each process's view covers its block
+  of rows plus one ghost row on each side,
+* an irregular (owner-map) partition used as a view.
+
+Run:  python examples/view_io.py
+"""
+
+import numpy as np
+
+from repro import Falls, FallsSet, Partition, matrix_partition
+from repro.clusterfile import Clusterfile
+from repro.distributions import partition_from_owner_array
+from repro.simulation import ClusterConfig
+
+N = 64  # matrix side, bytes
+P = 4
+
+
+def fresh_fs():
+    return Clusterfile(ClusterConfig(compute_nodes=P, io_nodes=P))
+
+
+def write_matrix(fs, data):
+    fs.create("m", matrix_partition("b", N, N, P))
+    rows = matrix_partition("r", N, N, P)
+    for c in range(P):
+        fs.set_view("m", c, rows)
+    per = N * N // P
+    fs.write("m", [(c, 0, data[c * per : (c + 1) * per]) for c in range(P)])
+
+
+def main():
+    rng = np.random.default_rng(3)
+    data = rng.integers(0, 256, N * N, dtype=np.uint8)
+    mat = data.reshape(N, N)
+
+    # -- transpose-flavoured access ------------------------------------
+    fs = fresh_fs()
+    write_matrix(fs, data)
+    cols = matrix_partition("c", N, N, P)
+    for c in range(P):
+        fs.set_view("m", c, cols)
+    per = N * N // P
+    bufs = fs.read("m", [(c, 0, per) for c in range(P)])
+    for c, buf in enumerate(bufs):
+        want = mat[:, c * (N // P) : (c + 1) * (N // P)].reshape(-1)
+        assert np.array_equal(buf, want)
+    print("column views over a square-block file: verified "
+          f"({P} views x {per} bytes, each gathered from multiple subfiles)")
+
+    # -- halo reads ------------------------------------------------------
+    # Each process reads its row block plus one ghost row on each side.
+    fs = fresh_fs()
+    write_matrix(fs, data)
+    rows_per = N // P
+    for c in range(P):
+        lo_row = max(0, c * rows_per - 1)
+        hi_row = min(N, (c + 1) * rows_per + 1)
+        # A view that is just the halo window: one contiguous row range.
+        halo = Partition(
+            [
+                FallsSet([Falls(0, (hi_row - lo_row) * N - 1,
+                                (hi_row - lo_row) * N, 1)]),
+            ],
+            displacement=lo_row * N,
+            validate=True,
+        )
+        fs.set_view("m", c, halo, element=0)
+        got = fs.read("m", [(c, 0, (hi_row - lo_row) * N)])[0]
+        assert np.array_equal(got, mat[lo_row:hi_row].reshape(-1))
+    print("halo-window views (row block + ghost rows): verified")
+
+    # -- irregular views --------------------------------------------------
+    # Owner map: bytes assigned to processes by hash - no regularity at
+    # all.  The FALLS machinery still handles it (paper §3: arbitrary
+    # distributions).
+    owners = (np.arange(N * N) * 2654435761 % 97) % P
+    irregular = partition_from_owner_array(owners, P)
+    fs = fresh_fs()
+    write_matrix(fs, data)
+    for c in range(P):
+        fs.set_view("m", c, irregular)
+    sizes = [irregular.element_length(c, N * N) for c in range(P)]
+    bufs = fs.read("m", [(c, 0, sizes[c]) for c in range(P)])
+    for c, buf in enumerate(bufs):
+        assert np.array_equal(buf, data[owners == c])
+    frag = sum(
+        irregular.elements[c].leaf_segment_count() for c in range(P)
+    )
+    print(f"irregular owner-map views: verified ({frag} fragments/period)")
+
+    print("\nAll view I/O scenarios verified byte-exactly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Kept for environments whose pip predates PEP 660 editable installs;
+# `pip install -e .` uses pyproject.toml directly.
+setup()

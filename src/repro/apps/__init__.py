@@ -1,0 +1,31 @@
+"""Applications built on the parallel file model.
+
+Small but complete programs of the kind the paper's introduction
+motivates — parallel scientific codes whose dominant data structures are
+multidimensional arrays stored on parallel disks:
+
+* :mod:`repro.apps.checkpoint` — save/restore distributed arrays with
+  *resharding*: restart on a different process count or decomposition,
+  powered by the redistribution algorithm;
+* :mod:`repro.apps.transpose` — out-of-core matrix transpose through
+  views;
+* :mod:`repro.apps.halo` — ghost-cell exchange schedules derived from
+  FALLS intersections;
+* :mod:`repro.apps.matmul` — out-of-core blocked matrix multiply, every
+  tile addressed through a subarray view.
+"""
+
+from .checkpoint import CheckpointStore, reshard
+from .matmul import load_matrix, matmul_out_of_core, store_matrix
+from .halo import HaloExchange
+from .transpose import transpose_out_of_core
+
+__all__ = [
+    "CheckpointStore",
+    "HaloExchange",
+    "load_matrix",
+    "matmul_out_of_core",
+    "reshard",
+    "store_matrix",
+    "transpose_out_of_core",
+]

@@ -1,0 +1,145 @@
+"""Checkpoint / restart with resharding.
+
+The classic consumer of general mapping functions: a simulation
+checkpoints its distributed array and later restarts on a *different*
+process count or decomposition.  With the paper's machinery this is
+nothing special — the checkpoint is a file partitioned by the writers'
+layout, the restart sets views with the readers' layout, and the
+mapping functions do the rest.
+
+Two APIs:
+
+* :func:`reshard` — pure memory-memory: convert per-rank pieces between
+  decompositions (one call on top of the redistribution executor);
+* :class:`CheckpointStore` — file-based: save through writer views into
+  a Clusterfile, load through reader views, with dtype/shape metadata
+  carried alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.partition import Partition
+from ..clusterfile.fs import Clusterfile
+from ..redistribution.executor import execute_plan
+from ..redistribution.schedule import build_plan
+from ..simulation.cluster import ClusterConfig
+
+__all__ = ["CheckpointStore", "reshard"]
+
+
+def reshard(
+    pieces: Sequence[np.ndarray],
+    old_partition: Partition,
+    new_partition: Partition,
+    total_bytes: int | None = None,
+) -> List[np.ndarray]:
+    """Convert per-rank byte pieces from one decomposition to another.
+
+    ``pieces[i]`` holds element ``i``'s bytes under ``old_partition``;
+    the result holds the same data under ``new_partition``.  The two
+    partitions may have different element counts — that is the point.
+    """
+    if total_bytes is None:
+        total_bytes = old_partition.displacement + sum(p.size for p in pieces)
+    plan = build_plan(old_partition, new_partition)
+    buffers = [np.ascontiguousarray(p, dtype=np.uint8).reshape(-1) for p in pieces]
+    return execute_plan(plan, buffers, total_bytes)
+
+
+@dataclass
+class _Meta:
+    """Checkpoint metadata, stored in its JSON wire form so a restart
+    process (or a different tool) can parse it without this library's
+    objects — see :mod:`repro.core.serialize`."""
+
+    shape: tuple
+    dtype: str
+    writer_layout_json: str
+
+    def writer_partition(self) -> Partition:
+        from ..core.serialize import partition_from_json
+
+        return partition_from_json(self.writer_layout_json)
+
+
+class CheckpointStore:
+    """A checkpoint directory backed by a (simulated) Clusterfile.
+
+    The physical layout of each checkpoint file is chosen to match the
+    writers' decomposition — the paper's "optimal physical distribution
+    for a given logical distribution" (§6.2) — so saves are pure
+    contiguous streaming.  Restores with any other decomposition go
+    through views and pay exactly the redistribution the mismatch
+    requires.
+    """
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.fs = Clusterfile(config or ClusterConfig())
+        self._meta: Dict[str, _Meta] = {}
+
+    def save(
+        self,
+        name: str,
+        pieces: Sequence[np.ndarray],
+        partition: Partition,
+        shape: Sequence[int],
+        dtype: np.dtype | str = np.uint8,
+    ) -> None:
+        """Write one checkpoint: ``pieces[i]`` is rank ``i``'s bytes
+        under ``partition`` (byte-level, matching the partition sizes)."""
+        dtype = np.dtype(dtype)
+        total = int(np.prod(shape)) * dtype.itemsize
+        if partition.displacement != 0:
+            raise ValueError("checkpoints use displacement 0")
+        if total % partition.size:
+            raise ValueError(
+                f"array of {total} bytes does not tile the partition "
+                f"pattern of {partition.size}"
+            )
+        if name in self.fs.files:
+            self.fs.unlink(name)
+        self.fs.create(name, partition)
+        nodes = self.fs.config.compute_nodes
+        for e, piece in enumerate(pieces):
+            node = e % nodes
+            self.fs.set_view(name, node, partition, element=e)
+            self.fs.write(name, [(node, 0, piece)])
+        from ..core.serialize import partition_to_json
+
+        self._meta[name] = _Meta(
+            tuple(shape), dtype.str, partition_to_json(partition)
+        )
+
+    def load(
+        self, name: str, partition: Partition | None = None
+    ) -> List[np.ndarray]:
+        """Read a checkpoint back under ``partition`` (defaults to the
+        writers' partition).  Returns per-element byte buffers."""
+        meta = self._meta[name]
+        dtype = np.dtype(meta.dtype)
+        total = int(np.prod(meta.shape)) * dtype.itemsize
+        partition = partition or meta.writer_partition()
+        nodes = self.fs.config.compute_nodes
+        out: List[np.ndarray] = []
+        for e in range(partition.num_elements):
+            node = e % nodes
+            self.fs.set_view(name, node, partition, element=e)
+            length = partition.element_length(e, total)
+            out.append(self.fs.read(name, [(node, 0, length)])[0])
+        return out
+
+    def load_array(self, name: str) -> np.ndarray:
+        """The whole checkpointed array, assembled and typed."""
+        meta = self._meta[name]
+        dtype = np.dtype(meta.dtype)
+        total = int(np.prod(meta.shape)) * dtype.itemsize
+        raw = self.fs.linear_contents(name, total)
+        return raw.view(dtype).reshape(meta.shape)
+
+    def checkpoints(self) -> List[str]:
+        return sorted(self._meta)

@@ -1,0 +1,37 @@
+"""Benchmark harness: workloads, experiment drivers, paper comparison."""
+
+from .experiments import Table1Row, Table2Row, run_workload, table1, table2
+from .reporting import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    format_table1,
+    format_table2,
+    shape_checks_table1,
+    shape_checks_table2,
+)
+from .workloads import (
+    LAYOUT_NAMES,
+    PAPER_PHYSICAL_LAYOUTS,
+    PAPER_SIZES,
+    MatrixWorkload,
+    paper_workloads,
+)
+
+__all__ = [
+    "LAYOUT_NAMES",
+    "MatrixWorkload",
+    "PAPER_PHYSICAL_LAYOUTS",
+    "PAPER_SIZES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "Table1Row",
+    "Table2Row",
+    "format_table1",
+    "format_table2",
+    "paper_workloads",
+    "run_workload",
+    "shape_checks_table1",
+    "shape_checks_table2",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,103 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.bench table1 [--sizes 256 512 ...] [--repeats N]
+    python -m repro.bench table2 [...]
+    python -m repro.bench all [...]
+    python -m repro.bench checks          # run the shape checks only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import table1, table2
+from .reporting import (
+    format_table1,
+    format_table2,
+    shape_checks_table1,
+    shape_checks_table2,
+)
+from .workloads import PAPER_SIZES
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the evaluation tables of Isaila & Tichy "
+        "(IPPS 2002) on the simulated cluster.",
+    )
+    p.add_argument(
+        "what",
+        choices=["table1", "table2", "all", "checks", "read", "scaling"],
+        help="what to run (read/scaling are extension experiments)",
+    )
+    p.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(PAPER_SIZES),
+        help="matrix sizes (side length in bytes)",
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, help="repetitions per cell (paper: 10)"
+    )
+    p.add_argument(
+        "--no-compare", action="store_true", help="omit the paper's columns"
+    )
+    return p
+
+
+def main(argv=None) -> int:
+    """Entry point; returns 1 when any shape check fails."""
+    args = _parser().parse_args(argv)
+    compare = not args.no_compare
+    failed = False
+    if args.what in ("table1", "all", "checks"):
+        rows = table1(sizes=args.sizes, repeats=args.repeats)
+        if args.what != "checks":
+            print(format_table1(rows, compare=compare))
+            print()
+        for name, ok in shape_checks_table1(rows).items():
+            print(f"  [{'ok' if ok else 'FAIL'}] table1: {name}")
+            failed |= not ok
+        print()
+    if args.what in ("table2", "all", "checks"):
+        rows = table2(sizes=args.sizes, repeats=args.repeats)
+        if args.what != "checks":
+            print(format_table2(rows, compare=compare))
+            print()
+        for name, ok in shape_checks_table2(rows).items():
+            print(f"  [{'ok' if ok else 'FAIL'}] table2: {name}")
+            failed |= not ok
+    if args.what == "read":
+        from .extensions import read_table
+
+        rows = read_table(sizes=args.sizes, repeats=args.repeats)
+        print("Read-side mirror of Table 1 (us) - extension experiment")
+        print(f"{'Size':>5} {'Ph':>3} | {'t_m':>8} {'t_s':>9} "
+              f"{'t_r_bc':>9} {'t_r_disk':>9}")
+        for r in rows:
+            print(
+                f"{r.size:>5} {r.physical:>3} | {r.t_m:8.1f} {r.t_s:9.1f} "
+                f"{r.t_r_bc:9.0f} {r.t_r_disk:9.0f}"
+            )
+    if args.what == "scaling":
+        from .extensions import scaling_table
+
+        rows = scaling_table(repeats=args.repeats)
+        print("Weak scaling of the matching penalty - extension experiment")
+        print(f"{'np':>3} {'Ph':>3} | {'B/proc':>8} {'msgs':>6} "
+              f"{'t_g':>9} {'t_w_disk':>10}")
+        for r in rows:
+            print(
+                f"{r.nprocs:>3} {r.physical:>3} | {r.bytes_per_process:>8} "
+                f"{r.messages:>6} {r.t_g:9.1f} {r.t_w_disk:10.0f}"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Experiment drivers regenerating the paper's tables.
+
+Each driver runs the §8.2 benchmark — four compute nodes concurrently
+writing a row-block-partitioned matrix view into a file with a given
+physical layout — on the simulated cluster, repeats it (the paper used
+ten repetitions and reports means; repetition count is configurable),
+and emits rows shaped like the paper's tables.
+
+Reporting conventions (documented in EXPERIMENTS.md):
+
+* ``t_i``, ``t_m``, ``t_g`` are means over compute nodes of *measured*
+  wall time of our implementations;
+* ``t_w^bc`` / ``t_w^disk`` are the *makespan* over compute nodes of the
+  simulated exchange — the paper observes t_w "is limited by the slowest
+  I/O server";
+* Table 2's scatter times are means over I/O nodes, with the cache copy
+  and disk flush taken from the era device models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import List, Sequence
+
+from ..clusterfile.fs import Clusterfile
+from ..simulation.cluster import ClusterConfig
+from .workloads import PAPER_PHYSICAL_LAYOUTS, PAPER_SIZES, MatrixWorkload
+
+__all__ = ["Table1Row", "Table2Row", "run_workload", "table1", "table2"]
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1: write-time breakdown at the compute node."""
+
+    size: int
+    physical: str
+    logical: str
+    t_i: float
+    t_m: float
+    t_g: float
+    t_w_bc: float
+    t_w_disk: float
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2: scatter time at the I/O node."""
+
+    size: int
+    physical: str
+    logical: str
+    t_sc_bc: float
+    t_sc_disk: float
+
+
+@dataclass
+class WorkloadResult:
+    table1: Table1Row
+    table2: Table2Row
+    messages: int
+    payload_bytes: int
+
+
+def run_workload(
+    workload: MatrixWorkload,
+    config: ClusterConfig | None = None,
+    repeats: int = 3,
+    verify: bool = True,
+) -> WorkloadResult:
+    """Run one experiment cell and average the timings over ``repeats``."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    config = config or ClusterConfig()
+    data = workload.data()
+    t1_acc: List[Table1Row] = []
+    t2_acc: List[Table2Row] = []
+    messages = payload_bytes = 0
+    for rep in range(repeats):
+        fs = Clusterfile(config)
+        fs.create("m", workload.physical())
+        logical = workload.logical()
+        for c in range(workload.nprocs):
+            fs.set_view("m", c, logical)
+        result = fs.write("m", workload.view_accesses(data), to_disk=True)
+        if verify and rep == 0:
+            import numpy as np
+
+            got = fs.linear_contents("m", data.size)
+            if not np.array_equal(got, data):  # pragma: no cover
+                raise AssertionError(f"data corruption in {workload.label}")
+        bds = list(result.per_compute.values())
+        t1_acc.append(
+            Table1Row(
+                size=workload.n,
+                physical=workload.physical_layout,
+                logical=workload.logical_layout,
+                t_i=mean(b.t_i for b in bds),
+                t_m=mean(b.t_m for b in bds),
+                t_g=mean(b.t_g for b in bds),
+                t_w_bc=max(b.t_w_bc for b in bds),
+                t_w_disk=max(b.t_w_disk for b in bds),
+            )
+        )
+        ios = list(result.per_io.values())
+        t2_acc.append(
+            Table2Row(
+                size=workload.n,
+                physical=workload.physical_layout,
+                logical=workload.logical_layout,
+                t_sc_bc=mean(s.t_sc_bc for s in ios),
+                t_sc_disk=mean(s.t_sc_disk for s in ios),
+            )
+        )
+        messages, payload_bytes = result.messages, result.payload_bytes
+
+    def avg(rows, field):
+        return mean(getattr(r, field) for r in rows)
+
+    t1 = Table1Row(
+        workload.n,
+        workload.physical_layout,
+        workload.logical_layout,
+        *(avg(t1_acc, f) for f in ("t_i", "t_m", "t_g", "t_w_bc", "t_w_disk")),
+    )
+    t2 = Table2Row(
+        workload.n,
+        workload.physical_layout,
+        workload.logical_layout,
+        avg(t2_acc, "t_sc_bc"),
+        avg(t2_acc, "t_sc_disk"),
+    )
+    return WorkloadResult(t1, t2, messages, payload_bytes)
+
+
+def table1(
+    sizes: Sequence[int] = PAPER_SIZES,
+    layouts: Sequence[str] = PAPER_PHYSICAL_LAYOUTS,
+    config: ClusterConfig | None = None,
+    repeats: int = 3,
+) -> List[Table1Row]:
+    """Regenerate Table 1 (write-time breakdown at the compute node)."""
+    return [
+        run_workload(MatrixWorkload(n, ph), config, repeats).table1
+        for n in sizes
+        for ph in layouts
+    ]
+
+
+def table2(
+    sizes: Sequence[int] = PAPER_SIZES,
+    layouts: Sequence[str] = PAPER_PHYSICAL_LAYOUTS,
+    config: ClusterConfig | None = None,
+    repeats: int = 3,
+) -> List[Table2Row]:
+    """Regenerate Table 2 (scatter time at the I/O node)."""
+    return [
+        run_workload(MatrixWorkload(n, ph), config, repeats).table2
+        for n in sizes
+        for ph in layouts
+    ]

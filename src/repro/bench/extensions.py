@@ -1,0 +1,155 @@
+"""Extension experiments beyond the paper's two tables.
+
+The paper's benchmark "writes **and reads** a two dimensional matrix"
+but only tabulates the write side ("Because the write and read are
+reverse symmetrical, we will present only the write operation", §8).
+:func:`read_table` produces the symmetric read-side table so the
+symmetry claim can be checked quantitatively.
+
+:func:`scaling_table` varies the cluster shape — the experiment the
+paper's 16-node cluster would have allowed — fixing the per-process
+data volume (weak scaling) to show how the matching penalty behaves as
+the all-to-all widens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import List, Sequence
+
+from ..clusterfile.fs import Clusterfile
+from ..simulation.cluster import ClusterConfig
+from .workloads import MatrixWorkload
+
+__all__ = ["ReadRow", "ScalingRow", "read_table", "scaling_table"]
+
+
+@dataclass
+class ReadRow:
+    size: int
+    physical: str
+    logical: str
+    t_m: float
+    t_s: float  # client-side scatter of replies (the gather mirror)
+    t_r_bc: float
+    t_r_disk: float
+
+
+def read_table(
+    sizes: Sequence[int] = (256, 512, 1024, 2048),
+    layouts: Sequence[str] = ("c", "b", "r"),
+    repeats: int = 3,
+    config: ClusterConfig | None = None,
+) -> List[ReadRow]:
+    """The read-side mirror of Table 1."""
+    import numpy as np
+
+    config = config or ClusterConfig()
+    rows: List[ReadRow] = []
+    for n in sizes:
+        for ph in layouts:
+            w = MatrixWorkload(n, ph)
+            data = w.data()
+            acc: List[ReadRow] = []
+            for _ in range(repeats):
+                fs = Clusterfile(config)
+                fs.create("m", w.physical())
+                logical = w.logical()
+                for c in range(w.nprocs):
+                    fs.set_view("m", c, logical)
+                fs.write("m", w.view_accesses(data))
+                per = w.bytes_per_process
+                bufs, result = fs.read_with_result(
+                    "m", [(c, 0, per) for c in range(w.nprocs)], from_disk=True
+                )
+                for c, buf in enumerate(bufs):
+                    if not np.array_equal(
+                        buf, data[c * per : (c + 1) * per]
+                    ):  # pragma: no cover
+                        raise AssertionError("read corruption")
+                bds = list(result.per_compute.values())
+                acc.append(
+                    ReadRow(
+                        n,
+                        ph,
+                        w.logical_layout,
+                        mean(b.t_m for b in bds),
+                        mean(b.t_g for b in bds),
+                        max(b.t_w_bc for b in bds),
+                        max(b.t_w_disk for b in bds),
+                    )
+                )
+            rows.append(
+                ReadRow(
+                    n,
+                    ph,
+                    w.logical_layout,
+                    mean(r.t_m for r in acc),
+                    mean(r.t_s for r in acc),
+                    mean(r.t_r_bc for r in acc),
+                    mean(r.t_r_disk for r in acc),
+                )
+            )
+    return rows
+
+
+@dataclass
+class ScalingRow:
+    nprocs: int
+    physical: str
+    bytes_per_process: int
+    messages: int
+    t_w_disk: float  # makespan, us
+    t_g: float
+
+
+def scaling_table(
+    nprocs_list: Sequence[int] = (2, 4, 8, 16),
+    layouts: Sequence[str] = ("c", "r"),
+    bytes_per_process: int = 256 * 256,
+    repeats: int = 2,
+) -> List[ScalingRow]:
+    """Weak scaling: per-process volume fixed, node count grows.
+
+    Matrix side scales with sqrt(nprocs) so each process always writes
+    ``bytes_per_process``; compute and I/O node counts grow together,
+    as in the paper's setup (equal counts).
+    """
+    import math
+
+    rows: List[ScalingRow] = []
+    for p in nprocs_list:
+        n = int(math.isqrt(bytes_per_process * p))
+        # Round n to a multiple of p for clean block layouts.
+        n -= n % p
+        for ph in layouts:
+            w = MatrixWorkload(n, ph, nprocs=p)
+            data = w.data()
+            acc = []
+            for _ in range(repeats):
+                fs = Clusterfile(ClusterConfig(compute_nodes=p, io_nodes=p))
+                fs.create("m", w.physical())
+                logical = w.logical()
+                for c in range(p):
+                    fs.set_view("m", c, logical)
+                result = fs.write("m", w.view_accesses(data), to_disk=True)
+                bds = list(result.per_compute.values())
+                acc.append(
+                    (
+                        result.messages,
+                        max(b.t_w_disk for b in bds),
+                        mean(b.t_g for b in bds),
+                    )
+                )
+            rows.append(
+                ScalingRow(
+                    nprocs=p,
+                    physical=ph,
+                    bytes_per_process=w.bytes_per_process,
+                    messages=acc[-1][0],
+                    t_w_disk=mean(a[1] for a in acc),
+                    t_g=mean(a[2] for a in acc),
+                )
+            )
+    return rows

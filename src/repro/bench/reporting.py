@@ -1,0 +1,164 @@
+"""Table formatting and paper-vs-measured comparison.
+
+Holds the paper's published numbers (Tables 1 and 2, microseconds) so
+benchmark output can be printed side by side with them, plus the
+qualitative *shape checks* EXPERIMENTS.md relies on: which orderings the
+reproduction must preserve even though absolute numbers come from a
+different substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .experiments import Table1Row, Table2Row
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "format_table1",
+    "format_table2",
+    "shape_checks_table1",
+    "shape_checks_table2",
+]
+
+#: Paper Table 1 (microseconds): (size, physical) -> (t_i, t_m, t_g,
+#: t_w_bc, t_w_disk).  Logical distribution is always row blocks.
+PAPER_TABLE1: Dict[Tuple[int, str], Tuple[float, float, float, float, float]] = {
+    (256, "c"): (1229, 9, 344, 1205, 4346),
+    (256, "b"): (514, 4, 203, 831, 2191),
+    (256, "r"): (310, 0, 0, 510, 1455),
+    (512, "c"): (1096, 11, 940, 2871, 7614),
+    (512, "b"): (506, 6, 568, 2294, 5900),
+    (512, "r"): (333, 0, 0, 1425, 4018),
+    (1024, "c"): (1136, 18, 2414, 9237, 22309),
+    (1024, "b"): (518, 9, 1703, 7104, 19375),
+    (1024, "r"): (318, 0, 0, 5340, 15136),
+    (2048, "c"): (1222, 22, 6501, 30781, 80793),
+    (2048, "b"): (503, 11, 5496, 26184, 71358),
+    (2048, "r"): (296, 0, 0, 20333, 56475),
+}
+
+#: Paper Table 2 (microseconds): (size, physical) -> (t_sc_bc, t_sc_disk).
+PAPER_TABLE2: Dict[Tuple[int, str], Tuple[float, float]] = {
+    (256, "c"): (87, 2255),
+    (256, "b"): (61, 1278),
+    (256, "r"): (45, 918),
+    (512, "c"): (292, 3593),
+    (512, "b"): (261, 3095),
+    (512, "r"): (219, 2717),
+    (1024, "c"): (1096, 10602),
+    (1024, "b"): (1068, 10622),
+    (1024, "r"): (1194, 10951),
+    (2048, "c"): (4942, 41684),
+    (2048, "b"): (4919, 41178),
+    (2048, "r"): (5081, 41179),
+}
+
+_T1_COLS = ("t_i", "t_m", "t_g", "t_w_bc", "t_w_disk")
+_T2_COLS = ("t_sc_bc", "t_sc_disk")
+
+
+def format_table1(rows: Iterable[Table1Row], compare: bool = True) -> str:
+    """Render Table 1 rows, optionally alongside the paper's values."""
+    out = ["Table 1. Write time breakdown at compute node (us)"]
+    header = f"{'Size':>5} {'Ph':>3} {'Lo':>3} |"
+    for c in _T1_COLS:
+        header += f" {c:>9}"
+    if compare:
+        header += "  |  paper: " + " ".join(f"{c:>8}" for c in _T1_COLS)
+    out.append(header)
+    out.append("-" * len(header))
+    for r in rows:
+        line = (
+            f"{r.size:>5} {r.physical:>3} {r.logical:>3} |"
+            f" {r.t_i:9.0f} {r.t_m:9.1f} {r.t_g:9.1f}"
+            f" {r.t_w_bc:9.0f} {r.t_w_disk:9.0f}"
+        )
+        if compare and (r.size, r.physical) in PAPER_TABLE1:
+            p = PAPER_TABLE1[(r.size, r.physical)]
+            line += "  |         " + " ".join(f"{v:>8.0f}" for v in p)
+        out.append(line)
+    return "\n".join(out)
+
+
+def format_table2(rows: Iterable[Table2Row], compare: bool = True) -> str:
+    """Render Table 2 rows, optionally alongside the paper's values."""
+    out = ["Table 2. Scatter time at I/O node (us)"]
+    header = f"{'Size':>5} {'Ph':>3} {'Lo':>3} |" + "".join(
+        f" {c:>10}" for c in _T2_COLS
+    )
+    if compare:
+        header += "  |  paper: " + " ".join(f"{c:>9}" for c in _T2_COLS)
+    out.append(header)
+    out.append("-" * len(header))
+    for r in rows:
+        line = (
+            f"{r.size:>5} {r.physical:>3} {r.logical:>3} |"
+            f" {r.t_sc_bc:10.0f} {r.t_sc_disk:10.0f}"
+        )
+        if compare and (r.size, r.physical) in PAPER_TABLE2:
+            p = PAPER_TABLE2[(r.size, r.physical)]
+            line += "  |          " + " ".join(f"{v:>9.0f}" for v in p)
+        out.append(line)
+    return "\n".join(out)
+
+
+def _by_key(rows: Iterable) -> Dict[Tuple[int, str], object]:
+    return {(r.size, r.physical): r for r in rows}
+
+
+def shape_checks_table1(rows: List[Table1Row]) -> Dict[str, bool]:
+    """The qualitative claims of §8.2 that the reproduction must hold."""
+    by = _by_key(rows)
+    sizes = sorted({r.size for r in rows})
+    checks: Dict[str, bool] = {}
+    # t_i ordered c > b > r at every size; roughly size-independent.
+    checks["t_i ordering c>b>r"] = all(
+        by[(s, "c")].t_i > by[(s, "b")].t_i > by[(s, "r")].t_i for s in sizes
+    )
+    t_i_c = [by[(s, "c")].t_i for s in sizes]
+    checks["t_i roughly constant with size"] = max(t_i_c) < 5 * min(t_i_c)
+    # t_m tiny, ~0 for matching layouts.
+    checks["t_m near zero for r-r"] = all(
+        by[(s, "r")].t_m < max(10.0, 0.1 * max(by[(s, "c")].t_m, 1.0))
+        for s in sizes
+    )
+    # t_g: zero for matching layouts, ordered c > b > r, grows with size.
+    checks["t_g zero for r-r"] = all(by[(s, "r")].t_g == 0 for s in sizes)
+    checks["t_g ordering c>b"] = all(
+        by[(s, "c")].t_g > by[(s, "b")].t_g for s in sizes
+    )
+    checks["t_g grows with size"] = (
+        by[(sizes[-1], "c")].t_g > by[(sizes[0], "c")].t_g
+    )
+    # t_w: matched layout best at the smallest size; grows with size.
+    s0, s1 = sizes[0], sizes[-1]
+    checks["t_w_disk best for r-r at small size"] = (
+        by[(s0, "r")].t_w_disk
+        < min(by[(s0, "c")].t_w_disk, by[(s0, "b")].t_w_disk)
+    )
+    checks["t_w grows with size"] = (
+        by[(s1, "r")].t_w_disk > by[(s0, "r")].t_w_disk
+        and by[(s1, "c")].t_w_bc > by[(s0, "c")].t_w_bc
+    )
+    return checks
+
+
+def shape_checks_table2(rows: List[Table2Row]) -> Dict[str, bool]:
+    """The qualitative claims of §8.2 for the scatter table."""
+    by = _by_key(rows)
+    sizes = sorted({r.size for r in rows})
+    s0, s1 = sizes[0], sizes[-1]
+    checks: Dict[str, bool] = {}
+    checks["t_sc ordering c>b>r at small size"] = (
+        by[(s0, "c")].t_sc_bc > by[(s0, "b")].t_sc_bc > by[(s0, "r")].t_sc_bc
+    )
+    # "the figures for all three pairs of distributions are close for big
+    # messages"
+    vals = [by[(s1, ph)].t_sc_disk for ph in ("c", "b", "r")]
+    checks["t_sc converges at large size"] = max(vals) < 1.15 * min(vals)
+    checks["t_sc grows with size"] = (
+        by[(s1, "r")].t_sc_disk > by[(s0, "r")].t_sc_disk
+    )
+    return checks

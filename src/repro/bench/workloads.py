@@ -1,0 +1,82 @@
+"""Workload definitions mirroring the paper's evaluation (§8.2).
+
+"We wrote a benchmark that writes and reads a two dimensional matrix to
+and from a file in Clusterfile.  We repeated the experiment for
+different sizes of the matrix: 256x256, 512x512, 1024x1024, 2048x2048
+(all in bytes).  For each size, we physically partitioned the file into
+four subfiles in three ways: square blocks (b), blocks of columns (c)
+and blocks of rows (r).  Each subfile was written to one I/O node.  For
+each size and each physical partition, we logically partitioned the
+file among four processors in blocks of rows."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.partition import Partition
+from ..distributions.multidim import matrix_partition, row_blocks
+
+__all__ = [
+    "PAPER_SIZES",
+    "PAPER_PHYSICAL_LAYOUTS",
+    "LAYOUT_NAMES",
+    "MatrixWorkload",
+    "paper_workloads",
+]
+
+PAPER_SIZES = (256, 512, 1024, 2048)
+PAPER_PHYSICAL_LAYOUTS = ("c", "b", "r")
+LAYOUT_NAMES = {"c": "column blocks", "b": "square blocks", "r": "row blocks"}
+
+
+@dataclass(frozen=True)
+class MatrixWorkload:
+    """One cell of the paper's experiment grid."""
+
+    n: int  # matrix is n x n bytes
+    physical_layout: str  # 'c', 'b' or 'r'
+    logical_layout: str = "r"  # the paper always uses row blocks
+    nprocs: int = 4
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n * self.n
+
+    @property
+    def bytes_per_process(self) -> int:
+        return self.total_bytes // self.nprocs
+
+    def physical(self) -> Partition:
+        return matrix_partition(self.physical_layout, self.n, self.n, self.nprocs)
+
+    def logical(self) -> Partition:
+        if self.logical_layout == "r":
+            return row_blocks(self.n, self.n, self.nprocs)
+        return matrix_partition(self.logical_layout, self.n, self.n, self.nprocs)
+
+    def data(self, seed: int = 0) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 256, self.total_bytes, dtype=np.uint8)
+
+    def view_accesses(self, data: np.ndarray) -> List[tuple]:
+        """Each process writes its whole view in one access — the
+        paper's benchmark pattern."""
+        per = self.bytes_per_process
+        return [
+            (c, 0, data[c * per : (c + 1) * per]) for c in range(self.nprocs)
+        ]
+
+    @property
+    def label(self) -> str:
+        return f"{self.n}x{self.n} {self.physical_layout}-{self.logical_layout}"
+
+
+def paper_workloads(
+    sizes=PAPER_SIZES, layouts=PAPER_PHYSICAL_LAYOUTS
+) -> List[MatrixWorkload]:
+    """The full grid of Table 1 / Table 2 rows."""
+    return [MatrixWorkload(n, ph) for n in sizes for ph in layouts]

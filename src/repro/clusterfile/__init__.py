@@ -1,0 +1,35 @@
+"""Clusterfile: the paper's case-study parallel file system (simulated)."""
+
+from .client import OperationResult, WriteRequest, parallel_read, parallel_write
+from .collective import (
+    CollectiveResult,
+    file_domain_partition,
+    two_phase_read,
+    two_phase_write,
+)
+from .file_model import ClusterFile, SubfileStore
+from .fs import Clusterfile
+from .relayout import RelayoutResult, relayout
+from .server import IOServer, RequestCost
+from .view import SubfileLink, View, set_view
+
+__all__ = [
+    "ClusterFile",
+    "CollectiveResult",
+    "RelayoutResult",
+    "Clusterfile",
+    "IOServer",
+    "OperationResult",
+    "RequestCost",
+    "SubfileLink",
+    "SubfileStore",
+    "View",
+    "WriteRequest",
+    "file_domain_partition",
+    "parallel_read",
+    "parallel_write",
+    "relayout",
+    "set_view",
+    "two_phase_read",
+    "two_phase_write",
+]

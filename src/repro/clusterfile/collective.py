@@ -1,0 +1,288 @@
+"""Two-phase collective I/O on top of the redistribution algorithm.
+
+The paper positions its machinery as the foundation for MPI-IO-style
+systems (§3: the MPI-IO file model "can be implemented using our file
+model and mappings"; redistribution works "memory-memory" too).  The
+classic payoff of that combination is ROMIO's *two-phase collective
+I/O*: when per-process views are poorly matched to the file, processes
+first **shuffle** data among themselves in memory so that each of a few
+*aggregators* holds one large contiguous range of the file domain, and
+only then hit the file system with big contiguous writes.
+
+Both phases fall out of the paper's algorithms directly:
+
+* the shuffle is a memory-memory redistribution between the logical
+  partition and a contiguous *file-domain* partition
+  (:func:`file_domain_partition`), scheduled by INTERSECT + PROJ;
+* the write phase is an ordinary Clusterfile write through views set to
+  the file-domain partition — whose matching degree against any
+  physical layout is at least as good as the original views'.
+
+The collective write here supports the collective-buffering case where
+the participating accesses exactly tile a whole number of logical
+periods (the usual aligned collective pattern); unaligned collectives
+fall back to independent writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.falls import Falls
+from ..core.partition import Partition
+from ..redistribution.executor import execute_plan
+from ..redistribution.schedule import RedistributionPlan, build_plan
+from .client import OperationResult
+from .fs import Clusterfile
+
+__all__ = [
+    "CollectiveResult",
+    "file_domain_partition",
+    "two_phase_read",
+    "two_phase_write",
+]
+
+
+@dataclass
+class CollectiveResult:
+    """Timings and traffic of one two-phase collective write."""
+
+    #: Phase-1 shuffle: messages between compute nodes and bytes moved
+    #: off-node (on-node bytes are free).
+    shuffle_messages: int
+    shuffle_bytes: int
+    #: Simulated phase-1 time (seconds): parallel alpha-beta exchange.
+    shuffle_time_s: float
+    #: Phase-2 file-system write result (the usual breakdown).
+    write: OperationResult
+    #: Aggregate fragments the file system had to scatter, for
+    #: comparison against the direct write.
+    scatter_fragments: int
+
+
+def file_domain_partition(
+    file_bytes: int, aggregators: int, displacement: int = 0
+) -> Partition:
+    """Contiguous file-domain chunks, one per aggregator (ROMIO-style).
+
+    The chunks are equal to within one byte; the partition's pattern is
+    the whole file region, applied once.
+    """
+    if file_bytes < 1 or aggregators < 1:
+        raise ValueError("need file_bytes >= 1 and aggregators >= 1")
+    aggregators = min(aggregators, file_bytes)
+    chunk = file_bytes // aggregators
+    rem = file_bytes % aggregators
+    elements = []
+    pos = 0
+    for a in range(aggregators):
+        size = chunk + (1 if a < rem else 0)
+        elements.append(Falls(pos, pos + size - 1, file_bytes, 1))
+        pos += size
+    return Partition(elements, displacement=displacement)
+
+
+def _shuffle_cost(
+    cluster, plan: RedistributionPlan, length: int
+) -> Tuple[int, int, float]:
+    """Messages, off-node bytes and simulated time of the phase-1
+    exchange.
+
+    Each compute node sends its intersections with every aggregator in
+    parallel across nodes, serially on its own NIC — the standard
+    alpha-beta model of an irregular all-to-all.
+    """
+    net = cluster.network.model
+    per_sender: Dict[int, float] = {}
+    messages = 0
+    off_node_bytes = 0
+    for t in plan.transfers:
+        nbytes = t.bytes_in_file(length)
+        if nbytes == 0:
+            continue
+        if t.src_element == t.dst_element:
+            continue  # stays in the process's own memory
+        messages += 1
+        off_node_bytes += nbytes
+        per_sender[t.src_element] = per_sender.get(
+            t.src_element, 0.0
+        ) + net.transfer_time(nbytes)
+    return messages, off_node_bytes, max(per_sender.values(), default=0.0)
+
+
+def two_phase_write(
+    fs: Clusterfile,
+    name: str,
+    accesses: Sequence[tuple],
+    aggregators: int | None = None,
+    to_disk: bool = False,
+) -> CollectiveResult:
+    """Collective write: shuffle to file-domain aggregators, then write.
+
+    ``accesses`` is the same ``(compute_node, view_offset, data)`` list
+    :meth:`Clusterfile.write` takes; all participating views must belong
+    to the same logical partition, every view must participate, and the
+    written intervals must jointly tile a whole number of logical
+    periods starting at offset 0 (the aligned collective-buffering
+    case).  Aggregators default to one per compute node.
+    """
+    cfile = fs.open(name)
+    views = [fs.view_of(name, node) for node, _, _ in accesses]
+    logical = views[0].logical
+    if any(v.logical != logical for v in views[1:]):
+        raise ValueError("collective accesses must share one logical partition")
+    if {v.element for v in views} != set(range(logical.num_elements)):
+        raise ValueError("every element of the logical partition must take part")
+    if any(off != 0 for _, off, _ in accesses):
+        raise ValueError("aligned collective writes start at view offset 0")
+
+    sizes = {
+        node: np.asarray(data).size for node, _, data in accesses
+    }
+    periods = {
+        node: sizes[node] / logical.element_size(
+            fs.view_of(name, node).element
+        )
+        for node in sizes
+    }
+    k = periods[accesses[0][0]]
+    if any(p != k for p in periods.values()) or k != int(k) or k < 1:
+        raise ValueError(
+            "accesses must cover the same whole number of logical periods"
+        )
+    length = logical.displacement + int(k) * logical.size
+
+    if aggregators is None:
+        aggregators = fs.config.compute_nodes
+
+    # Phase 1: memory-memory redistribution onto the file domain.
+    domain = file_domain_partition(
+        length - logical.displacement, aggregators, logical.displacement
+    )
+    plan = build_plan(logical, domain)
+    src_buffers: List[np.ndarray] = [None] * logical.num_elements  # type: ignore
+    for node, _, data in accesses:
+        element = fs.view_of(name, node).element
+        src_buffers[element] = np.ascontiguousarray(
+            data, dtype=np.uint8
+        ).reshape(-1)
+    agg_buffers = execute_plan(plan, src_buffers, length)
+    messages, off_bytes, shuffle_s = _shuffle_cost(fs.cluster, plan, length)
+
+    # Phase 2: aggregators write their contiguous chunks.
+    for a in range(domain.num_elements):
+        fs.set_view(name, a % fs.config.compute_nodes, domain, element=a)
+    write_accesses = [
+        (a % fs.config.compute_nodes, 0, agg_buffers[a])
+        for a in range(domain.num_elements)
+        if agg_buffers[a].size
+    ]
+    result = fs.write(name, write_accesses, to_disk=to_disk)
+
+    # Restore the callers' views (phase 2 clobbered them).
+    for v in views:
+        fs.views[(name, v.compute_node)] = v
+
+    # Fragments the file system scattered in phase 2 (per period of the
+    # domain-vs-physical schedule) - the number the direct write would
+    # compare against.
+    fragments = sum(
+        t.dst_fragments_per_period
+        for t in build_plan(domain, cfile.physical).transfers
+    )
+    return CollectiveResult(
+        shuffle_messages=messages,
+        shuffle_bytes=off_bytes,
+        shuffle_time_s=shuffle_s,
+        write=result,
+        scatter_fragments=fragments,
+    )
+
+
+def two_phase_read(
+    fs: Clusterfile,
+    name: str,
+    requests: Sequence[tuple],
+    aggregators: int | None = None,
+    from_disk: bool = False,
+) -> Tuple[List[np.ndarray], CollectiveResult]:
+    """Collective read: aggregators stream contiguous chunks, then the
+    data shuffles out to the callers' views (the mirror of
+    :func:`two_phase_write`).
+
+    ``requests`` is a list of ``(compute_node, view_offset, length)``
+    like :meth:`Clusterfile.read` takes, under the same alignment rules
+    as the collective write.  Returns the per-caller buffers plus the
+    traffic/timing record.
+    """
+    views = [fs.view_of(name, node) for node, _, _ in requests]
+    logical = views[0].logical
+    if any(v.logical != logical for v in views[1:]):
+        raise ValueError("collective accesses must share one logical partition")
+    if {v.element for v in views} != set(range(logical.num_elements)):
+        raise ValueError("every element of the logical partition must take part")
+    if any(off != 0 for _, off, _ in requests):
+        raise ValueError("aligned collective reads start at view offset 0")
+    lengths = {node: length for node, _, length in requests}
+    periods = {
+        node: lengths[node]
+        / logical.element_size(fs.view_of(name, node).element)
+        for node in lengths
+    }
+    k = periods[requests[0][0]]
+    if any(p != k for p in periods.values()) or k != int(k) or k < 1:
+        raise ValueError(
+            "accesses must cover the same whole number of logical periods"
+        )
+    length = logical.displacement + int(k) * logical.size
+
+    if aggregators is None:
+        aggregators = fs.config.compute_nodes
+    domain = file_domain_partition(
+        length - logical.displacement, aggregators, logical.displacement
+    )
+
+    # Phase 1: aggregators read their contiguous file chunks.
+    for a in range(domain.num_elements):
+        fs.set_view(name, a % fs.config.compute_nodes, domain, element=a)
+    read_requests = [
+        (
+            a % fs.config.compute_nodes,
+            0,
+            domain.element_length(a, length),
+        )
+        for a in range(domain.num_elements)
+    ]
+    agg_buffers, result = fs.read_with_result(
+        name,
+        [(n, o, ln) for n, o, ln in read_requests if ln],
+        from_disk=from_disk,
+    )
+
+    # Phase 2: shuffle from the file domain to the callers' views.
+    plan = build_plan(domain, logical)
+    out_by_element = execute_plan(plan, agg_buffers, length)
+    messages, off_bytes, shuffle_s = _shuffle_cost(fs.cluster, plan, length)
+
+    # Restore the callers' views.
+    for v in views:
+        fs.views[(name, v.compute_node)] = v
+
+    cfile = fs.open(name)
+    fragments = sum(
+        t.src_fragments_per_period
+        for t in build_plan(cfile.physical, domain).transfers
+    )
+    buffers = [
+        out_by_element[fs.view_of(name, node).element] for node, _, _ in requests
+    ]
+    return buffers, CollectiveResult(
+        shuffle_messages=messages,
+        shuffle_bytes=off_bytes,
+        shuffle_time_s=shuffle_s,
+        write=result,
+        scatter_fragments=fragments,
+    )

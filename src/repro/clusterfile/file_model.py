@@ -1,0 +1,113 @@
+"""Clusterfile's file model: physically partitioned files.
+
+A Clusterfile file is a linear byte sequence physically partitioned into
+subfiles by a partitioning pattern (paper §5, §8).  Each subfile is a
+linear-addressable byte store living on one I/O node's disk; this module
+keeps the subfile *contents* (NumPy buffers that grow on demand) while
+the devices that make access cost time live in
+:mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..core.partition import Partition
+
+__all__ = ["SubfileStore", "ClusterFile"]
+
+
+class SubfileStore:
+    """One subfile's byte contents, growable, zero-filled like a sparse
+    POSIX file."""
+
+    def __init__(self, subfile: int):
+        self.subfile = subfile
+        self._data = np.zeros(0, dtype=np.uint8)
+        self.length = 0
+
+    def _ensure(self, length: int) -> None:
+        if length > self._data.size:
+            grown = np.zeros(max(length, 2 * self._data.size), dtype=np.uint8)
+            grown[: self._data.size] = self._data
+            self._data = grown
+        self.length = max(self.length, length)
+
+    def view(self, lo: int, hi: int) -> np.ndarray:
+        """A writable window ``[lo, hi]`` of the subfile (grows it)."""
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad subfile window [{lo}, {hi}]")
+        self._ensure(hi + 1)
+        return self._data[lo : hi + 1]
+
+    def read(self, lo: int, hi: int) -> np.ndarray:
+        """A copy of ``[lo, hi]``; bytes beyond EOF read as zero."""
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad subfile window [{lo}, {hi}]")
+        out = np.zeros(hi - lo + 1, dtype=np.uint8)
+        avail = min(self.length, hi + 1)
+        if avail > lo:
+            out[: avail - lo] = self._data[lo:avail]
+        return out
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data[: self.length]
+
+
+@dataclass
+class ClusterFile:
+    """An open Clusterfile file: displacement + physical partition +
+    per-subfile stores."""
+
+    name: str
+    physical: Partition
+    stores: List[SubfileStore] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.stores:
+            self.stores = [
+                SubfileStore(s) for s in range(self.physical.num_elements)
+            ]
+
+    @property
+    def displacement(self) -> int:
+        return self.physical.displacement
+
+    @property
+    def num_subfiles(self) -> int:
+        return self.physical.num_elements
+
+    def file_length(self) -> int:
+        """Logical file length implied by the subfile lengths."""
+        best = self.displacement
+        for s, store in enumerate(self.stores):
+            if store.length == 0:
+                continue
+            from ..core.mapping import unmap_offset
+
+            best = max(best, unmap_offset(self.physical, s, store.length - 1) + 1)
+        return best
+
+    def linear_contents(self, length: int | None = None) -> np.ndarray:
+        """Assemble the file's linear bytes (for verification and tools).
+
+        Bytes before the displacement read as zero, as do holes.
+        """
+        from ..core.mapping import ElementMapper
+
+        if length is None:
+            length = self.file_length()
+        out = np.zeros(length, dtype=np.uint8)
+        for s, store in enumerate(self.stores):
+            n = min(store.length, self.physical.element_length(s, length))
+            if n == 0:
+                continue
+            mapper = ElementMapper(self.physical, s)
+            offsets = mapper.unmap_many(np.arange(n, dtype=np.int64))
+            keep = offsets < length
+            out[offsets[keep]] = store.data[:n][keep]
+        return out

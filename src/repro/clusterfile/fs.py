@@ -1,0 +1,172 @@
+"""The Clusterfile facade: create files, set views, read and write.
+
+Ties the pieces together the way an application would use the paper's
+system:
+
+1. create a file with a physical partitioning pattern (subfiles land on
+   the simulated I/O nodes round-robin);
+2. each compute node sets a view with a logical pattern — paying ``t_i``
+   once;
+3. compute nodes write/read view intervals; the file system maps, moves
+   and times the data.
+
+The facade also exposes whole-array helpers used by the benchmarks and
+examples (write a matrix through views, read it back linearly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.partition import Partition
+from ..simulation.cluster import Cluster, ClusterConfig
+from .client import OperationResult, WriteRequest, parallel_read, parallel_write
+from .file_model import ClusterFile
+from .view import View, set_view
+
+__all__ = ["Clusterfile"]
+
+
+@dataclass
+class Clusterfile:
+    """A simulated Clusterfile deployment.
+
+    ``storage`` selects where subfile *contents* live — in memory (the
+    default) or in real files via
+    :class:`repro.clusterfile.storage.FileStorage`; timings always come
+    from the era device models either way.
+    """
+
+    config: ClusterConfig = field(default_factory=ClusterConfig)
+    storage: object = None
+
+    def __post_init__(self) -> None:
+        self.cluster = Cluster(self.config)
+        self.files: Dict[str, ClusterFile] = {}
+        self.views: Dict[tuple, View] = {}
+        if self.storage is None:
+            from .storage import MemoryStorage
+
+            self.storage = MemoryStorage()
+
+    # -- namespace -----------------------------------------------------------
+
+    def create(self, name: str, physical: Partition) -> ClusterFile:
+        """Create a file physically partitioned by ``physical``."""
+        if name in self.files:
+            raise FileExistsError(name)
+        if physical.num_elements > self.config.io_nodes * 64:
+            raise ValueError("too many subfiles for this cluster")
+        stores = [
+            self.storage.make_store(name, s)
+            for s in range(physical.num_elements)
+        ]
+        f = ClusterFile(name=name, physical=physical, stores=stores)
+        self.files[name] = f
+        return f
+
+    def open(self, name: str) -> ClusterFile:
+        """Look up an existing file (KeyError when absent)."""
+        return self.files[name]
+
+    def unlink(self, name: str) -> None:
+        """Remove a file and its subfile stores."""
+        del self.files[name]
+
+    # -- views ---------------------------------------------------------------
+
+    def set_view(
+        self,
+        name: str,
+        compute_node: int,
+        logical: Partition,
+        element: int | None = None,
+    ) -> View:
+        """Set a view for a compute node (element defaults to the node's
+        index, the common SPMD idiom)."""
+        f = self.open(name)
+        if not 0 <= compute_node < self.config.compute_nodes:
+            raise ValueError(f"no compute node {compute_node}")
+        e = compute_node if element is None else element
+        view = set_view(compute_node, logical, e, f.physical)
+        self.views[(name, compute_node)] = view
+        return view
+
+    def view_of(self, name: str, compute_node: int) -> View:
+        """The view a compute node currently has set on a file."""
+        return self.views[(name, compute_node)]
+
+    # -- data operations -------------------------------------------------
+
+    def write(
+        self,
+        name: str,
+        accesses: Sequence[tuple],
+        to_disk: bool = False,
+    ) -> OperationResult:
+        """Concurrent view writes: ``accesses`` is a list of
+        ``(compute_node, view_offset, data)`` triples."""
+        f = self.open(name)
+        requests = [
+            WriteRequest(
+                view=self.view_of(name, node),
+                lo=off,
+                hi=off + np.asarray(data).size - 1,
+                buf=np.ascontiguousarray(data, dtype=np.uint8).reshape(-1),
+            )
+            for node, off, data in accesses
+        ]
+        return parallel_write(self.cluster, f, requests, to_disk=to_disk)
+
+    def read(
+        self,
+        name: str,
+        accesses: Sequence[tuple],
+        from_disk: bool = False,
+    ) -> List[np.ndarray]:
+        """Concurrent view reads: ``accesses`` is a list of
+        ``(compute_node, view_offset, length)``; returns the buffers."""
+        f = self.open(name)
+        buffers = [np.zeros(length, dtype=np.uint8) for _, _, length in accesses]
+        requests = [
+            WriteRequest(
+                view=self.view_of(name, node),
+                lo=off,
+                hi=off + length - 1,
+                buf=buf,
+            )
+            for (node, off, length), buf in zip(accesses, buffers)
+        ]
+        parallel_read(self.cluster, f, requests, from_disk=from_disk)
+        return buffers
+
+    def read_with_result(
+        self,
+        name: str,
+        accesses: Sequence[tuple],
+        from_disk: bool = False,
+    ) -> tuple:
+        """Like :meth:`read` but also returns the
+        :class:`OperationResult` timings."""
+        f = self.open(name)
+        buffers = [np.zeros(length, dtype=np.uint8) for _, _, length in accesses]
+        requests = [
+            WriteRequest(
+                view=self.view_of(name, node),
+                lo=off,
+                hi=off + length - 1,
+                buf=buf,
+            )
+            for (node, off, length), buf in zip(accesses, buffers)
+        ]
+        result = parallel_read(self.cluster, f, requests, from_disk=from_disk)
+        return buffers, result
+
+    # -- verification helpers --------------------------------------------
+
+    def linear_contents(self, name: str, length: int | None = None) -> np.ndarray:
+        """Assemble the file's linear byte contents (verification aid)."""
+        return self.open(name).linear_contents(length)

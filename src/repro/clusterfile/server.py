@@ -1,0 +1,130 @@
+"""The I/O server side of Clusterfile data operations (paper §8.1).
+
+Each I/O node runs one server owning one subfile.  A write request
+carries the subfile window ``[l_S, r_S]`` and the payload; the server
+either writes it contiguously (when ``PROJ_S(V ∩ S)`` is contiguous in
+the window) or scatters it through the projection — the second
+pseudocode fragment of §8.1.  Reads are the mirror image.
+
+Two things happen per request:
+
+* the **real** bytes move into/out of the :class:`SubfileStore`
+  (verified byte-exactly by the tests), and
+* the **modelled** cost is computed from the era device models: a
+  buffer-cache copy with a per-run penalty, plus — in write-through
+  mode — a disk write of the dirty runs with seek/rotation accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.periodic import PeriodicFallsSet
+from ..redistribution.gather_scatter import gather_segments, scatter_segments
+from ..simulation.cluster import ClusterConfig, IONode
+from ..simulation.disk import write_time_for_segments
+from .file_model import SubfileStore
+
+__all__ = ["RequestCost", "IOServer"]
+
+
+@dataclass(frozen=True)
+class RequestCost:
+    """Modelled device cost of one server request (seconds)."""
+
+    cache_s: float
+    disk_s: float
+    nbytes: int
+    runs: int
+
+
+class IOServer:
+    """One subfile's server, bound to an I/O node's devices."""
+
+    def __init__(self, node: IONode, store: SubfileStore, config: ClusterConfig):
+        self.node = node
+        self.store = store
+        self.config = config
+
+    # -- write ---------------------------------------------------------------
+
+    def write(
+        self,
+        l_s: int,
+        r_s: int,
+        payload: np.ndarray,
+        proj_subfile: PeriodicFallsSet,
+        to_disk: bool,
+    ) -> RequestCost:
+        """Handle one write request (§8.1, second pseudocode fragment)."""
+        if r_s < l_s:
+            raise ValueError(f"bad subfile window [{l_s}, {r_s}]")
+        segs = proj_subfile.segments_in(l_s, r_s)
+        starts, lengths = segs
+        nbytes = int(lengths.sum()) if lengths.size else 0
+        if nbytes != payload.size:
+            raise ValueError(
+                f"payload holds {payload.size} bytes but the projection "
+                f"selects {nbytes} in [{l_s}, {r_s}]"
+            )
+        if nbytes == 0:
+            return RequestCost(0.0, 0.0, 0, 0)
+        window = self.store.view(l_s, r_s)
+        contiguous = starts.size == 1 and lengths[0] == r_s - l_s + 1
+        if contiguous:
+            window[:] = payload
+            runs = 1
+            if self.config.contiguous_write_optimized:
+                cache_s = 0.0  # straight from the NIC into the cache
+            else:
+                cache_s = self.config.memory.copy_time(nbytes, runs=1)
+        else:
+            scatter_segments(window, (starts - l_s, lengths), payload)
+            runs = int(starts.size)
+            cache_s = self.config.memory.copy_time(nbytes, runs=runs)
+        self.node.cache.write_runs(
+            f"subfile{self.store.subfile}",
+            list(zip((starts).tolist(), lengths.tolist())),
+        )
+        disk_s = 0.0
+        if to_disk:
+            disk_s = write_time_for_segments(
+                self.node.disk, zip(starts.tolist(), lengths.tolist())
+            )
+        return RequestCost(cache_s, disk_s, nbytes, runs)
+
+    # -- read ----------------------------------------------------------------
+
+    def read(
+        self,
+        l_s: int,
+        r_s: int,
+        proj_subfile: PeriodicFallsSet,
+        from_disk: bool,
+    ) -> Tuple[np.ndarray, RequestCost]:
+        """Handle one read request: gather the projected bytes of the
+        window into a reply payload."""
+        if r_s < l_s:
+            raise ValueError(f"bad subfile window [{l_s}, {r_s}]")
+        segs = proj_subfile.segments_in(l_s, r_s)
+        starts, lengths = segs
+        nbytes = int(lengths.sum()) if lengths.size else 0
+        if nbytes == 0:
+            return np.empty(0, dtype=np.uint8), RequestCost(0.0, 0.0, 0, 0)
+        window = self.store.read(l_s, r_s)
+        payload = gather_segments(window, (starts - l_s, lengths))
+        runs = int(starts.size)
+        contiguous = runs == 1 and lengths[0] == r_s - l_s + 1
+        if contiguous and self.config.contiguous_write_optimized:
+            cache_s = 0.0
+        else:
+            cache_s = self.config.memory.copy_time(nbytes, runs=runs)
+        disk_s = 0.0
+        if from_disk:
+            disk_s = write_time_for_segments(
+                self.node.disk, zip(starts.tolist(), lengths.tolist())
+            )
+        return payload, RequestCost(cache_s, disk_s, nbytes, runs)

@@ -1,0 +1,119 @@
+"""Subfile storage backends: in-memory and real files on disk.
+
+The simulator keeps subfiles in memory by default (fast, hermetic), but
+a parallel file system ultimately puts bytes on storage.  This module
+adds a second backend that keeps each subfile in a real file on the
+local filesystem via ``numpy.memmap`` — same interface, real
+persistence — and a factory so :class:`~repro.clusterfile.fs.Clusterfile`
+deployments can choose per instance.
+
+Note the division of labour: the *timing* of disk access always comes
+from the era cost models (we are reproducing 2002 hardware), while the
+*contents* can live wherever the backend puts them.  The file backend
+exists for persistence and for realism of the data path, not for
+timing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol
+
+import numpy as np
+
+from .file_model import SubfileStore
+
+__all__ = ["Storage", "MemoryStorage", "FileStorage", "FileBackedStore"]
+
+
+class Storage(Protocol):
+    """Factory for per-subfile stores."""
+
+    def make_store(self, file_name: str, subfile: int) -> SubfileStore: ...
+
+
+class MemoryStorage:
+    """The default: growable NumPy arrays (see SubfileStore)."""
+
+    def make_store(self, file_name: str, subfile: int) -> SubfileStore:
+        return SubfileStore(subfile)
+
+
+class FileBackedStore(SubfileStore):
+    """A subfile stored in a real file, grown and memory-mapped on
+    demand.  Data written through :meth:`view` persists on close."""
+
+    #: Growth quantum; real file systems allocate in extents too.
+    CHUNK = 64 * 1024
+
+    def __init__(self, subfile: int, path: str):
+        self.subfile = subfile
+        self.path = path
+        self.length = 0
+        self._map: np.memmap | None = None
+        if os.path.exists(path):
+            size = os.path.getsize(path)
+            if size:
+                self._map = np.memmap(path, dtype=np.uint8, mode="r+")
+                self.length = size
+
+    def _capacity(self) -> int:
+        return 0 if self._map is None else int(self._map.size)
+
+    def _ensure(self, length: int) -> None:
+        if length > self._capacity():
+            new_cap = max(
+                length,
+                2 * self._capacity(),
+                self.CHUNK,
+            )
+            # Round to the growth quantum.
+            new_cap = -(-new_cap // self.CHUNK) * self.CHUNK
+            if self._map is not None:
+                self._map.flush()
+                del self._map
+            with open(self.path, "ab") as fh:
+                fh.truncate(new_cap)
+            self._map = np.memmap(self.path, dtype=np.uint8, mode="r+")
+        self.length = max(self.length, length)
+
+    def view(self, lo: int, hi: int) -> np.ndarray:
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad subfile window [{lo}, {hi}]")
+        self._ensure(hi + 1)
+        assert self._map is not None
+        return self._map[lo : hi + 1]
+
+    def read(self, lo: int, hi: int) -> np.ndarray:
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad subfile window [{lo}, {hi}]")
+        out = np.zeros(hi - lo + 1, dtype=np.uint8)
+        avail = min(self.length, hi + 1)
+        if self._map is not None and avail > lo:
+            out[: avail - lo] = self._map[lo:avail]
+        return out
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._map is None:
+            return np.zeros(0, dtype=np.uint8)
+        return np.asarray(self._map[: self.length])
+
+    def flush(self) -> None:
+        if self._map is not None:
+            self._map.flush()
+
+
+class FileStorage:
+    """Keeps every subfile as ``<root>/<file>.subfile<k>`` on disk."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def path_for(self, file_name: str, subfile: int) -> str:
+        safe = file_name.replace(os.sep, "_")
+        return os.path.join(self.root, f"{safe}.subfile{subfile}")
+
+    def make_store(self, file_name: str, subfile: int) -> SubfileStore:
+        return FileBackedStore(subfile, self.path_for(file_name, subfile))

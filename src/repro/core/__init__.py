@@ -1,0 +1,52 @@
+"""Core parallel-file model: FALLS algebra, mapping, intersection."""
+
+from .falls import Falls, FallsSet, LineSegment, falls_from_segment
+from .partition import Partition, PartitionError
+from .mapping import (
+    ElementMapper,
+    MappingError,
+    map_between,
+    map_offset,
+    unmap_offset,
+)
+from .algebra import complement, difference, partition_from_elements, same_bytes, union
+from .cut import cut_falls
+from .matching import MatchingReport, matching_degree
+from .intersect_flat import intersect_falls
+from .intersect_nested import (
+    cut_nested_set,
+    intersect_elements,
+    intersect_nested_sets,
+    intersect_partitions,
+)
+from .periodic import PeriodicFallsSet
+from .projection import project
+
+__all__ = [
+    "ElementMapper",
+    "MatchingReport",
+    "Falls",
+    "FallsSet",
+    "LineSegment",
+    "MappingError",
+    "Partition",
+    "PartitionError",
+    "PeriodicFallsSet",
+    "complement",
+    "cut_falls",
+    "cut_nested_set",
+    "difference",
+    "falls_from_segment",
+    "intersect_elements",
+    "intersect_falls",
+    "intersect_nested_sets",
+    "intersect_partitions",
+    "map_between",
+    "map_offset",
+    "matching_degree",
+    "partition_from_elements",
+    "same_bytes",
+    "union",
+    "project",
+    "unmap_offset",
+]

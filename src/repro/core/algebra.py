@@ -1,0 +1,157 @@
+"""Set algebra on FALLS families.
+
+The paper's machinery needs only intersection, but a usable library
+wants the rest of the boolean algebra: complement (the bytes of a
+pattern *not* owned by an element — how the remaining elements of a
+partition are often defined), union and difference of disjoint/arbitrary
+selections, and byte-set equality (two structurally different FALLS can
+select the same bytes; equality must compare semantics, not syntax).
+
+Everything here works on the leaf-segment representation and returns
+run-compressed FALLS, so results are exact and reasonably compact even
+when the inputs' nesting cannot be preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .falls import Falls, FallsSet
+from .normalize import falls_set_from_segments
+from .partition import Partition
+from .segments import (
+    SegmentArrays,
+    leaf_segment_arrays_set,
+    merge_segment_arrays,
+)
+
+__all__ = [
+    "complement",
+    "union",
+    "difference",
+    "same_bytes",
+    "partition_from_elements",
+]
+
+
+def _segs(falls: Iterable[Falls]) -> SegmentArrays:
+    return merge_segment_arrays(leaf_segment_arrays_set(falls))
+
+
+def _subtract(a: SegmentArrays, b: SegmentArrays) -> SegmentArrays:
+    """Segments of ``a`` minus segments of ``b`` (both sorted/merged)."""
+    a_starts, a_lengths = a
+    if a_starts.size == 0:
+        return a
+    b_starts, b_lengths = b
+    out_starts: List[int] = []
+    out_stops: List[int] = []
+    bi = 0
+    b_list = list(zip(b_starts.tolist(), (b_starts + b_lengths - 1).tolist()))
+    for s, ln in zip(a_starts.tolist(), a_lengths.tolist()):
+        stop = s + ln - 1
+        cur = s
+        while bi < len(b_list) and b_list[bi][1] < cur:
+            bi += 1
+        bj = bi
+        while cur <= stop:
+            if bj >= len(b_list) or b_list[bj][0] > stop:
+                out_starts.append(cur)
+                out_stops.append(stop)
+                break
+            bs, be = b_list[bj]
+            if bs > cur:
+                out_starts.append(cur)
+                out_stops.append(bs - 1)
+            cur = max(cur, be + 1)
+            bj += 1
+    starts = np.array(out_starts, dtype=np.int64)
+    stops = np.array(out_stops, dtype=np.int64)
+    return starts, stops - starts + 1
+
+
+def complement(
+    falls: Iterable[Falls] | FallsSet, within: int
+) -> FallsSet:
+    """The bytes of ``[0, within)`` not selected by ``falls``.
+
+    This is how "the rest of the pattern" is built when defining a
+    partition by one interesting element plus filler.
+    """
+    if within < 1:
+        raise ValueError(f"'within' must be >= 1, got {within}")
+    falls_list = list(falls.falls if isinstance(falls, FallsSet) else falls)
+    whole = (
+        np.array([0], dtype=np.int64),
+        np.array([within], dtype=np.int64),
+    )
+    segs = _segs(falls_list)
+    if segs[0].size and int(segs[0][-1] + segs[1][-1]) > within:
+        raise ValueError(
+            f"selection reaches byte {int(segs[0][-1] + segs[1][-1] - 1)}, "
+            f"outside [0, {within})"
+        )
+    return falls_set_from_segments(_subtract(whole, segs))
+
+
+def union(*families: Iterable[Falls] | FallsSet) -> FallsSet:
+    """Union of byte selections (inputs need not be disjoint)."""
+    all_falls: List[Falls] = []
+    for fam in families:
+        all_falls.extend(fam.falls if isinstance(fam, FallsSet) else fam)
+    if not all_falls:
+        return FallsSet(())
+    starts, lengths = leaf_segment_arrays_set(all_falls)
+    order = np.argsort(starts, kind="stable")
+    return falls_set_from_segments(
+        merge_segment_arrays((starts[order], lengths[order]))
+    )
+
+
+def difference(
+    a: Iterable[Falls] | FallsSet, b: Iterable[Falls] | FallsSet
+) -> FallsSet:
+    """Bytes selected by ``a`` but not by ``b``."""
+    fa = list(a.falls if isinstance(a, FallsSet) else a)
+    fb = list(b.falls if isinstance(b, FallsSet) else b)
+    return falls_set_from_segments(_subtract(_segs(fa), _segs(fb)))
+
+
+def same_bytes(
+    a: Iterable[Falls] | FallsSet, b: Iterable[Falls] | FallsSet
+) -> bool:
+    """Do two (possibly structurally different) families select exactly
+    the same bytes?"""
+    fa = list(a.falls if isinstance(a, FallsSet) else a)
+    fb = list(b.falls if isinstance(b, FallsSet) else b)
+    sa, sb = _segs(fa), _segs(fb)
+    return (
+        sa[0].size == sb[0].size
+        and bool(np.all(sa[0] == sb[0]))
+        and bool(np.all(sa[1] == sb[1]))
+    )
+
+
+def partition_from_elements(
+    elements: Sequence[Iterable[Falls] | FallsSet],
+    displacement: int = 0,
+    fill_last: bool = False,
+) -> Partition:
+    """Build a partition from explicit elements, optionally adding a
+    final element owning every unclaimed byte of the pattern.
+
+    With ``fill_last=True`` the pattern size is taken from the maximum
+    extent of the given elements and a complement element is appended —
+    the convenient way to write "this view, and everything else".
+    """
+    sets: List[FallsSet] = [
+        e if isinstance(e, FallsSet) else FallsSet(tuple(e)) for e in elements
+    ]
+    if fill_last:
+        size = max((s.extent_stop + 1 for s in sets if s), default=0)
+        rest = complement(union(*sets), size)
+        if not rest.is_empty:
+            sets.append(rest)
+    return Partition(sets, displacement=displacement)

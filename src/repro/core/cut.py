@@ -1,0 +1,138 @@
+"""CUT-FALLS: clipping a FALLS to a window (paper §7).
+
+``CUT-FALLS(f, a, b)`` computes the set of FALLS resulting from cutting a
+FALLS ``f`` between an inferior limit ``a`` and a superior limit ``b``,
+with the result expressed **relative to** ``a``.
+
+The paper's example — cutting ``(3, 5, 6, 5)`` between 4 and 28 — yields
+``{(0,1,2,1), (5,7,6,3), (23,24,2,1)}``: a clipped first block, a run of
+untouched full blocks, and a clipped last block.
+
+The nested intersection algorithm additionally needs to know, for every
+resulting piece, *where inside the original block* the piece starts (the
+in-block offset), so that inner FALLS can be intersected in
+block-relative coordinates; :func:`cut_falls_pieces` returns that
+provenance alongside each piece.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .falls import Falls
+
+__all__ = ["CutPiece", "cut_falls", "cut_falls_pieces"]
+
+
+@dataclass(frozen=True)
+class CutPiece:
+    """One flat FALLS produced by cutting, with provenance.
+
+    Attributes
+    ----------
+    falls:
+        The piece, in coordinates relative to the cut's inferior limit
+        ``a``.  Inner FALLS of the source are *not* attached — nested
+        content is handled by the caller via :attr:`offset`.
+    offset:
+        Offset of the piece's block start within the source FALLS' block:
+        0 for untouched blocks, positive when the block was clipped on
+        the left.
+    first_block:
+        Index (within the source FALLS) of the first source block this
+        piece covers.
+    """
+
+    falls: Falls
+    offset: int
+    first_block: int
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def cut_falls_pieces(f: Falls, a: int, b: int) -> List[CutPiece]:
+    """Cut the flat structure of ``f`` between ``a`` and ``b``.
+
+    Pieces are returned in increasing coordinate order, re-based to ``a``.
+    Full interior blocks are grouped into a single multi-block piece;
+    clipped boundary blocks become singleton pieces.  An empty list means
+    the window selects nothing.
+    """
+    if b < a:
+        return []
+    blen = f.block_length
+    if b < f.l or a > f.extent_stop:
+        return []
+    # First block whose stop >= a, last block whose start <= b.
+    k_first = max(0, _ceil_div(a - f.l - (blen - 1), f.s))
+    k_last = min(f.n - 1, (b - f.l) // f.s)
+    if k_first > k_last:
+        return []
+
+    pieces: List[CutPiece] = []
+
+    def block_bounds(k: int) -> Tuple[int, int]:
+        start = f.l + k * f.s
+        return start, start + blen - 1
+
+    def clipped(k: int) -> Tuple[int, int, int]:
+        bs, be = block_bounds(k)
+        lo = max(a, bs)
+        hi = min(b, be)
+        return lo, hi, lo - bs
+
+    first_lo, first_hi, first_off = clipped(k_first)
+    first_is_full = first_off == 0 and first_hi - first_lo + 1 == blen
+    last_lo, last_hi, last_off = clipped(k_last)
+    last_is_full = last_off == 0 and last_hi - last_lo + 1 == blen
+
+    if k_first == k_last:
+        pieces.append(
+            CutPiece(
+                Falls(first_lo - a, first_hi - a, first_hi - first_lo + 1, 1),
+                first_off,
+                k_first,
+            )
+        )
+        return pieces
+
+    run_start = k_first
+    run_stop = k_last
+    if not first_is_full:
+        pieces.append(
+            CutPiece(
+                Falls(first_lo - a, first_hi - a, first_hi - first_lo + 1, 1),
+                first_off,
+                k_first,
+            )
+        )
+        run_start = k_first + 1
+    if not last_is_full:
+        run_stop = k_last - 1
+    if run_start <= run_stop:
+        bs, be = block_bounds(run_start)
+        pieces.append(
+            CutPiece(
+                Falls(bs - a, be - a, f.s, run_stop - run_start + 1),
+                0,
+                run_start,
+            )
+        )
+    if not last_is_full:
+        pieces.append(
+            CutPiece(
+                Falls(last_lo - a, last_hi - a, last_hi - last_lo + 1, 1),
+                last_off,
+                k_last,
+            )
+        )
+    return pieces
+
+
+def cut_falls(f: Falls, a: int, b: int) -> List[Falls]:
+    """The paper's CUT-FALLS: the flat pieces of ``f`` within ``[a, b]``,
+    relative to ``a``."""
+    return [p.falls for p in cut_falls_pieces(f, a, b)]

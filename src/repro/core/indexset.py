@@ -1,0 +1,77 @@
+"""Reference semantics: explicit byte-index sets for FALLS structures.
+
+Every structural algorithm in :mod:`repro.core` (mapping, cut,
+intersection, projection) has a brute-force counterpart here that
+materialises the exact set of byte offsets a structure selects.  The test
+suite asserts that the fast structural algorithms agree with these
+oracles; the oracles themselves are deliberately simple enough to audit
+by eye against the paper's definitions.
+
+These functions materialise one NumPy ``int64`` index per selected byte,
+so they are only suitable for small instances (tests, examples, paper
+figures) — the production code paths never call them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .falls import Falls, FallsSet
+
+__all__ = [
+    "falls_indices",
+    "falls_set_indices",
+    "pattern_element_indices",
+    "indices_to_offsets_map",
+]
+
+
+def falls_indices(falls: Falls) -> np.ndarray:
+    """All byte offsets selected by a nested FALLS, sorted ascending."""
+    block_starts = falls.l + falls.s * np.arange(falls.n, dtype=np.int64)
+    if falls.is_leaf:
+        within = np.arange(falls.block_length, dtype=np.int64)
+    else:
+        within = falls_set_indices(falls.inner)
+    return np.sort((block_starts[:, None] + within[None, :]).reshape(-1))
+
+
+def falls_set_indices(falls_set: Iterable[Falls]) -> np.ndarray:
+    """All byte offsets selected by a set of nested FALLS, sorted."""
+    parts = [falls_indices(f) for f in falls_set]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(parts))
+
+
+def pattern_element_indices(
+    element: FallsSet,
+    pattern_size: int,
+    displacement: int,
+    file_length: int,
+) -> np.ndarray:
+    """File offsets belonging to a partition element of a tiled pattern.
+
+    The partitioning pattern repeats with period ``pattern_size`` starting
+    at ``displacement`` (paper §5); offsets beyond ``file_length`` are
+    dropped, as are offsets before the displacement.
+    """
+    if file_length <= displacement:
+        return np.empty(0, dtype=np.int64)
+    base = falls_set_indices(element)
+    reps = -(-(file_length - displacement) // pattern_size)  # ceil div
+    shifts = displacement + pattern_size * np.arange(reps, dtype=np.int64)
+    tiled = (shifts[:, None] + base[None, :]).reshape(-1)
+    return tiled[tiled < file_length]
+
+
+def indices_to_offsets_map(indices: np.ndarray) -> dict[int, int]:
+    """Map each file offset to its rank within the element's linear space.
+
+    This is the brute-force definition of the paper's ``MAP`` function:
+    the k-th smallest offset of an element maps to element-space
+    offset k.
+    """
+    return {int(off): pos for pos, off in enumerate(indices)}

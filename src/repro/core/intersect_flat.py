@@ -1,0 +1,96 @@
+"""INTERSECT-FALLS: intersection of two flat FALLS (paper §7).
+
+The algorithm — due to Ramaswamy & Banerjee's PITFALLS work and reused by
+the paper — exploits periodicity: the relative alignment of the two
+families repeats with period ``T = lcm(s1, s2)``, so only the pairs of
+line segments whose intersection *starts* within one period window need
+to be examined.  Each such pair ``(i, j)`` then recurs every
+``(T/s1, T/s2)`` blocks, giving a result FALLS with stride ``T`` whose
+repetition count follows from how many recurrences stay within both
+families.
+
+Example from the paper (figure 4)::
+
+    INTERSECT-FALLS((0,7,16,2), (0,3,8,4)) == [(0,3,16,2)]
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .falls import Falls
+
+__all__ = ["intersect_falls"]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _single_block_intersections(single: Falls, family: Falls) -> List[Falls]:
+    """Intersections of a one-block FALLS with an arbitrary FALLS.
+
+    This is exactly CUT-FALLS of the family to the block's window,
+    shifted back to absolute coordinates — a run of untouched interior
+    blocks stays one compact FALLS instead of one FALLS per block.
+    """
+    from .cut import cut_falls  # local import avoids a module cycle
+
+    return [f.shifted(single.l) for f in cut_falls(family, single.l, single.r)]
+
+
+def intersect_falls(f1: Falls, f2: Falls) -> List[Falls]:
+    """Flat FALLS selecting exactly the bytes common to ``f1`` and ``f2``.
+
+    Inner FALLS of the arguments are ignored (the nested algorithm in
+    :mod:`repro.core.intersect_nested` handles them by recursion).  The
+    result list is sorted by left index; result families are pairwise
+    disjoint but may have interleaving footprints (all share the lcm
+    stride).
+    """
+    lo = max(f1.l, f2.l)
+    hi = min(f1.extent_stop, f2.extent_stop)
+    if lo > hi:
+        return []
+    if f1.n == 1:
+        return _single_block_intersections(f1, f2)
+    if f2.n == 1:
+        return [
+            Falls(g.l, g.r, g.s, g.n)
+            for g in _single_block_intersections(f2, f1)
+        ]
+
+    period = math.lcm(f1.s, f2.s)
+    c1 = period // f1.s
+    c2 = period // f2.s
+    window_stop = lo + period  # exclusive
+
+    blen1 = f1.block_length
+    blen2 = f2.block_length
+
+    # Blocks of f1 whose byte range can reach into [lo, window_stop).
+    i_first = max(0, _ceil_div(lo - f1.l - (blen1 - 1), f1.s))
+    i_last = min(f1.n - 1, (window_stop - 1 - f1.l) // f1.s)
+    j_first = max(0, _ceil_div(lo - f2.l - (blen2 - 1), f2.s))
+    j_last = min(f2.n - 1, (window_stop - 1 - f2.l) // f2.s)
+
+    out: List[Falls] = []
+    for i in range(i_first, i_last + 1):
+        a1 = f1.l + i * f1.s
+        b1 = a1 + blen1 - 1
+        for j in range(j_first, j_last + 1):
+            a2 = f2.l + j * f2.s
+            b2 = a2 + blen2 - 1
+            start = max(a1, a2)
+            stop = min(b1, b2)
+            if start > stop:
+                continue
+            if not (lo <= start < window_stop):
+                # This residue class is (or was) enumerated at another
+                # (i, j); skip to avoid duplicates.
+                continue
+            reps = 1 + min((f1.n - 1 - i) // c1, (f2.n - 1 - j) // c2)
+            out.append(Falls(start, stop, period, reps))
+    out.sort(key=lambda f: (f.l, f.r))
+    return out

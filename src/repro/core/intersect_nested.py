@@ -1,0 +1,274 @@
+"""Nested FALLS intersection: PREPROCESS + INTERSECT-AUX (paper §7).
+
+The goal: given two partitions of the same file, compute — for a pair of
+partition elements — the set of nested FALLS representing the bytes the
+two elements have in common, so the data can be redistributed segment by
+segment rather than byte by byte.
+
+Structure of the implementation, following the paper:
+
+``INTERSECT`` (:func:`intersect_elements`)
+    The *PREPROCESS* phase extends both partitioning patterns over a
+    common period — the lowest common multiple of the two pattern sizes —
+    and aligns them at the maximum of the two displacements (rotating the
+    pattern that starts earlier).  The aligned, extended elements are
+    then intersected structurally.
+
+``INTERSECT-AUX`` (:func:`_intersect_windowed`)
+    Recursive tree traversal.  At each level, every FALLS of one set is
+    cut (CUT-FALLS) to the current intersection window, the cut pieces
+    are pairwise flat-intersected (INTERSECT-FALLS), and the recursion
+    descends into the inner FALLS with the intersection window expressed
+    in each side's block-relative coordinates.  Trees are first padded to
+    a common uniform height with semantically neutral wrappers, as the
+    paper prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .cut import cut_falls_pieces
+from .falls import Falls, FallsSet
+from .intersect_flat import intersect_falls
+from .normalize import equalize_set_heights, pad_to_height
+from .partition import Partition
+from .periodic import PeriodicFallsSet
+
+__all__ = [
+    "intersect_nested_sets",
+    "intersect_elements",
+    "intersect_partitions",
+    "cut_nested_set",
+]
+
+
+def _intersect_windowed(
+    set1: Sequence[Falls],
+    l1: int,
+    r1: int,
+    set2: Sequence[Falls],
+    l2: int,
+    r2: int,
+) -> List[Falls]:
+    """The paper's INTERSECT-AUX.
+
+    ``[l1, r1]`` and ``[l2, r2]`` denote the *same* intersection window
+    expressed in the block-relative coordinates of each side (they have
+    equal lengths).  The result is relative to the window start, i.e. a
+    legal inner-FALLS layout for a block of the window's length.
+
+    Both sets must have been padded to the same uniform tree height, so
+    at every level either both sides are leaves or neither is.
+    """
+    assert r1 - l1 == r2 - l2, "intersection windows must have equal lengths"
+    out: List[Falls] = []
+    for f1 in set1:
+        pieces1 = cut_falls_pieces(f1, l1, r1)
+        if not pieces1:
+            continue
+        for f2 in set2:
+            pieces2 = cut_falls_pieces(f2, l2, r2)
+            for p1 in pieces1:
+                for p2 in pieces2:
+                    for g in intersect_falls(p1.falls, p2.falls):
+                        if f1.is_leaf:
+                            out.append(g)
+                            continue
+                        for h in _aligned_splits(g, p1.falls, f1, p2.falls, f2):
+                            # Offset of h's blocks inside the original
+                            # blocks of f1/f2 — constant across h's
+                            # repetitions by construction of the split.
+                            off1 = p1.offset + (
+                                (h.l - p1.falls.l) % p1.falls.s
+                            )
+                            off2 = p2.offset + (
+                                (h.l - p2.falls.l) % p2.falls.s
+                            )
+                            blen = h.block_length
+                            inner = _intersect_windowed(
+                                f1.inner,
+                                off1,
+                                off1 + blen - 1,
+                                f2.inner,
+                                off2,
+                                off2 + blen - 1,
+                            )
+                            if inner:
+                                out.append(h.with_inner(inner))
+    out.sort(key=lambda f: (f.l, f.r, f.s))
+    return out
+
+
+def _is_trivial_chain(inner: Tuple[Falls, ...], block_length: int) -> bool:
+    """True when ``inner`` is a semantically neutral full-coverage chain
+    (the shape :func:`repro.core.normalize.trivial_inner` produces).
+
+    Such inner structure is translation-invariant: cutting it to any
+    window of a given length yields the same relative result, so blocks
+    of an intersection result need not sit at a constant offset inside
+    the parent's blocks.
+    """
+    while True:
+        if len(inner) != 1:
+            return False
+        f = inner[0]
+        if f.n != 1 or f.l != 0 or f.r != block_length - 1:
+            return False
+        if f.is_leaf:
+            return True
+        inner = f.inner
+
+
+def _aligned_splits(
+    g: Falls, p1: Falls, f1: Falls, p2: Falls, f2: Falls
+) -> List[Falls]:
+    """Split a flat intersection result so the inner-window recursion is
+    expressible once per part.
+
+    A multi-block result needs its blocks at a *constant* offset inside
+    the blocks of a source piece, unless that source's inner structure is
+    a trivial full-coverage chain (then the offset is irrelevant).
+    Constant offset holds when the result's stride is a multiple of the
+    piece's stride; otherwise the result is split into single blocks.
+    """
+    if g.n == 1:
+        return [g]
+
+    def side_ok(p: Falls, f: Falls) -> bool:
+        if p.n > 1 and g.s % p.s == 0:
+            return True
+        return _is_trivial_chain(f.inner, f.block_length)
+
+    if side_ok(p1, f1) and side_ok(p2, f2):
+        return [g]
+    return [
+        Falls(g.l + k * g.s, g.r + k * g.s, g.block_length, 1, g.inner)
+        for k in range(g.n)
+    ]
+
+
+def intersect_nested_sets(
+    set1: Sequence[Falls], set2: Sequence[Falls]
+) -> List[Falls]:
+    """Intersect two nested-FALLS sets living in the same coordinate
+    space.  Returns nested FALLS selecting exactly the common bytes."""
+    a, b, _height = equalize_set_heights(tuple(set1), tuple(set2))
+    if not a or not b:
+        return []
+    stop = max(
+        max(f.extent_stop for f in a),
+        max(f.extent_stop for f in b),
+    )
+    return _intersect_windowed(a, 0, stop, b, 0, stop)
+
+
+def cut_nested_set(set1: Sequence[Falls], a: int, b: int) -> List[Falls]:
+    """Cut a nested-FALLS set to the window ``[a, b]``, re-based to ``a``.
+
+    Unlike the flat CUT-FALLS, inner FALLS of partially clipped blocks
+    are clipped too.  Implemented as an intersection with a trivial
+    window FALLS, which routes all the clipping through INTERSECT-AUX.
+    """
+    if b < a or not set1:
+        return []
+    falls = tuple(set1)
+    height = max(f.height() for f in falls)
+    window = pad_to_height(Falls(a, b, b - a + 1, 1), height)
+    padded = tuple(pad_to_height(f, height) for f in falls)
+    stop = max(b, max(f.extent_stop for f in padded))
+    result = _intersect_windowed(padded, 0, stop, (window,), 0, stop)
+    return [f.shifted(-a) for f in result]
+
+
+# ---------------------------------------------------------------------------
+# PREPROCESS and the partition-level entry points.
+# ---------------------------------------------------------------------------
+
+
+def _rotated_element(element: FallsSet, delta: int, pattern_size: int) -> List[Falls]:
+    """The element's per-period structure when the pattern origin moves
+    forward by ``delta`` bytes (pattern coordinates rotate left)."""
+    if delta == 0:
+        return list(element.falls)
+    head = cut_nested_set(element.falls, delta, pattern_size - 1)
+    tail = [
+        f.shifted(pattern_size - delta)
+        for f in cut_nested_set(element.falls, 0, delta - 1)
+    ]
+    return head + tail
+
+
+def _extended_element(
+    element: FallsSet, delta: int, pattern_size: int, copies: int
+) -> List[Falls]:
+    """PREPROCESS for one element: rotate the pattern so it starts at the
+    common displacement, then extend it over ``copies`` pattern instances
+    by wrapping it into an outer FALLS."""
+    rotated = _rotated_element(element, delta, pattern_size)
+    if copies == 1 or not rotated:
+        return rotated
+    height = max(f.height() for f in rotated)
+    inner = tuple(pad_to_height(f, height) for f in rotated)
+    return [Falls(0, pattern_size - 1, pattern_size, copies, inner)]
+
+
+@dataclass(frozen=True)
+class _AlignedPair:
+    """Both patterns extended over a common period and displacement."""
+
+    displacement: int
+    period: int
+    copies1: int
+    copies2: int
+    delta1: int
+    delta2: int
+
+
+def _align(p1: Partition, p2: Partition) -> _AlignedPair:
+    period = math.lcm(p1.size, p2.size)
+    displacement = max(p1.displacement, p2.displacement)
+    return _AlignedPair(
+        displacement=displacement,
+        period=period,
+        copies1=period // p1.size,
+        copies2=period // p2.size,
+        delta1=(displacement - p1.displacement) % p1.size,
+        delta2=(displacement - p2.displacement) % p2.size,
+    )
+
+
+def intersect_elements(
+    p1: Partition, e1: int, p2: Partition, e2: int
+) -> PeriodicFallsSet:
+    """The paper's INTERSECT: nested FALLS common to element ``e1`` of
+    partition ``p1`` and element ``e2`` of partition ``p2``.
+
+    The result is periodic in file linear space: displacement = the
+    larger of the two displacements, period = lcm of the two pattern
+    sizes.
+    """
+    al = _align(p1, p2)
+    ext1 = _extended_element(p1.elements[e1], al.delta1, p1.size, al.copies1)
+    ext2 = _extended_element(p2.elements[e2], al.delta2, p2.size, al.copies2)
+    common = intersect_nested_sets(ext1, ext2)
+    return PeriodicFallsSet(FallsSet(common), al.displacement, al.period)
+
+
+def intersect_partitions(
+    p1: Partition, p2: Partition
+) -> dict[Tuple[int, int], PeriodicFallsSet]:
+    """All pairwise element intersections with at least one common byte.
+
+    This is the computation a view set performs against every subfile
+    (paper §8.1); the redistribution schedule is derived from it.
+    """
+    out: dict[Tuple[int, int], PeriodicFallsSet] = {}
+    for i in range(p1.num_elements):
+        for j in range(p2.num_elements):
+            inter = intersect_elements(p1, i, p2, j)
+            if not inter.is_empty:
+                out[(i, j)] = inter
+    return out

@@ -1,0 +1,133 @@
+"""Normalisation helpers: segment-run compression and tree shaping.
+
+Two families of utilities live here:
+
+* **Run compression** — turning a sorted list of disjoint byte segments
+  back into a compact list of flat FALLS by detecting maximal arithmetic
+  runs of equally sized segments.  The intersection and projection
+  algorithms produce their results as segment lists per period; this is
+  how those lists become FALLS again.
+
+* **Tree shaping** — the paper's nested intersection algorithm "assumes,
+  without loss of generality, that the nested FALLS trees have the same
+  height.  If they don't, the height of the shorter tree can be
+  transformed by adding outer FALLS" (§7).  ``pad_to_height`` and
+  ``equalize_heights`` implement that transformation with semantically
+  neutral wrappers (a trivial inner FALLS covering a whole block selects
+  exactly the same bytes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .falls import Falls, FallsSet
+from .segments import SegmentArrays, merge_segment_arrays
+
+__all__ = [
+    "compress_segments",
+    "falls_set_from_segments",
+    "coalesced_falls_set",
+    "pad_to_height",
+    "equalize_set_heights",
+    "trivial_inner",
+]
+
+
+def compress_segments(segs: SegmentArrays) -> List[Falls]:
+    """Compress sorted disjoint segments into flat FALLS greedily.
+
+    Maximal runs of equally long segments with a constant stride become a
+    single FALLS; everything else becomes singleton FALLS.  The greedy
+    left-to-right grouping is not guaranteed minimal, but it is exact for
+    the regular patterns produced by array distributions and it preserves
+    byte-for-byte semantics for arbitrary input.
+    """
+    starts_arr, lengths_arr = segs
+    n = int(starts_arr.size)
+    if n == 0:
+        return []
+    starts = starts_arr.tolist()
+    lengths = lengths_arr.tolist()
+    out: List[Falls] = []
+    i = 0
+    while i < n:
+        length = lengths[i]
+        j = i + 1
+        if j < n and lengths[j] == length:
+            stride = starts[j] - starts[i]
+            while (
+                j + 1 < n
+                and lengths[j + 1] == length
+                and starts[j + 1] - starts[j] == stride
+            ):
+                j += 1
+            out.append(Falls(starts[i], starts[i] + length - 1, stride, j - i + 1))
+            i = j + 1
+        else:
+            out.append(Falls(starts[i], starts[i] + length - 1, length, 1))
+            i += 1
+    return out
+
+
+def falls_set_from_segments(segs: SegmentArrays) -> FallsSet:
+    """Build a :class:`FallsSet` from sorted disjoint segments."""
+    return FallsSet(compress_segments(segs))
+
+
+def coalesced_falls_set(segs: SegmentArrays) -> FallsSet:
+    """Like :func:`falls_set_from_segments`, but first merges adjacent
+    segments so the result uses maximal contiguous runs."""
+    return falls_set_from_segments(merge_segment_arrays(segs))
+
+
+def trivial_inner(block_length: int, height: int) -> Falls:
+    """A semantically neutral FALLS selecting all of ``[0, block_length)``
+    as a degenerate tree of the requested height."""
+    if height < 1:
+        raise ValueError(f"height must be >= 1, got {height}")
+    if height == 1:
+        return Falls(0, block_length - 1, block_length, 1)
+    return Falls(
+        0,
+        block_length - 1,
+        block_length,
+        1,
+        (trivial_inner(block_length, height - 1),),
+    )
+
+
+def pad_to_height(falls: Falls, height: int) -> Falls:
+    """Return an equivalent FALLS whose tree has exactly ``height`` levels
+    on every root-to-leaf path.
+
+    Leaves shallower than ``height`` gain trivial inner FALLS covering the
+    whole block; the selected byte set is unchanged.
+    """
+    if height < falls.height():
+        raise ValueError(
+            f"cannot pad FALLS of height {falls.height()} down to {height}"
+        )
+    if height == 1:
+        return falls
+    if falls.is_leaf:
+        return falls.with_inner((trivial_inner(falls.block_length, height - 1),))
+    return falls.with_inner(tuple(pad_to_height(f, height - 1) for f in falls.inner))
+
+
+def equalize_set_heights(
+    a: Sequence[Falls], b: Sequence[Falls]
+) -> Tuple[Tuple[Falls, ...], Tuple[Falls, ...], int]:
+    """Pad every tree in both sets to the common maximum height.
+
+    Returns the two padded sets and the common height.  Empty sets are
+    passed through unchanged (their height is irrelevant — intersection
+    with an empty set is empty).
+    """
+    heights = [f.height() for f in a] + [f.height() for f in b]
+    if not heights:
+        return tuple(a), tuple(b), 0
+    h = max(heights)
+    pa = tuple(pad_to_height(f, h) for f in a)
+    pb = tuple(pad_to_height(f, h) for f in b)
+    return pa, pb, h

@@ -1,0 +1,158 @@
+"""PITFALLS: Processor Indexed Tagged FAmilies of Line Segments.
+
+The paper builds on Ramaswamy & Banerjee's PITFALLS representation and
+notes (§4) that "for regular distributions, a set of nested FALLS can be
+shortly expressed using the nested PITFALLS representation ... each
+nested PITFALLS is just a compact representation of a set of nested
+FALLS".
+
+A PITFALLS ``(l, r, s, n, d, p)`` describes, for each of ``p``
+processors, the FALLS ``(l + i*d, r + i*d, s, n)`` — one family per
+processor, shifted by the processor displacement ``d``.  A *nested*
+PITFALLS carries inner nested PITFALLS relative to each block, exactly
+like nested FALLS.
+
+This module provides the compact form, expansion to per-processor
+nested FALLS, inference of a PITFALLS from a list of per-processor
+FALLS, and a convenience constructor for the HPF CYCLIC(k) family that
+motivated the representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from .falls import Falls, FallsSet
+from .partition import Partition
+
+__all__ = ["Pitfalls", "pitfalls_from_falls", "cyclic_pitfalls"]
+
+
+@dataclass(frozen=True)
+class Pitfalls:
+    """A (possibly nested) PITFALLS.
+
+    Attributes mirror the paper's tuple: for processor ``i`` in
+    ``range(p)`` the represented FALLS is ``(l + i*d, r + i*d, s, n)``
+    with inner structure ``inner`` (shared by all processors, as the
+    representation requires).
+    """
+
+    l: int
+    r: int
+    s: int
+    n: int
+    d: int
+    p: int
+    inner: Tuple["Pitfalls", ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.p < 1:
+            raise ValueError(f"processor count must be >= 1, got {self.p}")
+        if self.p > 1 and self.d < 1:
+            raise ValueError(
+                f"processor displacement must be >= 1 for p={self.p}"
+            )
+        # Validate the first processor's FALLS; the shift preserves
+        # validity for the others as long as offsets stay non-negative.
+        self.falls_for(0)
+
+    @property
+    def block_length(self) -> int:
+        return self.r - self.l + 1
+
+    def falls_for(self, proc: int) -> Falls:
+        """Expand the FALLS of one processor."""
+        if not 0 <= proc < self.p:
+            raise ValueError(f"processor {proc} out of range [0, {self.p})")
+        shift = proc * self.d
+        # Inner PITFALLS with p > 1 describe per-processor inner families.
+        inner = tuple(
+            pf.falls_for(proc % pf.p) if pf.p > 1 else pf.falls_for(0)
+            for pf in self.inner
+        )
+        return Falls(self.l + shift, self.r + shift, self.s, self.n, inner)
+
+    def expand(self) -> List[Falls]:
+        """All processors' FALLS, in processor order."""
+        return [self.falls_for(i) for i in range(self.p)]
+
+    def partition(self, displacement: int = 0, validate: bool = True) -> Partition:
+        """The partition whose element ``i`` is processor ``i``'s FALLS."""
+        return Partition(
+            [FallsSet((f,)) for f in self.expand()],
+            displacement=displacement,
+            validate=validate,
+        )
+
+    def size_per_processor(self) -> int:
+        return self.falls_for(0).size()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        core = f"{self.l},{self.r},{self.s},{self.n},{self.d},{self.p}"
+        if not self.inner:
+            return f"({core})"
+        inner = ",".join(str(x) for x in self.inner)
+        return f"({core},{{{inner}}})"
+
+
+def pitfalls_from_falls(falls_list: Sequence[Falls]) -> Pitfalls | None:
+    """Infer a PITFALLS from per-processor FALLS, if they fit the shape.
+
+    Returns ``None`` when the families are not equally shaped and evenly
+    displaced — in that case the general set-of-nested-FALLS form is the
+    right representation (that generality is the paper's extension).
+    """
+    if not falls_list:
+        return None
+    first = falls_list[0]
+    if len(falls_list) == 1:
+        inner = _infer_inner(first.inner)
+        if inner is None:
+            return None
+        return Pitfalls(first.l, first.r, first.s, first.n, 0, 1, inner)
+    d = falls_list[1].l - first.l
+    if d < 1:
+        return None
+    for i, f in enumerate(falls_list):
+        if (
+            f.l != first.l + i * d
+            or f.r != first.r + i * d
+            or f.s != first.s
+            or f.n != first.n
+            or f.inner != first.inner
+        ):
+            return None
+    inner = _infer_inner(first.inner)
+    if inner is None:
+        return None
+    return Pitfalls(first.l, first.r, first.s, first.n, d, len(falls_list), inner)
+
+
+def _infer_inner(inner: Tuple[Falls, ...]) -> Tuple[Pitfalls, ...] | None:
+    out: List[Pitfalls] = []
+    for f in inner:
+        sub = _infer_inner(f.inner)
+        if sub is None:
+            return None
+        out.append(Pitfalls(f.l, f.r, f.s, f.n, 0, 1, sub))
+    return tuple(out)
+
+
+def cyclic_pitfalls(n_elements: int, k: int, nprocs: int, itemsize: int = 1) -> Pitfalls:
+    """The CYCLIC(k) distribution of ``n_elements`` array elements over
+    ``nprocs`` processors as one compact PITFALLS.
+
+    Requires the clean case ``n_elements % (k * nprocs) == 0`` (ragged
+    tails need the general FALLS-set form).
+    """
+    stripe = k * nprocs
+    if n_elements % stripe:
+        raise ValueError(
+            f"{n_elements} elements do not divide into CYCLIC({k}) stripes "
+            f"over {nprocs} processors; use the general FALLS form"
+        )
+    reps = n_elements // stripe
+    kb = k * itemsize
+    return Pitfalls(0, kb - 1, stripe * itemsize, reps, kb, nprocs)

@@ -1,0 +1,111 @@
+"""JSON serialization for FALLS structures and partitions.
+
+Layout metadata must outlive the process that created it — a checkpoint
+is useless if nobody remembers how it was partitioned.  This module
+gives every layout object a stable, versioned JSON form:
+
+* ``Falls``      -> ``[l, r, s, n, [inner...]]`` (compact array form);
+* ``FallsSet``   -> list of Falls;
+* ``Partition``  -> ``{"displacement", "elements"}``;
+* ``Pitfalls``   -> ``[l, r, s, n, d, p, [inner...]]``.
+
+The format is deliberately minimal and human-readable; round-trips are
+exact (construction re-validates every invariant on load, so corrupt
+metadata fails loudly instead of mis-mapping bytes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List
+
+from .falls import Falls, FallsSet
+from .partition import Partition
+from .pitfalls import Pitfalls
+
+__all__ = [
+    "falls_to_obj",
+    "falls_from_obj",
+    "partition_to_obj",
+    "partition_from_obj",
+    "partition_to_json",
+    "partition_from_json",
+    "pitfalls_to_obj",
+    "pitfalls_from_obj",
+]
+
+FORMAT_VERSION = 1
+
+
+def falls_to_obj(f: Falls) -> list:
+    """``[l, r, s, n]`` for leaves, ``[l, r, s, n, [inner...]]`` else."""
+    base: List[Any] = [f.l, f.r, f.s, f.n]
+    if f.inner:
+        base.append([falls_to_obj(g) for g in f.inner])
+    return base
+
+
+def falls_from_obj(obj: Any) -> Falls:
+    """Decode a FALLS from its array form, re-validating invariants."""
+    if not isinstance(obj, (list, tuple)) or len(obj) not in (4, 5):
+        raise ValueError(f"not a FALLS encoding: {obj!r}")
+    l, r, s, n = (int(x) for x in obj[:4])
+    inner = tuple(falls_from_obj(x) for x in obj[4]) if len(obj) == 5 else ()
+    return Falls(l, r, s, n, inner)
+
+
+def partition_to_obj(p: Partition) -> dict:
+    """Encode a partition as a plain-JSON-able dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "displacement": p.displacement,
+        "elements": [
+            [falls_to_obj(f) for f in element.falls] for element in p.elements
+        ],
+    }
+
+
+def partition_from_obj(obj: dict, validate: bool = True) -> Partition:
+    """Decode a partition, checking the format version and re-running
+    the tiling validation (unless ``validate=False``)."""
+    if not isinstance(obj, dict) or "elements" not in obj:
+        raise ValueError("not a partition encoding")
+    version = obj.get("format", 1)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported layout format version {version}")
+    elements = [
+        FallsSet(tuple(falls_from_obj(f) for f in element))
+        for element in obj["elements"]
+    ]
+    return Partition(
+        elements, displacement=int(obj.get("displacement", 0)), validate=validate
+    )
+
+
+def partition_to_json(p: Partition, indent: int | None = None) -> str:
+    """The JSON text form of :func:`partition_to_obj`."""
+    return json.dumps(partition_to_obj(p), indent=indent)
+
+
+def partition_from_json(text: str, validate: bool = True) -> Partition:
+    """Parse JSON text back into a validated partition."""
+    return partition_from_obj(json.loads(text), validate=validate)
+
+
+def pitfalls_to_obj(pf: Pitfalls) -> list:
+    """Encode a PITFALLS as its array form."""
+    base: List[Any] = [pf.l, pf.r, pf.s, pf.n, pf.d, pf.p]
+    if pf.inner:
+        base.append([pitfalls_to_obj(x) for x in pf.inner])
+    return base
+
+
+def pitfalls_from_obj(obj: Any) -> Pitfalls:
+    """Decode a PITFALLS from its array form, re-validating."""
+    if not isinstance(obj, (list, tuple)) or len(obj) not in (6, 7):
+        raise ValueError(f"not a PITFALLS encoding: {obj!r}")
+    l, r, s, n, d, p = (int(x) for x in obj[:6])
+    inner = (
+        tuple(pitfalls_from_obj(x) for x in obj[6]) if len(obj) == 7 else ()
+    )
+    return Pitfalls(l, r, s, n, d, p, inner)

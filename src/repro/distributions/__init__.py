@@ -1,0 +1,41 @@
+"""Distribution generators: HPF-style, multidimensional, MPI types, baselines."""
+
+from .hpf import Block, BlockCyclic, Cyclic, Dist, Replicated, falls_1d
+from .multidim import (
+    column_blocks,
+    matrix_partition,
+    multidim_element,
+    multidim_partition,
+    row_blocks,
+    square_blocks,
+)
+from .irregular import (
+    partition_from_owner_array,
+    partition_from_segments,
+    round_robin,
+)
+from .slicing import normalize_index, slice_falls
+from .vesta import VestaScheme, vesta_expressible, vesta_partition
+
+__all__ = [
+    "Block",
+    "BlockCyclic",
+    "Cyclic",
+    "Dist",
+    "Replicated",
+    "column_blocks",
+    "falls_1d",
+    "matrix_partition",
+    "multidim_element",
+    "multidim_partition",
+    "partition_from_owner_array",
+    "partition_from_segments",
+    "normalize_index",
+    "round_robin",
+    "row_blocks",
+    "slice_falls",
+    "square_blocks",
+    "vesta_expressible",
+    "vesta_partition",
+    "VestaScheme",
+]

@@ -1,0 +1,130 @@
+"""HPF-style one-dimensional distributions as FALLS (paper §3).
+
+The paper motivates nested FALLS by noting that "support for any
+High-Performance Fortran-style BLOCK and CYCLIC based data distribution
+on disk and in memory is a straightforward application of our approach".
+This module provides that application for one dimension; the
+:mod:`repro.distributions.multidim` module composes per-dimension
+distributions into nested FALLS for n-dimensional arrays.
+
+All functions describe the index set (in *element* units) that processor
+``p`` of ``nprocs`` owns out of ``n`` elements, returned as a list of
+FALLS (one FALLS except for ragged edge cases).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Union
+
+from ..core.falls import Falls
+
+__all__ = ["Block", "Cyclic", "BlockCyclic", "Replicated", "Dist", "falls_1d"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """HPF ``BLOCK``: contiguous chunks of ``ceil(n / nprocs)`` elements.
+
+    Trailing processors may own fewer (or zero) elements when ``n`` is
+    not divisible.
+    """
+
+
+@dataclass(frozen=True)
+class Cyclic:
+    """HPF ``CYCLIC``: element ``i`` belongs to processor ``i mod nprocs``."""
+
+
+@dataclass(frozen=True)
+class BlockCyclic:
+    """HPF ``CYCLIC(k)``: blocks of ``k`` elements dealt round-robin."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"CYCLIC(k) needs k >= 1, got {self.k}")
+
+
+@dataclass(frozen=True)
+class Replicated:
+    """HPF ``*``: the dimension is not distributed — every processor in
+    this dimension of the grid sees all ``n`` elements."""
+
+
+Dist = Union[Block, Cyclic, BlockCyclic, Replicated]
+
+
+def falls_1d(dist: Dist, n: int, nprocs: int, p: int) -> List[Falls]:
+    """Index set of processor ``p`` along one dimension of length ``n``.
+
+    Returns a list of FALLS in element units (block length 1 unit = 1
+    element).  The list is empty when the processor owns nothing — e.g. a
+    BLOCK distribution of 3 elements over 4 processors leaves processor 3
+    empty.
+    """
+    if n < 1:
+        raise ValueError(f"dimension length must be >= 1, got {n}")
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    if not 0 <= p < nprocs:
+        raise ValueError(f"processor index {p} out of range [0, {nprocs})")
+
+    if isinstance(dist, Replicated):
+        return [Falls(0, n - 1, n, 1)]
+
+    if isinstance(dist, Block):
+        chunk = math.ceil(n / nprocs)
+        lo = p * chunk
+        hi = min(n, (p + 1) * chunk) - 1
+        if lo > hi:
+            return []
+        return [Falls(lo, hi, hi - lo + 1, 1)]
+
+    if isinstance(dist, Cyclic):
+        dist = BlockCyclic(1)
+
+    if isinstance(dist, BlockCyclic):
+        k = dist.k
+        stride = k * nprocs
+        first = p * k
+        if first >= n:
+            return []
+        # Number of complete k-blocks plus a possibly ragged last block.
+        full_blocks = (n - first) // stride
+        rem = (n - first) % stride
+        out: List[Falls] = []
+        if full_blocks:
+            out.append(Falls(first, first + k - 1, stride, full_blocks))
+        if 0 < rem:
+            tail_lo = first + full_blocks * stride
+            tail_hi = min(tail_lo + k, n) - 1
+            if tail_lo <= tail_hi:
+                out.append(
+                    Falls(tail_lo, tail_hi, tail_hi - tail_lo + 1, 1)
+                )
+        return out
+
+    raise TypeError(f"unknown distribution {dist!r}")
+
+
+def owned_count(dist: Dist, n: int, nprocs: int, p: int) -> int:
+    """Number of elements processor ``p`` owns along the dimension."""
+    return sum(f.size() for f in falls_1d(dist, n, nprocs, p))
+
+
+def validate_partition_cover(dist: Dist, n: int, nprocs: int) -> None:
+    """Check the distribution assigns every element exactly once
+    (Replicated is excluded — it is not a partition)."""
+    if isinstance(dist, Replicated):
+        raise ValueError("Replicated dimensions do not partition the data")
+    seen = [0] * n
+    for p in range(nprocs):
+        for f in falls_1d(dist, n, nprocs, p):
+            for seg in f.leaf_segments():
+                for i in range(seg.start, seg.stop + 1):
+                    seen[i] += 1
+    if any(c != 1 for c in seen):  # pragma: no cover - sanity guard
+        raise AssertionError(f"distribution does not tile: {seen}")

@@ -1,0 +1,95 @@
+"""Arbitrary (irregular) distributions (paper §3, §5).
+
+The paper stresses that nested FALLS "can represent arbitrary
+distributions of data", not only the regular array decompositions.  This
+module builds partitions from explicit descriptions:
+
+* :func:`partition_from_segments` — per-element lists of byte ranges;
+* :func:`partition_from_owner_array` — a per-byte owner map (the most
+  general description possible, e.g. from a graph partitioner);
+* :func:`round_robin` — simple striping, the degenerate regular case,
+  provided for symmetry and tests.
+
+All of them run the explicit description through segment-run compression
+(:mod:`repro.core.normalize`), so regular structure hidden in an
+irregular description is recovered automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.falls import Falls, FallsSet
+from ..core.normalize import coalesced_falls_set
+from ..core.partition import Partition
+from ..core.segments import segments_from_pairs
+
+__all__ = [
+    "partition_from_segments",
+    "partition_from_owner_array",
+    "round_robin",
+]
+
+
+def partition_from_segments(
+    per_element: Sequence[Sequence[Tuple[int, int]]],
+    displacement: int = 0,
+) -> Partition:
+    """Build a partition from per-element ``(start, stop)`` byte ranges.
+
+    Ranges are inclusive, must be sorted and disjoint within an element,
+    and across elements must exactly tile ``[0, size)`` — the usual
+    partitioning-pattern contract, which construction validates.
+    """
+    elements = []
+    for ranges in per_element:
+        segs = segments_from_pairs(list(ranges))
+        elements.append(coalesced_falls_set(segs))
+    return Partition(elements, displacement=displacement)
+
+
+def partition_from_owner_array(
+    owners: np.ndarray, num_elements: int | None = None, displacement: int = 0
+) -> Partition:
+    """Build a partition from a per-byte owner map.
+
+    ``owners[i]`` is the element owning pattern byte ``i``.  This is the
+    fully general case: any partition of the pattern bytes whatsoever.
+    Run compression recovers FALLS structure where it exists.
+    """
+    owners = np.asarray(owners)
+    if owners.ndim != 1 or owners.size == 0:
+        raise ValueError("owner map must be a non-empty 1-D array")
+    if num_elements is None:
+        num_elements = int(owners.max()) + 1
+    if owners.min() < 0 or owners.max() >= num_elements:
+        raise ValueError("owner ids out of range")
+    elements = []
+    for e in range(num_elements):
+        mask = owners == e
+        if not mask.any():
+            raise ValueError(f"element {e} owns no bytes")
+        idx = np.flatnonzero(mask).astype(np.int64)
+        breaks = np.flatnonzero(np.diff(idx) > 1)
+        starts = idx[np.concatenate(([0], breaks + 1))]
+        stops = idx[np.concatenate((breaks, [idx.size - 1]))]
+        segs = (starts, stops - starts + 1)
+        elements.append(coalesced_falls_set(segs))
+    return Partition(elements, displacement=displacement)
+
+
+def round_robin(
+    num_elements: int, unit: int, displacement: int = 0
+) -> Partition:
+    """Classic round-robin striping: element ``k`` owns the ``k``-th
+    ``unit``-byte chunk of every stripe."""
+    if num_elements < 1 or unit < 1:
+        raise ValueError("need num_elements >= 1 and unit >= 1")
+    period = num_elements * unit
+    elements = [
+        FallsSet([Falls(k * unit, (k + 1) * unit - 1, period, 1)])
+        for k in range(num_elements)
+    ]
+    return Partition(elements, displacement=displacement)

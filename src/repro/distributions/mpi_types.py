@@ -1,0 +1,198 @@
+"""MPI derived datatypes expressed as nested FALLS (paper §3, §4).
+
+The paper claims "MPI data types can be built on top of" nested FALLS;
+this module substantiates the claim with the classic MPI type
+constructors.  Each constructor returns a :class:`TypeMap` — a byte
+extent plus the nested FALLS selecting the type's significant bytes —
+that composes the same way MPI derived types do (a constructed type can
+be the base type of another constructor).
+
+Together with :func:`repro.redistribution.gather_scatter.gather` /
+``scatter`` these give MPI_Pack / MPI_Unpack semantics, which the paper
+also points out (§3: "The scatter and gather procedures can also be used
+to implement MPI's pack and unpack operations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.falls import Falls, FallsSet
+from ..core.normalize import coalesced_falls_set, pad_to_height
+from ..core.segments import leaf_segment_arrays_set
+
+__all__ = [
+    "TypeMap",
+    "contiguous",
+    "vector",
+    "indexed",
+    "subarray",
+    "struct_like",
+]
+
+
+@dataclass(frozen=True)
+class TypeMap:
+    """An MPI-style datatype: significant bytes within a byte extent.
+
+    Attributes
+    ----------
+    falls:
+        Nested FALLS selecting the significant bytes, relative to the
+        start of the extent.
+    extent:
+        Total footprint in bytes (the stride used when the type repeats,
+        MPI's "extent").
+    """
+
+    falls: FallsSet
+    extent: int
+
+    def __post_init__(self) -> None:
+        if self.extent < 1:
+            raise ValueError(f"extent must be >= 1, got {self.extent}")
+        if self.falls and self.falls.extent_stop >= self.extent:
+            raise ValueError(
+                f"type map reaches byte {self.falls.extent_stop}, beyond "
+                f"extent {self.extent}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of significant bytes (MPI's "size")."""
+        return self.falls.size()
+
+    def resized(self, extent: int) -> "TypeMap":
+        """MPI_Type_create_resized: change the extent only."""
+        return TypeMap(self.falls, extent)
+
+
+def primitive(nbytes: int) -> TypeMap:
+    """A primitive type of ``nbytes`` contiguous bytes."""
+    return TypeMap(FallsSet([Falls(0, nbytes - 1, nbytes, 1)]), nbytes)
+
+
+def _repeat(base: TypeMap, count: int, stride_bytes: int) -> Tuple[Falls, ...]:
+    """``count`` copies of a base type's FALLS, one per stride step."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if count > 1 and stride_bytes < base.extent:
+        raise ValueError(
+            f"stride {stride_bytes} bytes overlaps base extent {base.extent}"
+        )
+    inner = tuple(base.falls)
+    if len(inner) == 1 and inner[0].l == 0 and count >= 1:
+        f = inner[0]
+        if f.is_contiguous and f.extent_stop == base.extent - 1:
+            # Whole-extent base: a single flat FALLS suffices.
+            return (Falls(0, base.extent - 1, stride_bytes, count),)
+    height = max(f.height() for f in inner)
+    padded = tuple(pad_to_height(f, height) for f in inner)
+    return (Falls(0, base.extent - 1, stride_bytes, count, padded),)
+
+
+def contiguous(count: int, base: TypeMap) -> TypeMap:
+    """MPI_Type_contiguous: ``count`` back-to-back copies of ``base``."""
+    falls = _repeat(base, count, base.extent)
+    return TypeMap(FallsSet(falls), count * base.extent)
+
+
+def vector(count: int, blocklength: int, stride: int, base: TypeMap) -> TypeMap:
+    """MPI_Type_vector: ``count`` blocks of ``blocklength`` base elements,
+    block starts ``stride`` base-extents apart."""
+    if blocklength < 1 or stride < blocklength:
+        raise ValueError(
+            f"need 1 <= blocklength <= stride, got {blocklength}, {stride}"
+        )
+    block = contiguous(blocklength, base)
+    falls = _repeat(block, count, stride * base.extent)
+    extent = ((count - 1) * stride + blocklength) * base.extent
+    return TypeMap(FallsSet(falls), extent)
+
+
+def indexed(
+    blocklengths: Sequence[int], displacements: Sequence[int], base: TypeMap
+) -> TypeMap:
+    """MPI_Type_indexed: blocks of varying lengths at varying
+    displacements (in base-extent units, ascending and non-overlapping)."""
+    if len(blocklengths) != len(displacements):
+        raise ValueError("blocklengths and displacements must align")
+    if not blocklengths:
+        raise ValueError("need at least one block")
+    falls: list[Falls] = []
+    prev_end = -1
+    for blen, disp in zip(blocklengths, displacements):
+        if blen < 1:
+            raise ValueError(f"block length must be >= 1, got {blen}")
+        start = disp * base.extent
+        if start <= prev_end:
+            raise ValueError("indexed blocks must ascend without overlap")
+        block = contiguous(blen, base)
+        for f in block.falls:
+            falls.append(f.shifted(start))
+        prev_end = start + block.extent - 1
+    extent = prev_end + 1
+    return TypeMap(FallsSet(falls), extent)
+
+
+def subarray(
+    shape: Sequence[int],
+    subsizes: Sequence[int],
+    starts: Sequence[int],
+    base: TypeMap,
+) -> TypeMap:
+    """MPI_Type_create_subarray (C order): a rectangular region of a
+    larger array.  The extent is the whole array, as in MPI."""
+    if not (len(shape) == len(subsizes) == len(starts)):
+        raise ValueError("shape, subsizes and starts must align")
+    for d in range(len(shape)):
+        if not (0 < subsizes[d] <= shape[d]):
+            raise ValueError(f"subsize out of range in dim {d}")
+        if not (0 <= starts[d] <= shape[d] - subsizes[d]):
+            raise ValueError(f"start out of range in dim {d}")
+    inner: Tuple[Falls, ...] = tuple(base.falls)
+    weight = base.extent
+    whole_base = (
+        len(inner) == 1
+        and inner[0].l == 0
+        and inner[0].is_contiguous
+        and inner[0].extent_stop == weight - 1
+    )
+    falls: Tuple[Falls, ...] = inner if not whole_base else ()
+    for d in reversed(range(len(shape))):
+        lo = starts[d] * weight
+        hi = (starts[d] + subsizes[d]) * weight - 1
+        if falls:
+            height = max(f.height() for f in falls)
+            padded = tuple(pad_to_height(f, height) for f in falls)
+            wrapped = Falls(0, weight - 1, weight, subsizes[d], padded)
+            f = Falls(lo, hi, hi - lo + 1, 1, (wrapped,))
+        else:
+            f = Falls(lo, hi, hi - lo + 1, 1)
+        falls = (f,)
+        weight *= shape[d]
+    return TypeMap(FallsSet(falls), weight)
+
+
+def struct_like(fields: Sequence[Tuple[int, TypeMap]]) -> TypeMap:
+    """MPI_Type_create_struct restricted to ascending, non-overlapping
+    fields: ``fields`` is a list of (byte displacement, type)."""
+    if not fields:
+        raise ValueError("need at least one field")
+    falls: list[Falls] = []
+    prev_end = -1
+    for disp, t in fields:
+        if disp <= prev_end:
+            raise ValueError("struct fields must ascend without overlap")
+        for f in t.falls:
+            falls.append(f.shifted(disp))
+        prev_end = disp + t.extent - 1
+    return TypeMap(FallsSet(falls), prev_end + 1)
+
+
+def simplify(t: TypeMap) -> TypeMap:
+    """Re-express the type map with maximal contiguous runs (useful after
+    deep compositions produce fragmented descriptions)."""
+    segs = leaf_segment_arrays_set(t.falls.falls)
+    return TypeMap(coalesced_falls_set(segs), t.extent)

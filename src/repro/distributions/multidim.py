@@ -1,0 +1,229 @@
+"""Multidimensional array distributions as nested FALLS.
+
+The key construction (also at the heart of the PITFALLS work the paper
+builds on): distribute each dimension independently with an HPF-style
+1-D distribution over one axis of a processor grid, then compose the
+per-dimension FALLS into nested FALLS by scaling each dimension's
+element units to byte units.
+
+For a C-ordered array of ``shape`` with ``itemsize`` bytes per element,
+one index step along dimension ``d`` moves
+``W_d = itemsize * prod(shape[d+1:])`` bytes.  A FALLS ``(a, b, s, n)``
+in dim-``d`` element units therefore becomes the byte-space FALLS
+``(a*W_d, (b+1)*W_d - 1, s*W_d, n)``, whose inner FALLS are the scaled
+FALLS of dimension ``d+1`` (relative to the block start — exactly the
+nested-FALLS convention).
+
+This module generates the three physical layouts of the paper's
+evaluation — row blocks, column blocks, square blocks of a 2-D matrix —
+and arbitrary n-D BLOCK/CYCLIC(k) grids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..core.falls import Falls, FallsSet
+from ..core.partition import Partition
+from .hpf import Block, Dist, Replicated, falls_1d
+
+__all__ = [
+    "scale_falls",
+    "compose_dims",
+    "multidim_element",
+    "multidim_partition",
+    "row_blocks",
+    "column_blocks",
+    "square_blocks",
+    "matrix_partition",
+]
+
+
+def scale_falls(f: Falls, weight: int, inner: Tuple[Falls, ...]) -> Falls:
+    """Scale a FALLS from element units to byte units.
+
+    A run of ``blen`` consecutive elements becomes ``blen * weight``
+    consecutive bytes; strides scale likewise.  ``inner`` is the
+    (already byte-space) structure of one element, attached to each
+    block when it selects less than the whole ``weight`` bytes.
+    """
+    blen = f.block_length
+    scaled = Falls(f.l * weight, (f.r + 1) * weight - 1, f.s * weight, f.n)
+    if not inner:
+        return scaled
+    if len(inner) == 1 and inner[0].is_contiguous and inner[0].l == 0 and (
+        inner[0].extent_stop == weight - 1
+    ):
+        # Inner selects every byte of every element: collapse to a leaf.
+        return scaled
+    # Replicate the element structure across the blen elements of a block.
+    if blen == 1:
+        return scaled.with_inner(inner)
+    wrapped = Falls(0, weight - 1, weight, blen, inner)
+    return scaled.with_inner((wrapped,))
+
+
+def compose_dims(
+    per_dim_falls: Sequence[Sequence[Falls]],
+    shape: Sequence[int],
+    itemsize: int,
+) -> List[Falls]:
+    """Compose per-dimension FALLS lists (innermost last) into byte-space
+    nested FALLS for a C-ordered array."""
+    if len(per_dim_falls) != len(shape):
+        raise ValueError("need one FALLS list per dimension")
+    weights = []
+    w = itemsize
+    for extent in reversed(shape):
+        weights.append(w)
+        w *= extent
+    weights.reverse()  # weights[d] = bytes per step along dim d
+
+    # Innermost dimension first: build the per-element structure bottom-up.
+    inner: Tuple[Falls, ...] = ()
+    for d in reversed(range(len(shape))):
+        falls_d = per_dim_falls[d]
+        if not falls_d:
+            return []
+        scaled = tuple(scale_falls(f, weights[d], inner) for f in falls_d)
+        inner = scaled
+    return list(inner)
+
+
+def multidim_element(
+    shape: Sequence[int],
+    itemsize: int,
+    dists: Sequence[Dist],
+    grid: Sequence[int],
+    coords: Sequence[int],
+    order: str = "C",
+) -> FallsSet:
+    """Nested FALLS for one processor of a distributed n-D array.
+
+    Parameters
+    ----------
+    shape:
+        Array shape in elements.
+    itemsize:
+        Bytes per array element.
+    dists:
+        One HPF-style distribution per dimension.
+    grid:
+        Processor-grid extent per dimension (product = processor count;
+        dimensions with ``Replicated`` distribution should use extent 1).
+    coords:
+        This processor's coordinates in the grid.
+    order:
+        Memory layout: ``"C"`` (row-major, default) or ``"F"``
+        (column-major, HPF's native ordering).  Fortran order is C order
+        with the dimensions reversed.
+    """
+    if not (len(shape) == len(dists) == len(grid) == len(coords)):
+        raise ValueError("shape, dists, grid and coords must align")
+    if order not in ("C", "F"):
+        raise ValueError(f"order must be 'C' or 'F', got {order!r}")
+    idx = range(len(shape)) if order == "C" else reversed(range(len(shape)))
+    dims = list(idx)
+    per_dim = [
+        falls_1d(dists[d], shape[d], grid[d], coords[d]) for d in dims
+    ]
+    return FallsSet(
+        compose_dims(per_dim, [shape[d] for d in dims], itemsize)
+    )
+
+
+def multidim_partition(
+    shape: Sequence[int],
+    itemsize: int,
+    dists: Sequence[Dist],
+    grid: Sequence[int],
+    displacement: int = 0,
+    order: str = "C",
+) -> Partition:
+    """Partition of an n-D array over a full processor grid.
+
+    Elements are ordered by row-major grid coordinates.  The pattern size
+    equals the array's byte size, so a file holding exactly one array is
+    partitioned once; a file holding ``k`` arrays back to back is
+    partitioned ``k`` times (the pattern tiles).
+    """
+    for d, dist in enumerate(dists):
+        if isinstance(dist, Replicated) and grid[d] != 1:
+            raise ValueError(
+                "Replicated dimensions would overlap; use grid extent 1"
+            )
+    elements: List[FallsSet] = []
+    coords = [0] * len(grid)
+    total = math.prod(grid)
+    for rank in range(total):
+        rem = rank
+        for d in reversed(range(len(grid))):
+            coords[d] = rem % grid[d]
+            rem //= grid[d]
+        element = multidim_element(shape, itemsize, dists, grid, coords, order)
+        if element.is_empty:
+            raise ValueError(
+                f"grid cell {tuple(coords)} owns no data; shrink the grid"
+            )
+        elements.append(element)
+    return Partition(elements, displacement=displacement)
+
+
+# ---------------------------------------------------------------------------
+# The paper's three 2-D matrix layouts (evaluation §8.2).
+# ---------------------------------------------------------------------------
+
+
+def row_blocks(
+    rows: int, cols: int, nprocs: int, itemsize: int = 1, displacement: int = 0
+) -> Partition:
+    """Blocks of rows ('r' in the paper's tables)."""
+    return multidim_partition(
+        (rows, cols), itemsize, (Block(), Replicated()), (nprocs, 1), displacement
+    )
+
+
+def column_blocks(
+    rows: int, cols: int, nprocs: int, itemsize: int = 1, displacement: int = 0
+) -> Partition:
+    """Blocks of columns ('c' in the paper's tables)."""
+    return multidim_partition(
+        (rows, cols), itemsize, (Replicated(), Block()), (1, nprocs), displacement
+    )
+
+
+def square_blocks(
+    rows: int,
+    cols: int,
+    nprocs: int,
+    itemsize: int = 1,
+    displacement: int = 0,
+) -> Partition:
+    """Square blocks ('b' in the paper's tables) over a near-square grid."""
+    pr = int(math.isqrt(nprocs))
+    while nprocs % pr:
+        pr -= 1
+    pc = nprocs // pr
+    return multidim_partition(
+        (rows, cols), itemsize, (Block(), Block()), (pr, pc), displacement
+    )
+
+
+_LAYOUTS = {"r": row_blocks, "c": column_blocks, "b": square_blocks}
+
+
+def matrix_partition(
+    layout: str,
+    rows: int,
+    cols: int,
+    nprocs: int,
+    itemsize: int = 1,
+    displacement: int = 0,
+) -> Partition:
+    """Paper-style shorthand: layout 'r', 'c' or 'b'."""
+    try:
+        fn = _LAYOUTS[layout]
+    except KeyError:
+        raise ValueError(f"layout must be one of {sorted(_LAYOUTS)}, got {layout!r}")
+    return fn(rows, cols, nprocs, itemsize, displacement)

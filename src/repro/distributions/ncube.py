@@ -1,0 +1,125 @@
+"""nCube-style address-bit-permutation mappings (related-work baseline).
+
+The nCube parallel I/O system (DeBenedictis & del Rosario, 1992) maps
+between processor views and disks by permuting address bits: a file
+address is split into bit fields (disk id, offset-within-stripe, ...),
+and a mapping is a permutation of those bits.  The paper points out the
+major deficiency — "all array sizes must be powers of two" — and claims
+its own FALLS-based mapping functions are a strict superset.
+
+This module implements the bit-permutation scheme so the claim can be
+demonstrated and benchmarked: for power-of-two sizes the nCube mapping
+and the FALLS mapping produce identical byte placements; for any other
+size the nCube scheme is simply inexpressible (:class:`NCubeError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.falls import Falls
+from ..core.partition import Partition
+
+__all__ = ["NCubeError", "BitPermutation", "striped_bit_partition"]
+
+
+class NCubeError(ValueError):
+    """Raised when a size is not a power of two (nCube's restriction)."""
+
+
+def _check_pow2(value: int, what: str) -> int:
+    if value < 1 or value & (value - 1):
+        raise NCubeError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class BitPermutation:
+    """A permutation of the low ``len(perm)`` address bits.
+
+    ``perm[i] = j`` moves source bit ``i`` to destination bit ``j``.
+    Addresses must fit in ``len(perm)`` bits.
+    """
+
+    perm: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "perm", tuple(self.perm))
+        if sorted(self.perm) != list(range(len(self.perm))):
+            raise NCubeError(f"not a permutation of bit positions: {self.perm}")
+
+    @property
+    def nbits(self) -> int:
+        return len(self.perm)
+
+    def apply(self, addr: int) -> int:
+        """Permute one address's bits."""
+        if addr >> self.nbits:
+            raise NCubeError(
+                f"address {addr} does not fit in {self.nbits} bits"
+            )
+        out = 0
+        for i, j in enumerate(self.perm):
+            out |= ((addr >> i) & 1) << j
+        return out
+
+    def apply_many(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`apply` over an int64 address array."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if np.any(addrs >> self.nbits):
+            raise NCubeError(f"addresses exceed {self.nbits} bits")
+        out = np.zeros_like(addrs)
+        for i, j in enumerate(self.perm):
+            out |= ((addrs >> i) & 1) << j
+        return out
+
+    def inverse(self) -> "BitPermutation":
+        """The permutation undoing this one."""
+        inv = [0] * self.nbits
+        for i, j in enumerate(self.perm):
+            inv[j] = i
+        return BitPermutation(tuple(inv))
+
+    def compose(self, other: "BitPermutation") -> "BitPermutation":
+        """The permutation applying ``self`` then ``other``."""
+        if other.nbits != self.nbits:
+            raise NCubeError("cannot compose permutations of different widths")
+        return BitPermutation(tuple(other.perm[j] for j in self.perm))
+
+
+def striped_bit_partition(
+    file_bytes: int, ndisks: int, stripe_unit: int
+) -> Partition:
+    """The canonical nCube layout as a partition.
+
+    The file address is viewed as ``[block | disk | offset]`` bit fields:
+    the low ``log2(stripe_unit)`` bits select a byte within a stripe
+    unit, the next ``log2(ndisks)`` bits select the disk.  Every quantity
+    must be a power of two — this is exactly nCube's restriction, and the
+    resulting partition is expressible as plain FALLS, demonstrating the
+    paper's superset claim.
+    """
+    _check_pow2(file_bytes, "file size")
+    _check_pow2(ndisks, "disk count")
+    _check_pow2(stripe_unit, "stripe unit")
+    if stripe_unit * ndisks > file_bytes:
+        raise NCubeError(
+            f"one stripe ({stripe_unit}x{ndisks}) exceeds the file size"
+        )
+    elements: List[Falls] = []
+    period = stripe_unit * ndisks
+    for d in range(ndisks):
+        lo = d * stripe_unit
+        elements.append(Falls(lo, lo + stripe_unit - 1, period, 1))
+    return Partition(elements)
+
+
+def disk_of_address(addr: int, ndisks: int, stripe_unit: int) -> int:
+    """Disk owning a file address under the canonical bit layout —
+    a pure bit-field extraction, the heart of the nCube scheme."""
+    offset_bits = _check_pow2(stripe_unit, "stripe unit")
+    disk_bits = _check_pow2(ndisks, "disk count")
+    return (addr >> offset_bits) & ((1 << disk_bits) - 1)

@@ -1,0 +1,97 @@
+"""NumPy-style slices as nested FALLS.
+
+The most natural way for a Python user to describe a region of an array
+is a slice expression.  ``slice_falls(shape, itemsize, index)`` turns a
+basic (non-fancy) index — integers and slices with positive steps — into
+the nested FALLS selecting exactly those bytes of the C-ordered array,
+so views and redistribution schedules can be built straight from
+``arr[2:10:3, :, 4]``-style expressions:
+
+>>> from repro.distributions.slicing import slice_falls
+>>> fs = slice_falls((8, 8), 1, (slice(0, 4), slice(2, 6)))
+>>> fs.size()          # a 4x4 block
+16
+
+This is the inverse convenience of the HPF generators: those carve an
+array among processors, this one describes any rectangular/strided
+window of it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from ..core.falls import Falls, FallsSet
+from .multidim import compose_dims
+
+__all__ = ["slice_falls", "normalize_index"]
+
+Index = Union[int, slice]
+
+
+def normalize_index(
+    index: Union[Index, Tuple[Index, ...]], shape: Sequence[int]
+) -> Tuple[Tuple[int, int, int], ...]:
+    """Resolve an index expression to per-dimension ``(start, stop, step)``.
+
+    Integers select one element; missing trailing dimensions select
+    everything (NumPy semantics).  Steps must be positive; out-of-range
+    starts/stops clamp like NumPy's ``slice.indices``.
+    """
+    if not isinstance(index, tuple):
+        index = (index,)
+    if len(index) > len(shape):
+        raise IndexError(
+            f"too many indices: {len(index)} for shape {tuple(shape)}"
+        )
+    out = []
+    for d, extent in enumerate(shape):
+        if d >= len(index):
+            out.append((0, extent, 1))
+            continue
+        ix = index[d]
+        if isinstance(ix, int):
+            if ix < 0:
+                ix += extent
+            if not 0 <= ix < extent:
+                raise IndexError(
+                    f"index {index[d]} out of bounds for axis {d} with "
+                    f"size {extent}"
+                )
+            out.append((ix, ix + 1, 1))
+        elif isinstance(ix, slice):
+            start, stop, step = ix.indices(extent)
+            if step < 1:
+                raise ValueError("negative or zero slice steps are not supported")
+            if stop <= start:
+                raise ValueError(f"empty slice in axis {d}: {ix}")
+            out.append((start, stop, step))
+        else:
+            raise TypeError(f"unsupported index element {ix!r}")
+    return tuple(out)
+
+
+def slice_falls(
+    shape: Sequence[int],
+    itemsize: int,
+    index: Union[Index, Tuple[Index, ...]],
+) -> FallsSet:
+    """The nested FALLS selecting ``array[index]`` of a C-ordered array.
+
+    Equivalent byte set to
+    ``np.ravel_multi_index`` over the selected coordinates, but expressed
+    structurally: one FALLS per dimension level, composed exactly like
+    the HPF generators.
+    """
+    resolved = normalize_index(index, shape)
+    # Each dimension contributes one FALLS in element units: contiguous
+    # runs (step 1) become a single block, strided runs a unit-block
+    # family — exactly the shapes compose_dims nests.
+    per_dim = []
+    for start, stop, step in resolved:
+        if step == 1:
+            per_dim.append([Falls(start, stop - 1, stop - start, 1)])
+        else:
+            count = (stop - start + step - 1) // step
+            per_dim.append([Falls(start, start, step, count)])
+    return FallsSet(compose_dims(per_dim, shape, itemsize))

@@ -1,0 +1,158 @@
+"""Vesta-style two-dimensional file partitioning (related-work baseline).
+
+The Vesta Parallel File System (Corbett & Feitelson, TOCS 1996)
+physically partitions files into subfiles and logically into views, but
+— as the paper notes in §2 — "the partitioning scheme, and therefore
+the mappings, are restricted only to data sets that can be partitioned
+into two dimensional rectangular arrays".
+
+Vesta describes a file as a matrix of *basic striping units* (BSUs): a
+file has ``Hbs`` cells horizontally; a partition chooses a group shape
+``(Vn, Vbs, Hn, Hbs_group)`` carving that matrix into congruent
+rectangles, one per subfile/view.  This module implements the scheme
+faithfully on top of the FALLS machinery, which demonstrates the
+paper's superset claim from the constructive side: every Vesta
+partition is a two-level nested FALLS pattern, while plenty of FALLS
+patterns (anything non-rectangular, any dimension above two) have no
+Vesta description — :func:`vesta_expressible` makes the restriction
+checkable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..core.falls import Falls, FallsSet
+from ..core.partition import Partition
+
+__all__ = ["VestaScheme", "vesta_partition", "vesta_expressible"]
+
+
+@dataclass(frozen=True)
+class VestaScheme:
+    """A Vesta physical partitioning.
+
+    Attributes
+    ----------
+    bsu:
+        Basic striping unit, bytes (Vesta's record granularity).
+    hbs:
+        Number of BSUs per row of the logical cell matrix (the file's
+        declared width).
+    vn, hn:
+        Grid of sub-partitions: ``vn`` vertical groups of rows, ``hn``
+        horizontal groups of columns; the partition has ``vn * hn``
+        elements.
+    vbs, group_hbs:
+        Rows per vertical group and BSU-columns per horizontal group.
+    """
+
+    bsu: int
+    hbs: int
+    vn: int
+    vbs: int
+    hn: int
+    group_hbs: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("bsu", "hbs", "vn", "vbs", "hn", "group_hbs"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(f"{field_name} must be >= 1")
+        if self.hn * self.group_hbs != self.hbs:
+            raise ValueError(
+                f"horizontal groups ({self.hn} x {self.group_hbs}) must "
+                f"tile the declared width Hbs={self.hbs}"
+            )
+
+    @property
+    def num_elements(self) -> int:
+        return self.vn * self.hn
+
+    @property
+    def pattern_rows(self) -> int:
+        return self.vn * self.vbs
+
+    @property
+    def pattern_bytes(self) -> int:
+        return self.pattern_rows * self.hbs * self.bsu
+
+
+def vesta_partition(scheme: VestaScheme, displacement: int = 0) -> Partition:
+    """The partition a Vesta scheme induces, element order row-major in
+    the (vertical group, horizontal group) grid."""
+    row_bytes = scheme.hbs * scheme.bsu
+    elements: List[FallsSet] = []
+    for v in range(scheme.vn):
+        for h in range(scheme.hn):
+            row_lo = v * scheme.vbs
+            col_lo = h * scheme.group_hbs * scheme.bsu
+            width = scheme.group_hbs * scheme.bsu
+            f = Falls(
+                row_lo * row_bytes + col_lo,
+                row_lo * row_bytes + col_lo + width - 1,
+                row_bytes,
+                scheme.vbs,
+            )
+            elements.append(FallsSet([f]))
+    return Partition(elements, displacement=displacement)
+
+
+def vesta_expressible(partition: Partition) -> VestaScheme | None:
+    """Try to express a partition as a Vesta scheme.
+
+    Returns the scheme when every element is one congruent rectangle of
+    a common cell matrix, ``None`` otherwise — the checkable form of the
+    paper's claim that Vesta's model is a strict subset of FALLS
+    patterns.
+    """
+    shapes = set()
+    firsts = []
+    for e in partition.elements:
+        if len(e) != 1:
+            return None
+        f = e[0]
+        if f.inner:
+            return None
+        shapes.add((f.block_length, f.s, f.n))
+        firsts.append(f.l)
+    if len(shapes) != 1:
+        return None
+    blen, stride, n = shapes.pop()
+    num = partition.num_elements
+
+    # Candidate horizontal group counts.  With multiple rows per group
+    # the stride *is* the cell-matrix row length; single-block groups
+    # lose the stride (canonicalised), so every divisor is a candidate.
+    if n > 1:
+        if stride % blen:
+            return None
+        candidates = [stride // blen]
+    else:
+        candidates = [h for h in range(1, num + 1) if num % h == 0]
+
+    for hn in candidates:
+        vn = num // hn
+        if vn * hn != num:
+            continue
+        row_bytes = blen * hn
+        if partition.size != row_bytes * vn * n:
+            continue
+        expected = sorted(
+            v * n * row_bytes + h * blen
+            for v in range(vn)
+            for h in range(hn)
+        )
+        if sorted(firsts) != expected:
+            continue
+        bsu = math.gcd(blen, row_bytes)
+        return VestaScheme(
+            bsu=bsu,
+            hbs=row_bytes // bsu,
+            vn=vn,
+            vbs=n,
+            hn=hn,
+            group_hbs=blen // bsu,
+        )
+    return None

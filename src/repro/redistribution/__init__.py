@@ -1,0 +1,29 @@
+"""Data redistribution: schedules, gather/scatter, executors, baselines."""
+
+from .gather_scatter import gather, gather_segments, scatter, scatter_segments
+from .schedule import RedistributionPlan, Transfer, build_plan
+from .executor import (
+    collect,
+    distribute,
+    execute_plan,
+    execute_plan_windowed,
+    redistribute,
+)
+from .naive import redistribute_bytewise, redistribute_bytewise_vectorized
+
+__all__ = [
+    "RedistributionPlan",
+    "Transfer",
+    "build_plan",
+    "collect",
+    "distribute",
+    "execute_plan",
+    "execute_plan_windowed",
+    "gather",
+    "gather_segments",
+    "redistribute",
+    "redistribute_bytewise",
+    "redistribute_bytewise_vectorized",
+    "scatter",
+    "scatter_segments",
+]

@@ -1,0 +1,160 @@
+"""Redistribution schedules (paper §7).
+
+Given two partitions of the same file — source and destination — the
+redistribution algorithm intersects every source element with every
+destination element and projects each non-empty intersection on both
+sides.  The result is a :class:`RedistributionPlan`: one
+:class:`Transfer` per communicating element pair, carrying
+
+* the intersection (file space) — what the pair has in common,
+* the source projection — *where to gather* those bytes from the source
+  element's linear space, and
+* the destination projection — *where to scatter* them in the
+  destination element's linear space.
+
+The plan is data-independent: it depends only on the two partitioning
+patterns, is periodic (everything repeats with the lcm of the two
+pattern sizes), and can be computed once and reused for any file length
+and any number of accesses — this is exactly the cost the paper's
+``t_i`` column measures and amortises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, List, Tuple
+
+from ..core.intersect_nested import intersect_elements
+from ..core.mapping import ElementMapper
+from ..core.partition import Partition
+from ..core.periodic import PeriodicFallsSet
+from ..core.projection import project
+
+__all__ = ["Transfer", "RedistributionPlan", "build_plan"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One source-element -> destination-element data movement."""
+
+    src_element: int
+    dst_element: int
+    intersection: PeriodicFallsSet
+    src_projection: PeriodicFallsSet
+    dst_projection: PeriodicFallsSet
+
+    @property
+    def bytes_per_period(self) -> int:
+        return self.intersection.size_per_period
+
+    @property
+    def src_fragments_per_period(self) -> int:
+        """Fragments to gather at the source per intersection period."""
+        return self.src_projection.fragment_count_per_period
+
+    @property
+    def dst_fragments_per_period(self) -> int:
+        return self.dst_projection.fragment_count_per_period
+
+    def bytes_in_file(self, file_length: int) -> int:
+        """Bytes this transfer moves for a file of ``file_length``."""
+        return self.intersection.count_in(0, file_length - 1)
+
+
+@dataclass
+class RedistributionPlan:
+    """The full pairwise schedule between two partitions."""
+
+    src: Partition
+    dst: Partition
+    transfers: List[Transfer]
+
+    @cached_property
+    def by_pair(self) -> Dict[Tuple[int, int], Transfer]:
+        return {(t.src_element, t.dst_element): t for t in self.transfers}
+
+    @property
+    def message_count(self) -> int:
+        """Element pairs that exchange data (network messages per write
+        of one pattern period, in the paper's setting)."""
+        return len(self.transfers)
+
+    def transfers_from(self, src_element: int) -> List[Transfer]:
+        return [t for t in self.transfers if t.src_element == src_element]
+
+    def transfers_to(self, dst_element: int) -> List[Transfer]:
+        return [t for t in self.transfers if t.dst_element == dst_element]
+
+    def total_bytes(self, file_length: int) -> int:
+        return sum(t.bytes_in_file(file_length) for t in self.transfers)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the two partitions match element for element — the
+        optimal layout case where every view maps exactly on a subfile
+        (paper §6.2)."""
+        if self.src.num_elements != self.dst.num_elements:
+            return False
+        if len(self.transfers) != self.src.num_elements:
+            return False
+        for t in self.transfers:
+            if t.src_element != t.dst_element:
+                return False
+            if t.src_projection.fragment_count_per_period != 1:
+                return False
+            if t.bytes_per_period * self.src.num_elements != (
+                t.intersection.period
+            ):
+                return False
+        return True
+
+    def fragment_statistics(self) -> Dict[str, float]:
+        """Aggregate fragmentation measures — the quantities that drive
+        gather/scatter cost in the evaluation."""
+        if not self.transfers:
+            return {
+                "transfers": 0,
+                "bytes_per_period": 0,
+                "src_fragments": 0,
+                "dst_fragments": 0,
+                "mean_fragment_bytes": 0.0,
+            }
+        src_frags = sum(t.src_fragments_per_period for t in self.transfers)
+        dst_frags = sum(t.dst_fragments_per_period for t in self.transfers)
+        total = sum(t.bytes_per_period for t in self.transfers)
+        return {
+            "transfers": len(self.transfers),
+            "bytes_per_period": total,
+            "src_fragments": src_frags,
+            "dst_fragments": dst_frags,
+            "mean_fragment_bytes": total / max(src_frags, 1),
+        }
+
+
+def build_plan(src: Partition, dst: Partition) -> RedistributionPlan:
+    """Compute the redistribution schedule between two partitions.
+
+    Every (source element, destination element) pair is intersected; the
+    non-empty intersections are projected onto both sides.  Mappers are
+    built once per element and shared across the pairs, as a view-set
+    implementation would cache them.
+    """
+    src_mappers = [ElementMapper(src, i) for i in range(src.num_elements)]
+    dst_mappers = [ElementMapper(dst, j) for j in range(dst.num_elements)]
+    transfers: List[Transfer] = []
+    for i in range(src.num_elements):
+        for j in range(dst.num_elements):
+            inter = intersect_elements(src, i, dst, j)
+            if inter.is_empty:
+                continue
+            transfers.append(
+                Transfer(
+                    src_element=i,
+                    dst_element=j,
+                    intersection=inter,
+                    src_projection=project(inter, src, i, src_mappers[i]),
+                    dst_projection=project(inter, dst, j, dst_mappers[j]),
+                )
+            )
+    return RedistributionPlan(src=src, dst=dst, transfers=transfers)

@@ -1,0 +1,101 @@
+"""Timing instrumentation and breakdown records.
+
+The evaluation reports two tables of phase timings (in microseconds):
+
+* Table 1, per compute node: ``t_i`` (intersection + projections, paid
+  at view-set), ``t_m`` (mapping the access extremities), ``t_g``
+  (gathering non-contiguous view data), ``t_w^bc`` / ``t_w^disk`` (the
+  whole write, to buffer cache / to disk).
+* Table 2, per I/O node: ``t_sc^bc`` / ``t_sc^disk`` (scattering the
+  received buffer into the subfile, to cache / to disk).
+
+Two kinds of numbers flow into these records:
+
+* **measured** — real wall-clock time of our algorithm implementations
+  (intersection, mapping, gather), taken with ``perf_counter``; their
+  *shape* across sizes and layouts is a property of the algorithms;
+* **modelled** — device times from the era cost models
+  (:mod:`repro.simulation`), marked by the ``model_`` prefix in field
+  comments, used wherever the paper's number is dominated by 2001
+  hardware we do not have.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterator, List
+
+__all__ = ["Stopwatch", "WriteBreakdown", "ScatterBreakdown", "mean_breakdown"]
+
+
+class Stopwatch:
+    """Accumulates named wall-clock phases."""
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[phase] = self.totals.get(phase, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, phase: str, seconds: float) -> None:
+        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+
+    def us(self, phase: str) -> float:
+        """Accumulated time of a phase in microseconds."""
+        return self.totals.get(phase, 0.0) * 1e6
+
+
+@dataclass
+class WriteBreakdown:
+    """Per-compute-node write timing (paper Table 1), microseconds."""
+
+    t_i: float = 0.0  # measured: intersection + projections at view set
+    t_m: float = 0.0  # measured: mapping the access extremities
+    t_g: float = 0.0  # measured: gather into the send buffer
+    t_w_bc: float = 0.0  # modelled: full write, I/O nodes stop at cache
+    t_w_disk: float = 0.0  # modelled: full write, flushed to disk
+
+    def __add__(self, other: "WriteBreakdown") -> "WriteBreakdown":
+        return WriteBreakdown(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+
+@dataclass
+class ScatterBreakdown:
+    """Per-I/O-node scatter timing (paper Table 2), microseconds."""
+
+    t_sc_bc: float = 0.0  # modelled: scatter into the buffer cache
+    t_sc_disk: float = 0.0  # modelled: scatter + flush to disk
+
+    def __add__(self, other: "ScatterBreakdown") -> "ScatterBreakdown":
+        return ScatterBreakdown(
+            t_sc_bc=self.t_sc_bc + other.t_sc_bc,
+            t_sc_disk=self.t_sc_disk + other.t_sc_disk,
+        )
+
+
+def mean_breakdown(items: List) -> "WriteBreakdown | ScatterBreakdown":
+    """Field-wise mean of a list of breakdown records."""
+    if not items:
+        raise ValueError("cannot average zero records")
+    cls = type(items[0])
+    out = cls()
+    for item in items:
+        out = out + item
+    n = len(items)
+    for f in fields(cls):
+        setattr(out, f.name, getattr(out, f.name) / n)
+    return out

@@ -1,0 +1,116 @@
+"""Command-line inspection tools for partitions and layouts.
+
+Usage::
+
+    python -m repro.tools render r 16 16 4        # draw a matrix layout
+    python -m repro.tools match c r 256 4         # matching-degree report
+    python -m repro.tools plan b r 64 4           # redistribution schedule
+    python -m repro.tools figure3                 # the paper's figure 3
+
+These are development/demonstration aids; the programmatic API lives in
+:mod:`repro.viz`, :mod:`repro.core.matching` and
+:mod:`repro.redistribution.schedule`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.falls import Falls
+from .core.matching import matching_degree
+from .core.partition import Partition
+from .distributions.multidim import matrix_partition
+from .redistribution.schedule import build_plan
+from .viz import render_partition
+
+
+def _cmd_render(args) -> int:
+    p = matrix_partition(args.layout, args.rows, args.cols, args.nprocs)
+    print(render_partition(p, length=min(p.size, args.width)))
+    return 0
+
+
+def _cmd_match(args) -> int:
+    p1 = matrix_partition(args.src, args.n, args.n, args.nprocs)
+    p2 = matrix_partition(args.dst, args.n, args.n, args.nprocs)
+    m = matching_degree(p1, p2)
+    print(f"matching degree {args.src} -> {args.dst} on a "
+          f"{args.n}x{args.n} matrix over {args.nprocs} processes")
+    print(f"  degree               {m.degree():.4f}")
+    print(f"  identity             {m.identity}")
+    print(f"  transfers            {m.transfers} (minimum {m.min_transfers})")
+    print(f"  fan-out / fan-in     {m.fan_out} / {m.fan_in}")
+    print(f"  fragments/period     src {m.src_fragments}, dst {m.dst_fragments}")
+    print(f"  mean message bytes   {m.mean_message_bytes:.1f}")
+    print(f"  mean fragment bytes  {m.mean_fragment_bytes:.1f}")
+    print(f"  contiguity           {m.contiguity:.3f}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    p1 = matrix_partition(args.src, args.n, args.n, args.nprocs)
+    p2 = matrix_partition(args.dst, args.n, args.n, args.nprocs)
+    plan = build_plan(p1, p2)
+    print(f"redistribution plan {args.src} -> {args.dst}: "
+          f"{plan.message_count} transfers"
+          f"{'  [identity]' if plan.is_identity else ''}")
+    for t in plan.transfers:
+        print(
+            f"  element {t.src_element} -> {t.dst_element}: "
+            f"{t.bytes_per_period} B/period, "
+            f"gather {t.src_fragments_per_period} frag, "
+            f"scatter {t.dst_fragments_per_period} frag"
+        )
+    from .viz import render_plan
+
+    print()
+    print(render_plan(plan))
+    return 0
+
+
+def _cmd_figure3(_args) -> int:
+    p = Partition(
+        [Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)],
+        displacement=2,
+    )
+    print(render_partition(p, length=26))
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.tools``."""
+    parser = argparse.ArgumentParser(prog="python -m repro.tools")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    pr = sub.add_parser("render", help="draw a matrix layout")
+    pr.add_argument("layout", choices=["r", "c", "b"])
+    pr.add_argument("rows", type=int)
+    pr.add_argument("cols", type=int)
+    pr.add_argument("nprocs", type=int)
+    pr.add_argument("--width", type=int, default=128)
+    pr.set_defaults(fn=_cmd_render)
+
+    pm = sub.add_parser("match", help="matching-degree report")
+    pm.add_argument("src", choices=["r", "c", "b"])
+    pm.add_argument("dst", choices=["r", "c", "b"])
+    pm.add_argument("n", type=int)
+    pm.add_argument("nprocs", type=int)
+    pm.set_defaults(fn=_cmd_match)
+
+    pp = sub.add_parser("plan", help="print a redistribution schedule")
+    pp.add_argument("src", choices=["r", "c", "b"])
+    pp.add_argument("dst", choices=["r", "c", "b"])
+    pp.add_argument("n", type=int)
+    pp.add_argument("nprocs", type=int)
+    pp.set_defaults(fn=_cmd_plan)
+
+    pf = sub.add_parser("figure3", help="draw the paper's figure 3")
+    pf.set_defaults(fn=_cmd_figure3)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

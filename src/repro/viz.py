@@ -1,0 +1,157 @@
+"""ASCII rendering of FALLS structures and partitions.
+
+The paper explains its representation with byte-ruler diagrams (figures
+1-3); this module draws the same pictures in text so examples, docs and
+debugging sessions can *see* a partition:
+
+>>> from repro import Falls, Partition
+>>> from repro.viz import render_falls
+>>> print(render_falls(Falls(3, 5, 6, 3), width=24))
+ 0         1         2
+ 0123456789012345678901234
+ ...###...###...###......
+
+Partitions render one lane per element plus an ownership ruler, views
+render their mapping arrows as index lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .core.falls import Falls
+from .core.indexset import falls_set_indices, pattern_element_indices
+from .core.partition import Partition
+from .core.periodic import PeriodicFallsSet
+
+__all__ = [
+    "render_falls",
+    "render_partition",
+    "render_periodic",
+    "render_plan",
+    "ownership_string",
+]
+
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def _ruler(width: int) -> List[str]:
+    tens = "".join(str((i // 10) % 10) if i % 10 == 0 else " " for i in range(width))
+    ones = "".join(str(i % 10) for i in range(width))
+    return [tens, ones]
+
+
+def render_falls(
+    falls: Falls | Iterable[Falls],
+    width: Optional[int] = None,
+    mark: str = "#",
+    gap: str = ".",
+) -> str:
+    """Draw the selected bytes of a (set of) FALLS on a byte ruler."""
+    falls_list = [falls] if isinstance(falls, Falls) else list(falls)
+    if not falls_list:
+        return "(empty)"
+    idx = set(falls_set_indices(falls_list).tolist())
+    stop = max(idx)
+    if width is None:
+        width = stop + 1
+    line = "".join(
+        mark if i in idx else gap for i in range(width)
+    )
+    return "\n".join(_ruler(width) + [line])
+
+
+def ownership_string(partition: Partition, length: int) -> str:
+    """One glyph per byte: which element owns it ('.' = before the
+    displacement)."""
+    owners = ["."] * length
+    for e in range(partition.num_elements):
+        offs = pattern_element_indices(
+            partition.elements[e], partition.size, partition.displacement, length
+        )
+        glyph = _GLYPHS[e % len(_GLYPHS)]
+        for o in offs.tolist():
+            owners[o] = glyph
+    return "".join(owners)
+
+
+def render_partition(partition: Partition, length: Optional[int] = None) -> str:
+    """Draw a partition: ruler, ownership line, one lane per element.
+
+    ``length`` defaults to displacement + two pattern periods, enough to
+    see the tiling.
+    """
+    if length is None:
+        length = partition.displacement + 2 * partition.size
+    lines = _ruler(length)
+    lines.append(ownership_string(partition, length))
+    for e in range(partition.num_elements):
+        offs = set(
+            pattern_element_indices(
+                partition.elements[e],
+                partition.size,
+                partition.displacement,
+                length,
+            ).tolist()
+        )
+        glyph = _GLYPHS[e % len(_GLYPHS)]
+        lines.append(
+            "".join(glyph if i in offs else "." for i in range(length))
+            + f"   element {e} ({partition.element_size(e)} B/period)"
+        )
+    header = (
+        f"Partition: {partition.num_elements} elements, "
+        f"pattern size {partition.size}, displacement {partition.displacement}"
+    )
+    return "\n".join([header] + lines)
+
+
+def render_periodic(pfs: PeriodicFallsSet, length: Optional[int] = None) -> str:
+    """Draw a periodic FALLS family (intersections, projections)."""
+    if length is None:
+        length = pfs.displacement + 2 * pfs.period
+    starts, lens = pfs.segments_in(0, length - 1)
+    marked = set()
+    for s, ln in zip(starts.tolist(), lens.tolist()):
+        marked.update(range(s, s + ln))
+    line = "".join("#" if i in marked else "." for i in range(length))
+    header = (
+        f"PeriodicFallsSet: displacement {pfs.displacement}, period "
+        f"{pfs.period}, {pfs.size_per_period} B/period in "
+        f"{pfs.fragment_count_per_period} fragment(s)"
+    )
+    return "\n".join([header] + _ruler(length) + [line])
+
+
+def render_plan(plan) -> str:
+    """Draw a redistribution plan as a source x destination matrix.
+
+    Each cell shows bytes per period moved between the element pair (a
+    dot for none); the margins total per row/column.  This is the
+    communication matrix view of the schedule — all-to-all patterns and
+    identity diagonals are visible at a glance.
+    """
+    ns, nd = plan.src.num_elements, plan.dst.num_elements
+    cells = {(t.src_element, t.dst_element): t.bytes_per_period
+             for t in plan.transfers}
+    width = max(6, max((len(str(v)) for v in cells.values()), default=1) + 1)
+    header = " src\\dst |" + "".join(f"{d:>{width}}" for d in range(nd)) + "   total"
+    lines = [
+        f"Redistribution plan: {plan.message_count} transfers"
+        + ("  [identity]" if plan.is_identity else ""),
+        header,
+        "-" * len(header),
+    ]
+    for s in range(ns):
+        row = [cells.get((s, d), 0) for d in range(nd)]
+        body = "".join(
+            f"{v if v else '.':>{width}}" for v in row
+        )
+        lines.append(f" {s:>7} |{body}{sum(row):>8}")
+    totals = [sum(cells.get((s, d), 0) for s in range(ns)) for d in range(nd)]
+    lines.append(
+        f" {'total':>7} |"
+        + "".join(f"{v:>{width}}" for v in totals)
+        + f"{sum(totals):>8}"
+    )
+    return "\n".join(lines)

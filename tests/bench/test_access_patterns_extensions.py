@@ -1,0 +1,99 @@
+"""Unit tests for trace generators and the extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro import matrix_partition, row_blocks
+from repro.bench.access_patterns import (
+    nested_strided,
+    random_accesses,
+    run_trace,
+    sequential,
+    simple_strided,
+)
+from repro.bench.extensions import read_table, scaling_table
+from repro.clusterfile import Clusterfile
+from repro.simulation import ClusterConfig
+
+
+class TestGenerators:
+    def test_sequential_covers_exactly(self):
+        trace = sequential(100, 32)
+        assert trace == [(0, 32), (32, 32), (64, 32), (96, 4)]
+        assert sum(ln for _, ln in trace) == 100
+
+    def test_sequential_validation(self):
+        with pytest.raises(ValueError):
+            sequential(100, 0)
+
+    def test_simple_strided(self):
+        trace = simple_strided(64, 8, 16)
+        assert trace == [(0, 8), (16, 8), (32, 8), (48, 8)]
+
+    def test_strided_validation(self):
+        with pytest.raises(ValueError):
+            simple_strided(64, 32, 16)
+
+    def test_nested_strided(self):
+        trace = nested_strided(64, 4, 8, 2, 32)
+        assert trace == [(0, 4), (8, 4), (32, 4), (40, 4)]
+
+    def test_nested_validation(self):
+        with pytest.raises(ValueError):
+            nested_strided(64, 8, 8, 4, 16)
+
+    def test_random_deterministic(self):
+        a = random_accesses(1000, 16, 5, seed=7)
+        b = random_accesses(1000, 16, 5, seed=7)
+        assert a == b
+        assert all(0 <= off <= 1000 - 16 for off, _ in a)
+
+
+class TestRunTrace:
+    def test_result_accounting(self):
+        fs = Clusterfile(ClusterConfig())
+        n = 64
+        fs.create("m", matrix_partition("c", n, n, 4))
+        fs.set_view("m", 0, row_blocks(n, n, 4))
+        trace = sequential(n * n // 4, 256)
+        res = run_trace(fs, "m", 0, trace)
+        assert res.accesses == len(trace)
+        assert res.bytes == n * n // 4
+        assert res.t_i_us > 0
+        assert 0 < res.amortised_setup_share < 1
+
+    def test_payload_callback(self):
+        fs = Clusterfile(ClusterConfig())
+        n = 32
+        fs.create("m", matrix_partition("r", n, n, 4))
+        fs.set_view("m", 0, row_blocks(n, n, 4))
+        run_trace(
+            fs, "m", 0, [(0, 16)], payload=lambda ln: np.full(ln, 9, np.uint8)
+        )
+        got = fs.read("m", [(0, 0, 16)])[0]
+        assert (got == 9).all()
+
+
+class TestReadTable:
+    def test_small_grid(self):
+        rows = read_table(sizes=(64,), repeats=1)
+        assert len(rows) == 3
+        by = {r.physical: r for r in rows}
+        assert by["r"].t_s == 0.0
+        assert by["r"].t_m < by["c"].t_m
+        for r in rows:
+            assert r.t_r_disk > r.t_r_bc > 0
+
+
+class TestScalingTable:
+    def test_small_sweep(self):
+        rows = scaling_table(nprocs_list=(2, 4), layouts=("c", "r"),
+                             bytes_per_process=32 * 32, repeats=1)
+        by = {(r.nprocs, r.physical): r for r in rows}
+        assert by[(2, "c")].messages == 8
+        assert by[(2, "r")].messages == 4
+        assert by[(4, "c")].messages == 32
+        assert by[(4, "r")].messages == 8
+        for r in rows:
+            if r.physical == "r":
+                assert r.t_g == 0.0

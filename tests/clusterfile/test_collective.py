@@ -1,0 +1,178 @@
+"""Tests for two-phase collective I/O."""
+
+import numpy as np
+import pytest
+
+from repro import matrix_partition, round_robin
+from repro.clusterfile import Clusterfile
+from repro.clusterfile.collective import (
+    file_domain_partition,
+    two_phase_write,
+)
+from repro.redistribution import distribute
+from repro.simulation import ClusterConfig
+
+N = 64
+
+
+class TestFileDomainPartition:
+    def test_even_split(self):
+        p = file_domain_partition(100, 4)
+        assert p.num_elements == 4
+        assert [p.element_size(i) for i in range(4)] == [25, 25, 25, 25]
+        for e in p.elements:
+            assert e.is_contiguous()
+
+    def test_ragged_split(self):
+        p = file_domain_partition(10, 3)
+        assert [p.element_size(i) for i in range(3)] == [4, 3, 3]
+
+    def test_more_aggregators_than_bytes(self):
+        p = file_domain_partition(2, 5)
+        assert p.num_elements == 2
+
+    def test_displacement(self):
+        p = file_domain_partition(8, 2, displacement=5)
+        assert p.displacement == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            file_domain_partition(0, 4)
+        with pytest.raises(ValueError):
+            file_domain_partition(8, 0)
+
+
+def _setup(logical_layout, phys_layout, n=N, seed=0):
+    data = np.random.default_rng(seed).integers(0, 256, n * n, dtype=np.uint8)
+    logical = matrix_partition(logical_layout, n, n, 4)
+    fs = Clusterfile(ClusterConfig())
+    fs.create("m", matrix_partition(phys_layout, n, n, 4))
+    for c in range(4):
+        fs.set_view("m", c, logical)
+    src = distribute(data, logical)
+    accesses = [(c, 0, src[c]) for c in range(4)]
+    return fs, data, accesses
+
+
+class TestTwoPhaseWrite:
+    @pytest.mark.parametrize("logical", ["r", "c", "b"])
+    @pytest.mark.parametrize("phys", ["r", "c", "b"])
+    def test_byte_exact(self, logical, phys):
+        fs, data, accesses = _setup(logical, phys)
+        two_phase_write(fs, "m", accesses, to_disk=True)
+        np.testing.assert_array_equal(fs.linear_contents("m", data.size), data)
+
+    def test_reduces_fragments_for_mismatched_views(self):
+        fs, data, accesses = _setup("c", "r")
+        res = two_phase_write(fs, "m", accesses)
+        from repro.redistribution import build_plan
+
+        direct_frags = sum(
+            t.dst_fragments_per_period
+            for t in build_plan(
+                matrix_partition("c", N, N, 4), matrix_partition("r", N, N, 4)
+            ).transfers
+        )
+        assert res.scatter_fragments < direct_frags / 10
+
+    def test_shuffle_accounting(self):
+        fs, data, accesses = _setup("c", "r")
+        res = two_phase_write(fs, "m", accesses)
+        # 4 processes x 4 aggregators minus the 4 self-transfers.
+        assert res.shuffle_messages == 12
+        assert res.shuffle_bytes == data.size * 3 // 4
+        assert res.shuffle_time_s > 0
+
+    def test_matched_views_shuffle_free(self):
+        # Row views == file-domain chunks: nothing moves off-node.
+        fs, data, accesses = _setup("r", "b")
+        res = two_phase_write(fs, "m", accesses)
+        assert res.shuffle_messages == 0
+        assert res.shuffle_bytes == 0
+        np.testing.assert_array_equal(fs.linear_contents("m", data.size), data)
+
+    def test_views_restored_after_collective(self):
+        fs, data, accesses = _setup("c", "r")
+        before = fs.view_of("m", 2).logical
+        two_phase_write(fs, "m", accesses)
+        assert fs.view_of("m", 2).logical == before
+        # Independent I/O still works afterwards.
+        per = N * N // 4
+        buf = fs.read("m", [(2, 0, per)])[0]
+        src = distribute(data, matrix_partition("c", N, N, 4))
+        np.testing.assert_array_equal(buf, src[2])
+
+    def test_custom_aggregator_count(self):
+        fs, data, accesses = _setup("c", "r")
+        res = two_phase_write(fs, "m", accesses, aggregators=2)
+        np.testing.assert_array_equal(fs.linear_contents("m", data.size), data)
+        assert res.write.messages <= 8
+
+    def test_multi_period_collective(self):
+        # Two full logical periods (two matrices back to back).
+        data = np.random.default_rng(1).integers(0, 256, 2 * N * N, dtype=np.uint8)
+        logical = matrix_partition("c", N, N, 4)
+        fs = Clusterfile(ClusterConfig())
+        fs.create("m", matrix_partition("r", N, N, 4))
+        for c in range(4):
+            fs.set_view("m", c, logical)
+        src = distribute(data, logical)
+        accesses = [(c, 0, src[c]) for c in range(4)]
+        two_phase_write(fs, "m", accesses)
+        np.testing.assert_array_equal(fs.linear_contents("m", data.size), data)
+
+    def test_unaligned_rejected(self):
+        fs, data, accesses = _setup("c", "r")
+        bad = [(c, 0, d[: d.size - 4] if c == 0 else d) for c, _, d in accesses]
+        with pytest.raises(ValueError):
+            two_phase_write(fs, "m", bad)
+        with pytest.raises(ValueError):
+            two_phase_write(fs, "m", [(c, 1, d) for c, _, d in accesses])
+        with pytest.raises(ValueError):
+            two_phase_write(fs, "m", accesses[:2])
+
+
+class TestTwoPhaseRead:
+    @pytest.mark.parametrize("logical", ["r", "c", "b"])
+    @pytest.mark.parametrize("phys", ["r", "c"])
+    def test_roundtrip(self, logical, phys):
+        from repro.clusterfile.collective import two_phase_read
+
+        fs, data, accesses = _setup(logical, phys)
+        two_phase_write(fs, "m", accesses)
+        requests = [(c, 0, a[2].size) for c, a in zip(range(4), accesses)]
+        bufs, res = two_phase_read(fs, "m", requests)
+        for buf, (_, _, want) in zip(bufs, accesses):
+            np.testing.assert_array_equal(buf, want)
+        # Shuffle volume depends on the view shape: none for row views
+        # (they ARE the file domain), one off-node message per straddled
+        # domain for blocks, all-to-all minus self for columns.
+        expected = {"r": 0, "b": 4, "c": 12}[logical]
+        assert res.shuffle_messages == expected
+
+    def test_matched_views_shuffle_free(self):
+        from repro.clusterfile.collective import two_phase_read
+
+        fs, data, accesses = _setup("r", "c")
+        two_phase_write(fs, "m", accesses)
+        bufs, res = two_phase_read(fs, "m", [(c, 0, a[2].size) for c, a in zip(range(4), accesses)])
+        assert res.shuffle_messages == 0
+        for buf, (_, _, want) in zip(bufs, accesses):
+            np.testing.assert_array_equal(buf, want)
+
+    def test_views_restored(self):
+        from repro.clusterfile.collective import two_phase_read
+
+        fs, data, accesses = _setup("c", "r")
+        two_phase_write(fs, "m", accesses)
+        before = fs.view_of("m", 1).logical
+        two_phase_read(fs, "m", [(c, 0, a[2].size) for c, a in zip(range(4), accesses)])
+        assert fs.view_of("m", 1).logical == before
+
+    def test_unaligned_rejected(self):
+        from repro.clusterfile.collective import two_phase_read
+
+        fs, data, accesses = _setup("c", "r")
+        two_phase_write(fs, "m", accesses)
+        with pytest.raises(ValueError):
+            two_phase_read(fs, "m", [(c, 1, a[2].size) for c, a in zip(range(4), accesses)])

@@ -1,0 +1,76 @@
+"""The paper's §8.2 observation, tested directly: "Because I/O servers
+are running in parallel, t_w ... [is] limited by the slowest I/O
+server."  We build a heterogeneous cluster with one slow disk and check
+who sets the completion time."""
+
+import numpy as np
+import pytest
+
+from repro import matrix_partition, row_blocks
+from repro.clusterfile import Clusterfile
+from repro.simulation import Cluster, ClusterConfig, DiskModel
+
+N = 256
+
+
+def heterogeneous_fs(slow_node: int, slow_factor: float = 8.0):
+    config = ClusterConfig()
+    base = config.disk
+    slow = DiskModel(
+        avg_seek_s=base.avg_seek_s * slow_factor,
+        rotational_latency_s=base.rotational_latency_s * slow_factor,
+        transfer_Bps=base.transfer_Bps / slow_factor,
+        per_request_s=base.per_request_s * slow_factor,
+    )
+    models = [slow if i == slow_node else base for i in range(config.io_nodes)]
+    fs = Clusterfile(config)
+    fs.cluster = Cluster(config, disk_models=models)
+    return fs
+
+
+def run_write(fs, layout="r"):
+    data = np.zeros(N * N, dtype=np.uint8)
+    fs.create("m", matrix_partition(layout, N, N, 4))
+    logical = row_blocks(N, N, 4)
+    for c in range(4):
+        fs.set_view("m", c, logical)
+    per = N * N // 4
+    return fs.write(
+        "m", [(c, 0, data[c * per : (c + 1) * per]) for c in range(4)],
+        to_disk=True,
+    )
+
+
+class TestSlowestServer:
+    def test_matched_layout_only_one_compute_suffers(self):
+        """With 1:1 pairing (r-r), only the compute node paired with the
+        slow disk slows down."""
+        res = run_write(heterogeneous_fs(slow_node=2))
+        times = {c: bd.t_w_disk for c, bd in res.per_compute.items()}
+        assert times[2] > 3 * max(times[c] for c in (0, 1, 3))
+
+    def test_mismatched_layout_everyone_waits(self):
+        """With all-to-all (c-r), every compute node touches the slow
+        disk and the whole operation is limited by it."""
+        res = run_write(heterogeneous_fs(slow_node=2), layout="c")
+        times = [bd.t_w_disk for bd in res.per_compute.values()]
+        fast = run_write(heterogeneous_fs(slow_node=2, slow_factor=1.0),
+                         layout="c")
+        fast_times = [bd.t_w_disk for bd in fast.per_compute.values()]
+        # All four computes are slowed, not just one: even the quickest
+        # finisher waits longer than anyone did on the uniform cluster,
+        # and each compute slows down markedly against its own baseline.
+        assert min(times) > max(fast_times)
+        for slow_t, fast_t in zip(sorted(times), sorted(fast_times)):
+            assert slow_t > 1.5 * fast_t
+
+    def test_makespan_tracks_slow_factor(self):
+        makespans = []
+        for factor in (1.0, 4.0, 16.0):
+            res = run_write(heterogeneous_fs(0, factor))
+            makespans.append(max(bd.t_w_disk for bd in res.per_compute.values()))
+        assert makespans[0] < makespans[1] < makespans[2]
+
+    def test_disk_models_arity_validated(self):
+        with pytest.raises(ValueError):
+            Cluster(ClusterConfig(io_nodes=4), disk_models=[DiskModel()] * 3)

@@ -1,0 +1,138 @@
+"""Unit + randomized tests for the FALLS set algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core import Falls, FallsSet
+from repro.core.algebra import (
+    complement,
+    difference,
+    partition_from_elements,
+    same_bytes,
+    union,
+)
+from repro.core.indexset import falls_set_indices
+
+
+def bytes_of(fam):
+    falls = fam.falls if isinstance(fam, FallsSet) else list(fam)
+    return set(falls_set_indices(falls).tolist())
+
+
+class TestComplement:
+    def test_basic(self):
+        got = complement([Falls(0, 1, 4, 2)], 8)
+        assert bytes_of(got) == {2, 3, 6, 7}
+
+    def test_full_selection_empty_complement(self):
+        got = complement([Falls(0, 7, 8, 1)], 8)
+        assert got.is_empty
+
+    def test_empty_selection(self):
+        got = complement([], 5)
+        assert bytes_of(got) == {0, 1, 2, 3, 4}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            complement([Falls(0, 9, 10, 1)], 8)
+        with pytest.raises(ValueError):
+            complement([], 0)
+
+    def test_compresses_regular_structure(self):
+        got = complement([Falls(0, 0, 2, 8)], 16)  # evens -> odds
+        assert len(got) == 1
+        assert got[0] == Falls(1, 1, 2, 8)
+
+
+class TestUnionDifference:
+    def test_union_disjoint(self):
+        got = union([Falls(0, 0, 4, 2)], [Falls(2, 2, 4, 2)])
+        assert bytes_of(got) == {0, 2, 4, 6}
+
+    def test_union_overlapping(self):
+        got = union([Falls(0, 5, 6, 1)], [Falls(3, 8, 6, 1)])
+        assert bytes_of(got) == set(range(9))
+        assert len(got) == 1  # coalesced
+
+    def test_union_empty(self):
+        assert union().is_empty
+        assert bytes_of(union([], [Falls(1, 2, 2, 1)])) == {1, 2}
+
+    def test_difference(self):
+        got = difference([Falls(0, 9, 10, 1)], [Falls(2, 4, 3, 1)])
+        assert bytes_of(got) == {0, 1, 5, 6, 7, 8, 9}
+
+    def test_difference_disjoint(self):
+        got = difference([Falls(0, 1, 2, 1)], [Falls(5, 6, 2, 1)])
+        assert bytes_of(got) == {0, 1}
+
+    def test_difference_total(self):
+        got = difference([Falls(0, 3, 4, 1)], [Falls(0, 7, 8, 1)])
+        assert got.is_empty
+
+    def test_randomised_oracle(self):
+        rng = np.random.default_rng(17)
+        for _ in range(100):
+            def rand_family():
+                out = []
+                pos = 0
+                for _ in range(rng.integers(1, 4)):
+                    pos += int(rng.integers(0, 5))
+                    blen = int(rng.integers(1, 5))
+                    s = blen + int(rng.integers(0, 4))
+                    n = int(rng.integers(1, 4))
+                    f = Falls(pos, pos + blen - 1, s, n)
+                    out.append(f)
+                    pos = f.extent_stop + 1
+                return out
+
+            a, b = rand_family(), rand_family()
+            assert bytes_of(union(a, b)) == bytes_of(a) | bytes_of(b)
+            assert bytes_of(difference(a, b)) == bytes_of(a) - bytes_of(b)
+            within = max(
+                max((f.extent_stop for f in a), default=0),
+                max((f.extent_stop for f in b), default=0),
+            ) + 1
+            assert bytes_of(complement(a, within)) == (
+                set(range(within)) - bytes_of(a)
+            )
+
+
+class TestSameBytes:
+    def test_structurally_different_equal(self):
+        # One FALLS with 4 blocks == two FALLS with 2 blocks each.
+        a = [Falls(0, 1, 4, 4)]
+        b = [Falls(0, 1, 4, 2), Falls(8, 9, 4, 2)]
+        assert same_bytes(a, b)
+
+    def test_nested_vs_flat(self):
+        nested = [Falls(0, 3, 8, 2, (Falls(0, 1, 4, 1),))]
+        flat = [Falls(0, 1, 8, 2)]
+        assert same_bytes(nested, flat)
+
+    def test_unequal(self):
+        assert not same_bytes([Falls(0, 1, 4, 2)], [Falls(0, 1, 4, 3)])
+        assert not same_bytes([Falls(0, 1, 4, 2)], [Falls(1, 2, 4, 2)])
+
+
+class TestPartitionFromElements:
+    def test_fill_last(self):
+        p = partition_from_elements([[Falls(0, 1, 6, 2)]], fill_last=True)
+        assert p.num_elements == 2
+        assert p.size == 8
+        assert bytes_of(p.elements[1]) == {2, 3, 4, 5}
+
+    def test_no_fill_needed(self):
+        p = partition_from_elements(
+            [[Falls(0, 1, 4, 1)], [Falls(2, 3, 4, 1)]], fill_last=True
+        )
+        assert p.num_elements == 2
+
+    def test_explicit_elements_validated(self):
+        # {0, 2} alone leaves byte 1 unowned - not a valid pattern.
+        with pytest.raises(Exception):
+            partition_from_elements([[Falls(0, 0, 2, 2)]], fill_last=False)
+        # With fill_last the hole is claimed by the complement element.
+        p = partition_from_elements([[Falls(0, 0, 2, 2)]], fill_last=True)
+        assert p.num_elements == 2
+        assert bytes_of(p.elements[1]) == {1}

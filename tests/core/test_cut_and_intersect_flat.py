@@ -1,0 +1,130 @@
+"""Unit tests for CUT-FALLS and INTERSECT-FALLS against the byte oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.cut import cut_falls, cut_falls_pieces
+from repro.core.falls import Falls
+from repro.core.indexset import falls_indices
+from repro.core.intersect_flat import intersect_falls
+
+
+def byte_set(falls_list, shift=0):
+    out = set()
+    for f in falls_list:
+        out.update((falls_indices(f) + shift).tolist())
+    return out
+
+
+class TestCutFalls:
+    def test_window_before_falls(self):
+        assert cut_falls(Falls(10, 12, 5, 2), 0, 9) == []
+
+    def test_window_after_falls(self):
+        assert cut_falls(Falls(0, 2, 5, 2), 10, 20) == []
+
+    def test_window_in_gap(self):
+        # Blocks [0,2], [10,12]; window [4,8] lies entirely in the gap.
+        assert cut_falls(Falls(0, 2, 10, 2), 4, 8) == []
+
+    def test_exact_window_identity(self):
+        f = Falls(3, 5, 6, 4)
+        pieces = cut_falls(f, 3, f.extent_stop)
+        assert pieces == [Falls(0, 2, 6, 4)]
+
+    def test_single_block_partial_both_sides(self):
+        pieces = cut_falls(Falls(0, 9, 10, 1), 3, 6)
+        assert pieces == [Falls(0, 3, 4, 1)]
+
+    def test_offsets_tracked(self):
+        pieces = cut_falls_pieces(Falls(3, 5, 6, 5), 4, 28)
+        assert [(p.offset, p.first_block) for p in pieces] == [
+            (1, 0),
+            (0, 1),
+            (0, 4),
+        ]
+
+    @pytest.mark.parametrize(
+        "falls,a,b",
+        [
+            (Falls(3, 5, 6, 5), 4, 28),
+            (Falls(0, 0, 2, 16), 1, 30),
+            (Falls(2, 9, 11, 4), 0, 100),
+            (Falls(2, 9, 11, 4), 5, 17),
+            (Falls(0, 4, 5, 6), 7, 22),  # contiguous FALLS
+            (Falls(5, 5, 1, 1), 5, 5),
+        ],
+    )
+    def test_bytes_preserved(self, falls, a, b):
+        idx = falls_indices(falls)
+        want = set(idx[(idx >= a) & (idx <= b)].tolist())
+        got = byte_set(cut_falls(falls, a, b), shift=a)
+        assert got == want
+
+    def test_pieces_relative_to_a(self):
+        pieces = cut_falls(Falls(10, 14, 10, 3), 12, 40)
+        assert pieces[0].l == 0  # 12 - 12
+
+
+class TestIntersectFalls:
+    def test_paper_example(self):
+        assert intersect_falls(Falls(0, 7, 16, 2), Falls(0, 3, 8, 4)) == [
+            Falls(0, 3, 16, 2)
+        ]
+
+    def test_disjoint(self):
+        assert intersect_falls(Falls(0, 1, 8, 4), Falls(4, 5, 8, 4)) == []
+
+    def test_identical(self):
+        f = Falls(2, 5, 8, 4)
+        got = byte_set(intersect_falls(f, f))
+        assert got == set(falls_indices(f).tolist())
+
+    def test_single_block_vs_family(self):
+        got = intersect_falls(Falls(0, 20, 21, 1), Falls(2, 4, 8, 3))
+        assert byte_set(got) == {2, 3, 4, 10, 11, 12, 18, 19, 20}
+
+    def test_family_vs_single_block(self):
+        got = intersect_falls(Falls(2, 4, 8, 3), Falls(0, 10, 11, 1))
+        assert byte_set(got) == {2, 3, 4, 10}
+
+    @pytest.mark.parametrize(
+        "f1,f2",
+        [
+            (Falls(0, 7, 16, 2), Falls(0, 3, 8, 4)),
+            (Falls(0, 2, 6, 8), Falls(0, 3, 9, 6)),  # coprime-ish strides
+            (Falls(1, 5, 7, 10), Falls(3, 4, 5, 12)),
+            (Falls(0, 0, 2, 32), Falls(0, 0, 3, 22)),
+            (Falls(5, 9, 20, 3), Falls(0, 63, 64, 1)),
+            (Falls(0, 15, 16, 4), Falls(8, 23, 32, 2)),
+            (Falls(2, 3, 4, 100), Falls(1, 2, 6, 70)),
+        ],
+    )
+    def test_oracle(self, f1, f2):
+        want = set(falls_indices(f1).tolist()) & set(falls_indices(f2).tolist())
+        got = byte_set(intersect_falls(f1, f2))
+        assert got == want
+
+    def test_randomised_oracle(self):
+        rng = np.random.default_rng(13)
+        for _ in range(200):
+            def rand_falls():
+                l = int(rng.integers(0, 10))
+                blen = int(rng.integers(1, 8))
+                s = blen + int(rng.integers(0, 10))
+                n = int(rng.integers(1, 12))
+                return Falls(l, l + blen - 1, s, n)
+
+            f1, f2 = rand_falls(), rand_falls()
+            want = set(falls_indices(f1).tolist()) & set(falls_indices(f2).tolist())
+            got = byte_set(intersect_falls(f1, f2))
+            assert got == want, (f1, f2)
+
+    def test_results_sorted_and_disjoint(self):
+        out = intersect_falls(Falls(0, 5, 7, 9), Falls(1, 3, 5, 13))
+        all_bytes = []
+        for f in out:
+            all_bytes.extend(falls_indices(f).tolist())
+        assert len(all_bytes) == len(set(all_bytes))
+        lefts = [f.l for f in out]
+        assert lefts == sorted(lefts)

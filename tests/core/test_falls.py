@@ -1,0 +1,158 @@
+"""Unit tests for the FALLS data structures."""
+
+import pytest
+
+from repro.core.falls import (
+    Falls,
+    FallsSet,
+    LineSegment,
+    falls_from_segment,
+    is_ordered_layout,
+)
+
+
+class TestLineSegment:
+    def test_length(self):
+        assert LineSegment(3, 5).length == 3
+        assert LineSegment(7, 7).length == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LineSegment(5, 3)
+        with pytest.raises(ValueError):
+            LineSegment(-1, 3)
+
+    def test_shift(self):
+        assert LineSegment(3, 5).shifted(10) == LineSegment(13, 15)
+
+    def test_overlap_and_intersection(self):
+        a = LineSegment(0, 5)
+        b = LineSegment(4, 9)
+        c = LineSegment(6, 9)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert a.intersection(b) == LineSegment(4, 5)
+        assert a.intersection(c) is None
+
+
+class TestFallsValidation:
+    def test_basic(self):
+        f = Falls(0, 3, 8, 2)
+        assert f.block_length == 4
+        assert f.size() == 8
+        assert f.span == 12
+        assert f.extent_stop == 11
+
+    def test_single_block_stride_canonicalised(self):
+        assert Falls(3, 5, 99, 1) == Falls(3, 5, 3, 1)
+        assert Falls(3, 5, 99, 1).s == 3
+
+    def test_negative_left_rejected(self):
+        with pytest.raises(ValueError):
+            Falls(-1, 3, 8, 2)
+
+    def test_r_before_l_rejected(self):
+        with pytest.raises(ValueError):
+            Falls(5, 3, 8, 2)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            Falls(0, 3, 8, 0)
+
+    def test_overlapping_stride_rejected(self):
+        with pytest.raises(ValueError):
+            Falls(0, 7, 4, 2)  # stride 4 < block length 8
+
+    def test_inner_beyond_block_rejected(self):
+        with pytest.raises(ValueError):
+            Falls(0, 3, 8, 2, (Falls(0, 4, 8, 1),))  # inner longer than block
+
+    def test_inner_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            Falls(0, 9, 16, 2, (Falls(4, 5, 6, 1), Falls(0, 1, 6, 1)))
+
+
+class TestFallsDerived:
+    def test_nested_size(self):
+        f = Falls(0, 9, 16, 3, (Falls(0, 1, 4, 2),))
+        assert f.size() == 3 * 4
+
+    def test_heights(self):
+        leaf = Falls(0, 3, 8, 2)
+        assert leaf.height() == 1
+        two = Falls(0, 3, 8, 2, (Falls(0, 0, 2, 2),))
+        assert two.height() == 2
+        three = Falls(0, 15, 32, 2, (Falls(0, 7, 8, 2, (Falls(0, 1, 4, 2),)),))
+        assert three.height() == 3
+
+    def test_uniform_depth(self):
+        mixed = Falls(
+            0, 15, 32, 1, (Falls(0, 3, 8, 1, (Falls(0, 0, 2, 2),)), Falls(8, 11, 8, 1))
+        )
+        assert not mixed.has_uniform_depth()
+        assert Falls(0, 3, 8, 2).has_uniform_depth()
+
+    def test_leaf_segment_count(self):
+        f = Falls(0, 9, 16, 3, (Falls(0, 1, 4, 2),))
+        assert f.leaf_segment_count() == 6
+        assert len(list(f.leaf_segments())) == 6
+
+    def test_contiguous(self):
+        assert Falls(0, 7, 8, 1).is_contiguous
+        assert Falls(0, 3, 4, 4).is_contiguous  # adjacent blocks
+        assert not Falls(0, 3, 5, 4).is_contiguous
+        full_inner = Falls(0, 7, 8, 1, (Falls(0, 7, 8, 1),))
+        assert full_inner.is_contiguous
+        holey_inner = Falls(0, 7, 8, 1, (Falls(0, 3, 8, 1),))
+        assert not holey_inner.is_contiguous
+
+    def test_shifted(self):
+        f = Falls(0, 3, 8, 2, (Falls(0, 0, 2, 2),))
+        g = f.shifted(5)
+        assert (g.l, g.r) == (5, 8)
+        assert g.inner == f.inner  # inner stays block-relative
+
+    def test_flat_strips_inner(self):
+        f = Falls(0, 3, 8, 2, (Falls(0, 0, 2, 2),))
+        assert f.flat() == Falls(0, 3, 8, 2)
+
+    def test_falls_from_segment(self):
+        assert falls_from_segment(LineSegment(3, 5)) == Falls(3, 5, 3, 1)
+
+
+class TestFallsSet:
+    def test_size_sums(self):
+        s = FallsSet([Falls(0, 1, 6, 2), Falls(14, 15, 4, 1)])
+        assert s.size() == 6
+
+    def test_sorted_required(self):
+        with pytest.raises(ValueError):
+            FallsSet([Falls(10, 11, 4, 1), Falls(0, 1, 6, 2)])
+
+    def test_interleaved_allowed_but_not_ordered(self):
+        a = Falls(0, 1, 16, 2)
+        b = Falls(4, 5, 16, 2)
+        s = FallsSet([a, b])  # footprints interleave: 0..17 and 4..21
+        assert not s.is_ordered()
+        assert is_ordered_layout([Falls(0, 1, 6, 2), Falls(14, 15, 4, 1)])
+
+    def test_interleaved_leaf_segments_sorted(self):
+        s = FallsSet([Falls(0, 1, 16, 2), Falls(4, 5, 16, 2)])
+        starts = [seg.start for seg in s.leaf_segments()]
+        assert starts == sorted(starts) == [0, 4, 16, 20]
+
+    def test_extents(self):
+        s = FallsSet([Falls(0, 1, 16, 2), Falls(4, 5, 16, 2)])
+        assert s.extent_start == 0
+        assert s.extent_stop == 21
+
+    def test_empty(self):
+        s = FallsSet(())
+        assert s.is_empty
+        assert s.size() == 0
+        assert s.height() == 0
+        assert s.is_contiguous()
+
+    def test_contiguity(self):
+        assert FallsSet([Falls(0, 3, 4, 1), Falls(4, 7, 4, 1)]).is_contiguous()
+        assert not FallsSet([Falls(0, 3, 4, 1), Falls(5, 7, 3, 1)]).is_contiguous()

@@ -1,0 +1,108 @@
+"""Nested patterns x displacement misalignment: the PREPROCESS rotation
+path with real tree structure, against the byte oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import intersect_elements, project
+from repro.core.indexset import pattern_element_indices
+from repro.distributions import matrix_partition, multidim_partition
+from repro.distributions.hpf import Block, BlockCyclic, Cyclic, Replicated
+
+
+def oracle(p, e, length):
+    return set(
+        pattern_element_indices(
+            p.elements[e], p.size, p.displacement, length
+        ).tolist()
+    )
+
+
+def realized(inter, length):
+    got = set()
+    starts, lens = inter.segments_in(0, length - 1)
+    for s, ln in zip(starts.tolist(), lens.tolist()):
+        got.update(range(s, s + ln))
+    return got
+
+
+def displaced(partition, displacement):
+    from repro.core import Partition
+
+    return Partition(
+        partition.elements, displacement=displacement, validate=False
+    )
+
+
+CASES = [
+    # (partition builder, displacement a, displacement b)
+    (lambda: matrix_partition("b", 8, 8, 4), 0, 3),
+    (lambda: matrix_partition("c", 8, 8, 4), 5, 0),
+    (lambda: matrix_partition("b", 8, 8, 4), 7, 11),
+    (
+        lambda: multidim_partition((4, 6), 2, (Cyclic(), Block()), (2, 3)),
+        2,
+        9,
+    ),
+    (
+        lambda: multidim_partition(
+            (8, 4), 1, (BlockCyclic(2), Replicated()), (2, 1)
+        ),
+        1,
+        4,
+    ),
+]
+
+
+class TestDisplacedNestedIntersections:
+    @pytest.mark.parametrize("builder,d1,d2", CASES)
+    def test_every_pair_matches_oracle(self, builder, d1, d2):
+        base = builder()
+        p1 = displaced(base, d1)
+        p2 = displaced(builder(), d2)
+        length = max(d1, d2) + 2 * math.lcm(p1.size, p2.size)
+        for i in range(p1.num_elements):
+            for j in range(p2.num_elements):
+                inter = intersect_elements(p1, i, p2, j)
+                want = oracle(p1, i, length) & oracle(p2, j, length)
+                assert realized(inter, length) == want, (i, j)
+
+    @pytest.mark.parametrize("builder,d1,d2", CASES[:3])
+    def test_projections_stay_consistent(self, builder, d1, d2):
+        p1 = displaced(builder(), d1)
+        p2 = displaced(builder(), d2)
+        for i in range(p1.num_elements):
+            for j in range(p2.num_elements):
+                inter = intersect_elements(p1, i, p2, j)
+                if inter.is_empty:
+                    continue
+                pr1 = project(inter, p1, i)
+                pr2 = project(inter, p2, j)
+                assert (
+                    pr1.size_per_period
+                    == pr2.size_per_period
+                    == inter.size_per_period
+                )
+
+    def test_self_intersection_with_shift_is_partial(self):
+        """A pattern against itself shifted by one byte shares strictly
+        fewer bytes per period than its element size."""
+        p0 = matrix_partition("b", 8, 8, 4)
+        p1 = displaced(matrix_partition("b", 8, 8, 4), 1)
+        inter = intersect_elements(p0, 0, p1, 0)
+        assert 0 < inter.size_per_period < p0.element_size(0)
+
+    def test_three_level_trees(self):
+        """Nested x nested with three levels each (3-D block grids)."""
+        a = multidim_partition((4, 4, 4), 1, (Block(), Block(), Block()),
+                               (2, 2, 1))
+        b = multidim_partition((4, 4, 4), 1, (Block(), Cyclic(), Block()),
+                               (1, 2, 2))
+        length = 2 * 64
+        for i in range(4):
+            for j in range(4):
+                inter = intersect_elements(a, i, b, j)
+                want = oracle(a, i, length) & oracle(b, j, length)
+                assert realized(inter, length) == want

@@ -1,0 +1,191 @@
+"""Unit tests for nested intersection (PREPROCESS + INTERSECT-AUX) and
+nested cutting, checked against the byte-index oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Falls,
+    FallsSet,
+    Partition,
+    cut_nested_set,
+    intersect_elements,
+    intersect_nested_sets,
+    intersect_partitions,
+)
+from repro.core.indexset import falls_set_indices, pattern_element_indices
+
+
+def byte_set(falls_list):
+    return set(falls_set_indices(falls_list).tolist())
+
+
+class TestIntersectNestedSets:
+    def test_leaf_level(self):
+        a = [Falls(0, 7, 16, 2)]
+        b = [Falls(0, 3, 8, 4)]
+        got = byte_set(intersect_nested_sets(a, b))
+        assert got == byte_set(a) & byte_set(b)
+
+    def test_figure4_nested(self):
+        v = [Falls(0, 7, 16, 2, (Falls(0, 1, 4, 2),))]
+        s = [Falls(0, 3, 8, 4, (Falls(0, 0, 2, 2),))]
+        got = byte_set(intersect_nested_sets(v, s))
+        assert got == {0, 16}
+
+    def test_different_heights_padded(self):
+        deep = [Falls(0, 7, 16, 2, (Falls(0, 1, 4, 2),))]
+        shallow = [Falls(0, 5, 8, 4)]
+        got = byte_set(intersect_nested_sets(deep, shallow))
+        assert got == byte_set(deep) & byte_set(shallow)
+
+    def test_three_levels(self):
+        a = [Falls(0, 31, 64, 2, (Falls(0, 15, 16, 2, (Falls(0, 3, 8, 2),)),))]
+        b = [Falls(0, 47, 96, 1, (Falls(0, 5, 12, 4),))]
+        got = byte_set(intersect_nested_sets(a, b))
+        assert got == byte_set(a) & byte_set(b)
+
+    def test_multi_falls_sets(self):
+        a = [Falls(0, 1, 8, 4), Falls(36, 39, 4, 1)]
+        b = [Falls(0, 2, 5, 8)]
+        got = byte_set(intersect_nested_sets(a, b))
+        assert got == byte_set(a) & byte_set(b)
+
+    def test_empty_result(self):
+        assert intersect_nested_sets([Falls(0, 1, 8, 2)], [Falls(4, 5, 8, 2)]) == []
+
+    def test_empty_input(self):
+        assert intersect_nested_sets([], [Falls(0, 1, 4, 2)]) == []
+
+    def test_randomised_oracle(self):
+        rng = np.random.default_rng(23)
+
+        def rand_nested(depth):
+            l = int(rng.integers(0, 6))
+            blen = int(rng.integers(2, 12))
+            s = blen + int(rng.integers(0, 8))
+            n = int(rng.integers(1, 5))
+            if depth <= 1 or blen < 4:
+                return Falls(l, l + blen - 1, s, n)
+            inner_blen = int(rng.integers(1, blen // 2))
+            inner_s = inner_blen + int(rng.integers(0, 3))
+            max_n = max(1, (blen - inner_blen) // inner_s + 1)
+            inner_n = int(rng.integers(1, max_n + 1))
+            return Falls(
+                l,
+                l + blen - 1,
+                s,
+                n,
+                (Falls(0, inner_blen - 1, inner_s, inner_n),),
+            )
+
+        for trial in range(150):
+            a = [rand_nested(int(rng.integers(1, 3)))]
+            b = [rand_nested(int(rng.integers(1, 3)))]
+            got = byte_set(intersect_nested_sets(a, b))
+            want = byte_set(a) & byte_set(b)
+            assert got == want, (trial, a[0], b[0])
+
+
+class TestCutNestedSet:
+    def test_leaf(self):
+        got = cut_nested_set([Falls(3, 5, 6, 5)], 4, 28)
+        assert byte_set(got) == {b - 4 for b in byte_set([Falls(3, 5, 6, 5)]) if 4 <= b <= 28}
+
+    def test_nested_partial_block(self):
+        f = Falls(0, 7, 16, 2, (Falls(0, 1, 4, 2),))  # bytes 0,1,4,5,16,17,20,21
+        got = cut_nested_set([f], 1, 17)
+        assert byte_set(got) == {0, 3, 4, 15, 16}  # rebased: 1,4,5,16,17 minus 1
+
+    def test_empty_window(self):
+        assert cut_nested_set([Falls(0, 3, 8, 2)], 6, 7) == []
+
+
+class TestIntersectElements:
+    def oracle(self, p1, e1, p2, e2, file_length):
+        a = pattern_element_indices(
+            p1.elements[e1], p1.size, p1.displacement, file_length
+        )
+        b = pattern_element_indices(
+            p2.elements[e2], p2.size, p2.displacement, file_length
+        )
+        return set(a.tolist()) & set(b.tolist())
+
+    def test_same_size_patterns(self):
+        rows = Partition([Falls(8 * i, 8 * i + 7, 32, 1) for i in range(4)])
+        cols = Partition([Falls(2 * i, 2 * i + 1, 8, 4) for i in range(4)])
+        for i in range(4):
+            for j in range(4):
+                inter = intersect_elements(rows, i, cols, j)
+                got = set()
+                starts, lengths = inter.segments_in(0, 63)
+                for s, ln in zip(starts.tolist(), lengths.tolist()):
+                    got.update(range(s, s + ln))
+                assert got == self.oracle(rows, i, cols, j, 64)
+
+    def test_different_pattern_sizes_lcm(self):
+        p1 = Partition([Falls(0, 2, 6, 1), Falls(3, 5, 6, 1)])  # size 6
+        p2 = Partition([Falls(0, 3, 8, 1), Falls(4, 7, 8, 1)])  # size 8
+        inter = intersect_elements(p1, 0, p2, 1)
+        assert inter.period == 24
+        got = set()
+        starts, lengths = inter.segments_in(0, 47)
+        for s, ln in zip(starts.tolist(), lengths.tolist()):
+            got.update(range(s, s + ln))
+        assert got == self.oracle(p1, 0, p2, 1, 48)
+
+    def test_different_displacements(self):
+        p1 = Partition([Falls(0, 1, 4, 1), Falls(2, 3, 4, 1)], displacement=0)
+        p2 = Partition([Falls(0, 1, 4, 1), Falls(2, 3, 4, 1)], displacement=3)
+        inter = intersect_elements(p1, 0, p2, 0)
+        assert inter.displacement == 3
+        got = set()
+        starts, lengths = inter.segments_in(0, 100)
+        for s, ln in zip(starts.tolist(), lengths.tolist()):
+            got.update(range(s, s + ln))
+        # Oracle over the common (periodic) region only.
+        want = self.oracle(p1, 0, p2, 0, 101)
+        assert got == want
+
+    def test_identical_partitions_intersect_fully(self):
+        p = Partition([Falls(0, 3, 8, 1), Falls(4, 7, 8, 1)])
+        inter = intersect_elements(p, 0, p, 0)
+        assert inter.size_per_period == 4
+        assert inter.is_empty is False
+        cross = intersect_elements(p, 0, p, 1)
+        assert cross.is_empty
+
+    def test_intersect_partitions_matrix(self):
+        rows = Partition([Falls(8 * i, 8 * i + 7, 32, 1) for i in range(4)])
+        cols = Partition([Falls(2 * i, 2 * i + 1, 8, 4) for i in range(4)])
+        matrix = intersect_partitions(rows, cols)
+        # Every row element shares bytes with every column element.
+        assert set(matrix.keys()) == {(i, j) for i in range(4) for j in range(4)}
+        total = sum(v.size_per_period for v in matrix.values())
+        assert total == 32  # every byte of the 32-byte period exactly once
+
+    def test_randomised_partition_oracle(self):
+        rng = np.random.default_rng(5)
+        for _ in range(40):
+            # Random contiguous-coverage partitions via random split points.
+            def rand_partition(size, parts):
+                pts = sorted(
+                    rng.choice(np.arange(1, size), size=parts - 1, replace=False).tolist()
+                )
+                bounds = [0] + pts + [size]
+                els = [
+                    Falls(bounds[i], bounds[i + 1] - 1, size, 1)
+                    for i in range(parts)
+                ]
+                return Partition(els)
+
+            p1 = rand_partition(12, 3)
+            p2 = rand_partition(18, 2)
+            for i in range(3):
+                for j in range(2):
+                    inter = intersect_elements(p1, i, p2, j)
+                    got = set()
+                    starts, lengths = inter.segments_in(0, 71)
+                    for s, ln in zip(starts.tolist(), lengths.tolist()):
+                        got.update(range(s, s + ln))
+                    assert got == self.oracle(p1, i, p2, j, 72)

@@ -1,0 +1,87 @@
+"""Unit tests for the matching-degree metrics (paper §9 future work)."""
+
+import pytest
+
+from repro import Falls, Partition, matrix_partition, round_robin
+from repro.core.matching import matching_degree
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("layout", ["r", "c", "b"])
+    def test_identical_layouts_score_one(self, layout):
+        p = matrix_partition(layout, 64, 64, 4)
+        q = matrix_partition(layout, 64, 64, 4)
+        m = matching_degree(p, q)
+        assert m.identity
+        assert m.degree() == pytest.approx(1.0)
+        assert m.contiguity == pytest.approx(1.0)
+        assert m.transfers == m.min_transfers == 4
+        assert m.fan_out == m.fan_in == 1
+
+    def test_same_bytes_different_descriptions(self):
+        # A round-robin stripe described two ways: unit 4 twice vs unit 4
+        # once with doubled period - same byte sets, still identity.
+        p = round_robin(2, 4)
+        q = Partition(
+            [Falls(0, 3, 8, 2), Falls(4, 7, 8, 2)], validate=True
+        )
+        m = matching_degree(p, q)
+        assert m.identity
+        assert m.degree() == pytest.approx(1.0)
+
+
+class TestMismatch:
+    def test_all_to_all_detected(self):
+        m = matching_degree(
+            matrix_partition("c", 64, 64, 4), matrix_partition("r", 64, 64, 4)
+        )
+        assert m.transfers == 16
+        assert m.fan_out == 4 and m.fan_in == 4
+        assert not m.identity
+        assert m.degree() < 0.2
+
+    def test_paper_cost_ordering(self):
+        """b-r must score better than c-r (the paper's measured cost
+        ordering), both worse than r-r."""
+        n = 256
+        rr = matching_degree(
+            matrix_partition("r", n, n, 4), matrix_partition("r", n, n, 4)
+        )
+        br = matching_degree(
+            matrix_partition("b", n, n, 4), matrix_partition("r", n, n, 4)
+        )
+        cr = matching_degree(
+            matrix_partition("c", n, n, 4), matrix_partition("r", n, n, 4)
+        )
+        assert rr.degree() > br.degree() > cr.degree()
+
+    def test_symmetry_of_degree(self):
+        n = 64
+        ab = matching_degree(
+            matrix_partition("b", n, n, 4), matrix_partition("r", n, n, 4)
+        )
+        ba = matching_degree(
+            matrix_partition("r", n, n, 4), matrix_partition("b", n, n, 4)
+        )
+        assert ab.degree() == pytest.approx(ba.degree())
+
+    def test_bytes_accounting(self):
+        m = matching_degree(
+            matrix_partition("c", 64, 64, 4), matrix_partition("r", 64, 64, 4)
+        )
+        assert m.bytes_per_period == 64 * 64
+        assert m.mean_message_bytes == pytest.approx(64 * 64 / 16)
+        assert m.period == 64 * 64
+
+    def test_unequal_pattern_sizes(self):
+        m = matching_degree(round_robin(2, 3), round_robin(2, 4))
+        assert m.period == 24
+        assert m.bytes_per_period == 24
+        assert 0 < m.degree() < 1
+
+    def test_fragmentation_drives_degree_down(self):
+        # Finer stripes against block layout fragment more.
+        coarse = matching_degree(round_robin(4, 16), round_robin(4, 64))
+        fine = matching_degree(round_robin(4, 1), round_robin(4, 64))
+        assert fine.degree() < coarse.degree()
+        assert fine.mean_fragment_bytes < coarse.mean_fragment_bytes

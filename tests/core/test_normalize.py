@@ -1,0 +1,141 @@
+"""Unit tests for run compression and tree shaping."""
+
+import numpy as np
+import pytest
+
+from repro.core.falls import Falls, FallsSet
+from repro.core.indexset import falls_indices, falls_set_indices
+from repro.core.normalize import (
+    coalesced_falls_set,
+    compress_segments,
+    equalize_set_heights,
+    falls_set_from_segments,
+    pad_to_height,
+    trivial_inner,
+)
+from repro.core.segments import segments_from_pairs
+
+
+class TestCompressSegments:
+    def test_regular_run_single_falls(self):
+        segs = segments_from_pairs([(0, 1), (4, 5), (8, 9), (12, 13)])
+        out = compress_segments(segs)
+        assert out == [Falls(0, 1, 4, 4)]
+
+    def test_stride_change_splits(self):
+        segs = segments_from_pairs([(0, 1), (4, 5), (10, 11), (16, 17)])
+        out = compress_segments(segs)
+        # Greedy: run (0,4) then run at stride 6.
+        assert out[0] == Falls(0, 1, 4, 2)
+        assert out[1] == Falls(10, 11, 6, 2)
+
+    def test_length_change_splits(self):
+        segs = segments_from_pairs([(0, 1), (4, 6), (8, 9)])
+        out = compress_segments(segs)
+        assert [f.block_length for f in out] == [2, 3, 2]
+
+    def test_single_segment(self):
+        out = compress_segments(segments_from_pairs([(5, 9)]))
+        assert out == [Falls(5, 9, 5, 1)]
+
+    def test_empty(self):
+        assert compress_segments(segments_from_pairs([])) == []
+
+    def test_bytes_preserved_randomised(self):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            points = np.sort(
+                rng.choice(300, size=2 * int(rng.integers(1, 15)), replace=False)
+            )
+            pairs = [
+                (int(points[2 * i]), int(points[2 * i + 1]))
+                for i in range(points.size // 2)
+            ]
+            # Make strictly disjoint (drop touching pairs).
+            pairs = [
+                p
+                for i, p in enumerate(pairs)
+                if i == 0 or p[0] > pairs[i - 1][1] + 0
+            ]
+            segs = segments_from_pairs(pairs)
+            out = compress_segments(segs)
+            want = set()
+            for a, b in pairs:
+                want.update(range(a, b + 1))
+            got = set(falls_set_indices(out).tolist())
+            assert got == want
+
+
+class TestFallsSetBuilders:
+    def test_falls_set_from_segments(self):
+        s = falls_set_from_segments(segments_from_pairs([(0, 0), (2, 2), (4, 4)]))
+        assert isinstance(s, FallsSet)
+        assert s.size() == 3
+
+    def test_coalesced(self):
+        s = coalesced_falls_set(segments_from_pairs([(0, 3), (4, 7)]))
+        assert len(s) == 1
+        assert s[0].is_contiguous
+
+
+class TestTrivialInner:
+    def test_height_one(self):
+        t = trivial_inner(8, 1)
+        assert t == Falls(0, 7, 8, 1)
+
+    def test_height_three(self):
+        t = trivial_inner(8, 3)
+        assert t.height() == 3
+        assert t.size() == 8
+        np.testing.assert_array_equal(falls_indices(t), np.arange(8))
+
+    def test_invalid_height(self):
+        with pytest.raises(ValueError):
+            trivial_inner(8, 0)
+
+
+class TestPadToHeight:
+    def test_noop_when_tall_enough(self):
+        f = Falls(0, 3, 8, 2, (Falls(0, 0, 2, 2),))
+        assert pad_to_height(f, 2) == f
+
+    def test_leaf_padding(self):
+        f = Falls(3, 5, 6, 4)
+        padded = pad_to_height(f, 3)
+        assert padded.height() == 3
+        assert padded.has_uniform_depth()
+        np.testing.assert_array_equal(falls_indices(padded), falls_indices(f))
+
+    def test_mixed_depth_tree_uniformised(self):
+        f = Falls(
+            0,
+            15,
+            32,
+            2,
+            (Falls(0, 3, 8, 1, (Falls(0, 0, 2, 2),)), Falls(8, 11, 8, 1)),
+        )
+        assert not f.has_uniform_depth()
+        padded = pad_to_height(f, 3)
+        assert padded.has_uniform_depth()
+        np.testing.assert_array_equal(falls_indices(padded), falls_indices(f))
+
+    def test_cannot_shrink(self):
+        f = Falls(0, 3, 8, 2, (Falls(0, 0, 2, 2),))
+        with pytest.raises(ValueError):
+            pad_to_height(f, 1)
+
+
+class TestEqualizeSetHeights:
+    def test_mixed(self):
+        a = (Falls(0, 3, 8, 2, (Falls(0, 0, 2, 2),)),)
+        b = (Falls(0, 5, 8, 2),)
+        pa, pb, h = equalize_set_heights(a, b)
+        assert h == 2
+        assert all(f.height() == 2 for f in pa + pb)
+        np.testing.assert_array_equal(
+            falls_set_indices(pb), falls_set_indices(b)
+        )
+
+    def test_empty_sets(self):
+        pa, pb, h = equalize_set_heights((), ())
+        assert pa == () and pb == () and h == 0

@@ -1,0 +1,247 @@
+"""Executable versions of every worked example and figure in the paper.
+
+Each test cites the figure/section it reproduces; together they pin the
+implementation to the paper's published semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Falls,
+    FallsSet,
+    Partition,
+    cut_falls,
+    intersect_elements,
+    intersect_falls,
+    map_offset,
+    project,
+    unmap_offset,
+)
+from repro.core.indexset import falls_indices, falls_set_indices
+
+
+class TestFigure1:
+    """Figure 1: the FALLS (3, 5, 6, n) drawn over offsets 0..31."""
+
+    def test_segments(self):
+        f = Falls(3, 5, 6, 5)
+        segs = [(s.start, s.stop) for s in f.leaf_segments()]
+        assert segs == [(3, 5), (9, 11), (15, 17), (21, 23), (27, 29)]
+
+    def test_geometry(self):
+        f = Falls(3, 5, 6, 5)
+        assert f.block_length == 3
+        assert f.size() == 15
+        assert f.extent_stop == 29
+
+    def test_line_segment_as_falls(self):
+        """Section 4: a line segment (l, r) is the FALLS (l, r, r-l+1, 1)."""
+        f = Falls(3, 5, 3, 1)
+        assert list(falls_indices(f)) == [3, 4, 5]
+
+
+class TestFigure2:
+    """Figure 2: nested FALLS (0, 3, 8, 2, {(0, 0, 2, 2)})."""
+
+    FALLS = Falls(0, 3, 8, 2, (Falls(0, 0, 2, 2),))
+
+    def test_size_is_four(self):
+        # "the size of the nested FALLS from figure 2 is 4"
+        assert self.FALLS.size() == 4
+
+    def test_selected_bytes(self):
+        assert list(falls_indices(self.FALLS)) == [0, 2, 8, 10]
+
+    def test_outer_inner_structure(self):
+        assert self.FALLS.flat() == Falls(0, 3, 8, 2)
+        assert self.FALLS.inner == (Falls(0, 0, 2, 2),)
+        assert self.FALLS.height() == 2
+
+
+class TestFigure3:
+    """Figure 3 / §6.1: file with displacement 2 partitioned into three
+    subfiles by FALLS (0,1,6,1), (2,3,6,1), (4,5,6,1)."""
+
+    @pytest.fixture()
+    def partition(self):
+        return Partition(
+            [Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)],
+            displacement=2,
+        )
+
+    def test_pattern_size_is_six(self, partition):
+        assert partition.size == 6
+
+    def test_map_file_offset_10_to_subfile_1_offset_2(self, partition):
+        # "the byte at file offset 10 maps on the byte with subfile
+        # offset 2 (MAP(10) = 2)"
+        assert map_offset(partition, 1, 10) == 2
+
+    def test_reverse_map(self, partition):
+        # "... and vice-versa (MAP^{-1}(2) = 10)"
+        assert unmap_offset(partition, 1, 2) == 10
+
+    def test_closed_form_formula(self, partition):
+        # §6.1 gives MAP_S(x) = ((x-2) div 6)*2 + (x-2) mod 6 for subfile 0.
+        for x in (2, 3, 8, 9, 14, 15, 20, 21):
+            assert map_offset(partition, 0, x) == ((x - 2) // 6) * 2 + (x - 2) % 6
+
+    def test_offset_5_does_not_map_on_subfile_0(self, partition):
+        # "the byte at file offset 5 doesn't map on partition element 0"
+        from repro.core import MappingError
+
+        with pytest.raises(MappingError):
+            map_offset(partition, 0, 5)
+
+    def test_next_and_previous_byte_maps(self, partition):
+        # "the previous map of byte at file offset 5 on partition element 0
+        # is the byte at offset 1 and the next map is the byte at offset 2"
+        assert map_offset(partition, 0, 5, mode="prev") == 1
+        assert map_offset(partition, 0, 5, mode="next") == 2
+
+    def test_map_inverse_roundtrip(self, partition):
+        # §6.2: MAP^{-1}(MAP(x)) = x and MAP(MAP^{-1}(y)) = y.
+        for e in range(3):
+            for y in range(12):
+                x = unmap_offset(partition, e, y)
+                assert map_offset(partition, e, x) == y
+
+
+class TestCutFallsExample:
+    """§7: cutting the figure-1 FALLS (3,5,6,5) between 4 and 28 yields
+    {(0,1,2,1), (5,7,6,3), (23,24,2,1)} relative to 4."""
+
+    def test_cut(self):
+        pieces = cut_falls(Falls(3, 5, 6, 5), 4, 28)
+        assert pieces == [
+            Falls(0, 1, 2, 1),
+            Falls(5, 7, 6, 3),
+            Falls(23, 24, 2, 1),
+        ]
+
+    def test_cut_preserves_bytes(self):
+        f = Falls(3, 5, 6, 5)
+        pieces = cut_falls(f, 4, 28)
+        got = np.sort(np.concatenate([falls_indices(p) + 4 for p in pieces]))
+        want = falls_indices(f)
+        want = want[(want >= 4) & (want <= 28)]
+        np.testing.assert_array_equal(got, want)
+
+
+class TestFigure4:
+    """Figure 4: flat and nested intersection with projections."""
+
+    def test_flat_intersect(self):
+        # "INTERSECT-FALLS((0,7,16,2), (0,3,8,4)) = (0,3,16,2)"
+        assert intersect_falls(Falls(0, 7, 16, 2), Falls(0, 3, 8, 4)) == [
+            Falls(0, 3, 16, 2)
+        ]
+
+    @pytest.fixture()
+    def partitions(self):
+        # Logical partition: view V = {(0,7,16,2,{(0,1,4,2)})} plus two
+        # complementary views tiling the 32-byte pattern.
+        view = Partition(
+            [
+                FallsSet([Falls(0, 7, 16, 2, (Falls(0, 1, 4, 2),))]),
+                FallsSet([Falls(0, 7, 16, 2, (Falls(2, 3, 4, 2),))]),
+                FallsSet([Falls(8, 15, 16, 2)]),
+            ]
+        )
+        # Physical partition: subfile S = {(0,3,8,4,{(0,0,2,2)})} plus
+        # complements.
+        phys = Partition(
+            [
+                FallsSet([Falls(0, 3, 8, 4, (Falls(0, 0, 2, 2),))]),
+                FallsSet([Falls(0, 3, 8, 4, (Falls(1, 1, 2, 2),))]),
+                FallsSet([Falls(4, 7, 8, 4)]),
+            ]
+        )
+        return view, phys
+
+    def test_intersection_bytes(self, partitions):
+        view, phys = partitions
+        inter = intersect_elements(view, 0, phys, 0)
+        starts, lengths = inter.segments_in(0, 31)
+        assert starts.tolist() == [0, 16]
+        assert lengths.tolist() == [1, 1]
+        assert inter.period == 32
+        assert inter.displacement == 0
+
+    def test_projections_match_paper(self, partitions):
+        # "PROJ_V(V ∩ S) = (0,0,4,2) and PROJ_S(V ∩ S) = (0,0,4,2)"
+        view, phys = partitions
+        inter = intersect_elements(view, 0, phys, 0)
+        proj_v = project(inter, view, 0)
+        proj_s = project(inter, phys, 0)
+        assert tuple(proj_v.falls) == (Falls(0, 0, 4, 2),)
+        assert tuple(proj_s.falls) == (Falls(0, 0, 4, 2),)
+
+    def test_intersection_size(self, partitions):
+        view, phys = partitions
+        inter = intersect_elements(view, 0, phys, 0)
+        assert inter.size_per_period == 2
+
+
+class TestSection6Composition:
+    """§6.2: mapping between two partitions composes MAP and MAP^{-1}."""
+
+    def test_identical_parameters_give_identity(self):
+        # "given a physical partition into subfiles and a logical partition
+        # into views, described by the same parameters, each view maps
+        # exactly on a subfile"
+        from repro.core import map_between
+
+        elements = [Falls(0, 3, 12, 1), Falls(4, 7, 12, 1), Falls(8, 11, 12, 1)]
+        p1 = Partition(elements)
+        p2 = Partition(elements)
+        for e in range(3):
+            for y in range(16):
+                assert map_between(p1, e, p2, e, y) == y
+
+    def test_figure_4b_mapping(self):
+        # In figure 4(b) the byte at offset 4 of the view maps on offset 4
+        # of the subfile: MAP_S(MAP_V^{-1}(4)) = 4.
+        from repro.core import map_between
+
+        view = Partition(
+            [
+                FallsSet([Falls(0, 7, 16, 2, (Falls(0, 1, 4, 2),))]),
+                FallsSet([Falls(0, 7, 16, 2, (Falls(2, 3, 4, 2),))]),
+                FallsSet([Falls(8, 15, 16, 2)]),
+            ]
+        )
+        phys = Partition(
+            [
+                FallsSet([Falls(0, 3, 8, 4, (Falls(0, 0, 2, 2),))]),
+                FallsSet([Falls(0, 3, 8, 4, (Falls(1, 1, 2, 2),))]),
+                FallsSet([Falls(4, 7, 8, 4)]),
+            ]
+        )
+        # Byte 4 of the view is file offset 16, which is byte 4 of the
+        # subfile (file bytes of S: 0,2,8,10,16,...).
+        assert map_between(view, 0, phys, 0, 4, mode="exact") == 4
+
+
+class TestFileModelFigure3:
+    """§5: the partitioning pattern maps each byte of the file on a pair
+    (subfile, position-within-subfile), applied repeatedly from the
+    displacement."""
+
+    def test_ownership(self):
+        p = Partition(
+            [Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)],
+            displacement=2,
+        )
+        # file offsets 2..13 -> subfiles 0,0,1,1,2,2,0,0,1,1,2,2
+        owners = [p.element_owning(x)[0] for x in range(2, 14)]
+        assert owners == [0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2]
+
+    def test_size_of_pattern(self):
+        p = Partition(
+            [Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)],
+            displacement=2,
+        )
+        assert p.size == 6
+        assert [p.element_size(i) for i in range(3)] == [2, 2, 2]

@@ -1,0 +1,87 @@
+"""Unit tests for the partitioning-pattern model (paper §5)."""
+
+import pytest
+
+from repro.core import Falls, FallsSet, Partition, PartitionError
+
+
+class TestValidation:
+    def test_valid_striped(self):
+        p = Partition([Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)])
+        assert p.size == 6
+        assert p.num_elements == 3
+
+    def test_gap_rejected(self):
+        with pytest.raises(PartitionError, match="gap"):
+            Partition([Falls(0, 1, 6, 1), Falls(4, 5, 6, 1)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(PartitionError, match="overlap"):
+            Partition([Falls(0, 3, 6, 1), Falls(2, 5, 6, 1)])
+
+    def test_not_starting_at_zero_rejected(self):
+        with pytest.raises(PartitionError, match="start at offset 0"):
+            Partition([Falls(1, 6, 6, 1)])
+
+    def test_negative_displacement_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition([Falls(0, 5, 6, 1)], displacement=-1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            Partition([])
+
+    def test_interleaved_element_rejected(self):
+        interleaved = FallsSet([Falls(0, 1, 16, 2), Falls(4, 5, 16, 2)])
+        filler = FallsSet([Falls(2, 3, 16, 2), Falls(6, 15, 16, 2)])
+        with pytest.raises(PartitionError, match="interleaved"):
+            Partition([interleaved, filler])
+
+    def test_validate_false_skips_checks(self):
+        # A deliberately gappy pattern is accepted when validation is off
+        # (used internally for partial structures).
+        p = Partition([Falls(0, 1, 6, 1), Falls(4, 5, 6, 1)], validate=False)
+        assert p.size == 4
+
+    def test_single_element_whole_pattern(self):
+        p = Partition([Falls(0, 99, 100, 1)])
+        assert p.size == 100
+        assert p.element_size(0) == 100
+
+    def test_accepts_bare_falls_and_sequences(self):
+        p = Partition([Falls(0, 1, 4, 1), [Falls(2, 3, 4, 1)]])
+        assert p.num_elements == 2
+        assert all(isinstance(e, FallsSet) for e in p.elements)
+
+
+class TestOwnership:
+    def test_element_owning_with_displacement(self):
+        p = Partition(
+            [Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)],
+            displacement=2,
+        )
+        assert p.element_owning(2) == (0, 0)
+        assert p.element_owning(4) == (1, 0)
+        assert p.element_owning(10) == (1, 2)
+
+    def test_before_displacement_rejected(self):
+        p = Partition([Falls(0, 5, 6, 1)], displacement=2)
+        with pytest.raises(PartitionError):
+            p.element_owning(1)
+
+
+class TestElementLength:
+    def test_exact_multiple(self):
+        p = Partition([Falls(0, 1, 4, 1), Falls(2, 3, 4, 1)])
+        assert p.element_length(0, 16) == 8
+        assert p.element_length(1, 16) == 8
+
+    def test_partial_period(self):
+        p = Partition([Falls(0, 1, 4, 1), Falls(2, 3, 4, 1)])
+        assert p.element_length(0, 7) == 4  # bytes 0,1,4,5
+        assert p.element_length(1, 7) == 3  # bytes 2,3,6
+
+    def test_with_displacement(self):
+        p = Partition([Falls(0, 1, 4, 1), Falls(2, 3, 4, 1)], displacement=10)
+        assert p.element_length(0, 10) == 0
+        assert p.element_length(0, 12) == 2

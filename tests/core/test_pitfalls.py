@@ -1,0 +1,115 @@
+"""Unit tests for the PITFALLS compact representation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Falls
+from repro.core.indexset import falls_indices
+from repro.core.pitfalls import Pitfalls, cyclic_pitfalls, pitfalls_from_falls
+
+
+class TestExpansion:
+    def test_simple_stripe(self):
+        # 4 processors, 2-byte units: PITFALLS (0,1,8,n,2,4).
+        pf = Pitfalls(0, 1, 8, 2, 2, 4)
+        falls = pf.expand()
+        assert falls[0] == Falls(0, 1, 8, 2)
+        assert falls[3] == Falls(6, 7, 8, 2)
+
+    def test_single_processor(self):
+        pf = Pitfalls(3, 5, 6, 4, 0, 1)
+        assert pf.expand() == [Falls(3, 5, 6, 4)]
+
+    def test_nested(self):
+        inner = Pitfalls(0, 0, 2, 2, 0, 1)
+        pf = Pitfalls(0, 3, 8, 2, 4, 2, (inner,))
+        f0 = pf.falls_for(0)
+        assert list(falls_indices(f0)) == [0, 2, 8, 10]
+        f1 = pf.falls_for(1)
+        assert list(falls_indices(f1)) == [4, 6, 12, 14]
+
+    def test_partition(self):
+        pf = Pitfalls(0, 1, 8, 2, 2, 4)
+        p = pf.partition()
+        assert p.num_elements == 4
+        assert p.size == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pitfalls(0, 1, 8, 2, 2, 0)
+        with pytest.raises(ValueError):
+            Pitfalls(0, 1, 8, 2, 0, 2)  # p>1 needs d>=1
+        with pytest.raises(ValueError):
+            Pitfalls(0, 1, 8, 2, 2, 4).falls_for(4)
+
+    def test_size_per_processor(self):
+        assert Pitfalls(0, 1, 8, 2, 2, 4).size_per_processor() == 4
+
+
+class TestInference:
+    def test_roundtrip(self):
+        pf = Pitfalls(2, 3, 12, 3, 4, 3)
+        back = pitfalls_from_falls(pf.expand())
+        assert back is not None
+        assert (back.l, back.r, back.s, back.n, back.d, back.p) == (2, 3, 12, 3, 4, 3)
+
+    def test_single_falls(self):
+        back = pitfalls_from_falls([Falls(0, 3, 8, 2)])
+        assert back is not None and back.p == 1
+
+    def test_evenly_displaced_is_a_pitfalls(self):
+        # (0,1) and (3,4) share shape with displacement 3 - inferable.
+        back = pitfalls_from_falls([Falls(0, 1, 8, 2), Falls(3, 4, 8, 2)])
+        assert back is not None and back.d == 3
+
+    def test_irregular_rejected(self):
+        # Different block lengths.
+        assert pitfalls_from_falls([Falls(0, 1, 8, 2), Falls(2, 4, 8, 2)]) is None
+        # Different strides.
+        assert pitfalls_from_falls([Falls(0, 1, 8, 2), Falls(2, 3, 6, 2)]) is None
+        # Uneven displacements across three processors.
+        assert (
+            pitfalls_from_falls(
+                [Falls(0, 1, 12, 2), Falls(2, 3, 12, 2), Falls(6, 7, 12, 2)]
+            )
+            is None
+        )
+        assert pitfalls_from_falls([]) is None
+
+    def test_nested_roundtrip(self):
+        inner = Pitfalls(0, 0, 2, 2, 0, 1)
+        pf = Pitfalls(0, 3, 16, 2, 4, 2, (inner,))
+        back = pitfalls_from_falls(pf.expand())
+        assert back is not None
+        for proc in range(2):
+            np.testing.assert_array_equal(
+                falls_indices(back.falls_for(proc)),
+                falls_indices(pf.falls_for(proc)),
+            )
+
+
+class TestCyclicConstructor:
+    def test_matches_hpf_cyclic(self):
+        from repro.distributions.hpf import BlockCyclic, falls_1d
+
+        pf = cyclic_pitfalls(24, 2, 3)
+        for proc in range(3):
+            want = falls_1d(BlockCyclic(2), 24, 3, proc)
+            got = pf.falls_for(proc)
+            np.testing.assert_array_equal(
+                falls_indices(got),
+                np.concatenate([falls_indices(f) for f in want]),
+            )
+
+    def test_itemsize_scaling(self):
+        pf = cyclic_pitfalls(8, 1, 2, itemsize=4)
+        assert pf.block_length == 4
+        assert pf.falls_for(1).l == 4
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            cyclic_pitfalls(10, 2, 3)
+
+    def test_partition_tiles(self):
+        p = cyclic_pitfalls(16, 2, 4).partition()
+        assert p.size == 16

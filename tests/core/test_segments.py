@@ -1,0 +1,189 @@
+"""Unit tests for vectorised segment enumeration and interval algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.falls import Falls
+from repro.core.segments import (
+    clip_segments,
+    intersect_segment_arrays,
+    leaf_segment_arrays,
+    leaf_segment_arrays_set,
+    merge_segment_arrays,
+    segments_from_pairs,
+    tile_segment_arrays,
+    total_bytes,
+)
+
+
+def seg(pairs):
+    return segments_from_pairs(pairs)
+
+
+class TestLeafSegmentArrays:
+    def test_flat(self):
+        starts, lengths = leaf_segment_arrays(Falls(3, 5, 6, 3))
+        assert starts.tolist() == [3, 9, 15]
+        assert lengths.tolist() == [3, 3, 3]
+
+    def test_nested(self):
+        starts, lengths = leaf_segment_arrays(Falls(0, 3, 8, 2, (Falls(0, 0, 2, 2),)))
+        assert starts.tolist() == [0, 2, 8, 10]
+        assert lengths.tolist() == [1, 1, 1, 1]
+
+    def test_matches_python_iterator(self):
+        f = Falls(1, 6, 10, 4, (Falls(0, 1, 3, 2),))
+        starts, lengths = leaf_segment_arrays(f)
+        py = [(s.start, s.length) for s in f.leaf_segments()]
+        assert list(zip(starts.tolist(), lengths.tolist())) == py
+
+    def test_set_concatenation(self):
+        starts, lengths = leaf_segment_arrays_set(
+            [Falls(0, 1, 6, 2), Falls(14, 15, 2, 1)]
+        )
+        assert starts.tolist() == [0, 6, 14]
+
+    def test_interleaved_set_is_sorted(self):
+        starts, _ = leaf_segment_arrays_set(
+            [Falls(0, 1, 16, 2), Falls(4, 5, 16, 2)]
+        )
+        assert starts.tolist() == [0, 4, 16, 20]
+
+    def test_empty_set(self):
+        starts, lengths = leaf_segment_arrays_set([])
+        assert starts.size == 0 and lengths.size == 0
+
+
+class TestClip:
+    def test_interior(self):
+        starts, lengths = clip_segments(
+            np.array([0, 10, 20]), np.array([5, 5, 5]), 2, 22
+        )
+        assert starts.tolist() == [2, 10, 20]
+        assert lengths.tolist() == [3, 5, 3]
+
+    def test_drop_outside(self):
+        starts, lengths = clip_segments(np.array([0, 100]), np.array([5, 5]), 10, 50)
+        assert starts.size == 0
+
+    def test_empty_window(self):
+        starts, _ = clip_segments(np.array([0]), np.array([5]), 10, 5)
+        assert starts.size == 0
+
+
+class TestMerge:
+    def test_adjacent_coalesce(self):
+        starts, lengths = merge_segment_arrays(seg([(0, 4), (5, 9), (12, 13)]))
+        assert starts.tolist() == [0, 12]
+        assert lengths.tolist() == [10, 2]
+
+    def test_disjoint_untouched(self):
+        starts, lengths = merge_segment_arrays(seg([(0, 4), (6, 9)]))
+        assert starts.tolist() == [0, 6]
+
+    def test_empty(self):
+        starts, _ = merge_segment_arrays(
+            (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        )
+        assert starts.size == 0
+
+
+class TestIntersect:
+    def test_basic(self):
+        a = seg([(0, 9), (20, 29)])
+        b = seg([(5, 24)])
+        starts, lengths = intersect_segment_arrays(a, b)
+        assert starts.tolist() == [5, 20]
+        assert lengths.tolist() == [5, 5]
+
+    def test_no_overlap(self):
+        starts, _ = intersect_segment_arrays(seg([(0, 4)]), seg([(5, 9)]))
+        assert starts.size == 0
+
+    def test_many_to_one(self):
+        a = seg([(0, 1), (4, 5), (8, 9)])
+        b = seg([(0, 9)])
+        starts, _ = intersect_segment_arrays(a, b)
+        assert starts.tolist() == [0, 4, 8]
+
+    def test_oracle_random(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            # Build two random disjoint segment lists over [0, 200).
+            def random_segs():
+                pts = np.sort(rng.choice(200, size=rng.integers(2, 20), replace=False))
+                pairs = [
+                    (int(pts[i]), int(pts[i + 1]) - 1)
+                    for i in range(0, len(pts) - 1, 2)
+                    if pts[i + 1] - 1 >= pts[i]
+                ]
+                return segments_from_pairs(pairs)
+
+            a, b = random_segs(), random_segs()
+            got_starts, got_lengths = intersect_segment_arrays(a, b)
+            got = set()
+            for s, ln in zip(got_starts.tolist(), got_lengths.tolist()):
+                got.update(range(s, s + ln))
+            set_a = set()
+            for s, ln in zip(a[0].tolist(), a[1].tolist()):
+                set_a.update(range(s, s + ln))
+            set_b = set()
+            for s, ln in zip(b[0].tolist(), b[1].tolist()):
+                set_b.update(range(s, s + ln))
+            assert got == (set_a & set_b)
+
+
+class TestTile:
+    def test_tile(self):
+        starts, lengths = tile_segment_arrays(seg([(0, 1), (4, 5)]), 8, 3, 100)
+        assert starts.tolist() == [100, 104, 108, 112, 116, 120]
+        assert lengths.tolist() == [2, 2, 2, 2, 2, 2]
+
+    def test_zero_copies(self):
+        starts, _ = tile_segment_arrays(seg([(0, 1)]), 8, 0)
+        assert starts.size == 0
+
+    def test_negative_copies_rejected(self):
+        with pytest.raises(ValueError):
+            tile_segment_arrays(seg([(0, 1)]), 8, -1)
+
+
+class TestHelpers:
+    def test_total_bytes(self):
+        assert total_bytes(seg([(0, 4), (10, 11)])) == 7
+        assert total_bytes(seg([])) == 0
+
+    def test_segments_from_pairs_validation(self):
+        with pytest.raises(ValueError):
+            segments_from_pairs([(5, 3)])
+        with pytest.raises(ValueError):
+            segments_from_pairs([(0, 5), (3, 8)])
+
+
+class TestMergeContainedSegments:
+    """Regression: Hypothesis found that a segment fully contained in its
+    predecessor broke run detection (union produced overlapping FALLS)."""
+
+    def test_contained_segment(self):
+        starts, lengths = merge_segment_arrays(
+            (np.array([5, 5, 7, 9]), np.array([4, 1, 1, 1]))
+        )
+        assert starts.tolist() == [5]
+        assert lengths.tolist() == [5]
+
+    def test_chain_of_containment(self):
+        starts, lengths = merge_segment_arrays(
+            (np.array([0, 1, 2, 10]), np.array([9, 2, 1, 1]))
+        )
+        assert starts.tolist() == [0, 10]
+        assert lengths.tolist() == [9, 1]
+
+    def test_union_of_overlapping_families_regression(self):
+        from repro.core.algebra import same_bytes, union
+        from repro.core.falls import Falls, FallsSet
+
+        a = FallsSet((Falls(0, 1, 2, 1), Falls(5, 5, 1, 1), Falls(7, 7, 1, 1)))
+        b = FallsSet((Falls(0, 1, 2, 1), Falls(5, 8, 4, 1), Falls(9, 9, 1, 1)))
+        assert same_bytes(union(a, b), union(b, a))
+        # The merged result is maximal runs, either way around.
+        assert str(union(b, a)) == "{(0,1,2,1),(5,9,5,1)}"

@@ -1,0 +1,105 @@
+"""Tests for layout serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro import Falls, Partition, matrix_partition, round_robin
+from repro.core.pitfalls import Pitfalls
+from repro.core.serialize import (
+    falls_from_obj,
+    falls_to_obj,
+    partition_from_json,
+    partition_from_obj,
+    partition_to_json,
+    partition_to_obj,
+    pitfalls_from_obj,
+    pitfalls_to_obj,
+)
+
+from ..properties.strategies import any_partition, nested_falls
+
+
+class TestFallsRoundtrip:
+    def test_leaf(self):
+        f = Falls(3, 5, 6, 4)
+        assert falls_from_obj(falls_to_obj(f)) == f
+        assert falls_to_obj(f) == [3, 5, 6, 4]
+
+    def test_nested(self):
+        f = Falls(0, 3, 8, 2, (Falls(0, 0, 2, 2),))
+        obj = falls_to_obj(f)
+        assert obj == [0, 3, 8, 2, [[0, 0, 2, 2]]]
+        assert falls_from_obj(obj) == f
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            falls_from_obj([1, 2])
+        with pytest.raises(ValueError):
+            falls_from_obj("nope")
+
+    def test_invalid_values_rejected_on_load(self):
+        with pytest.raises(ValueError):
+            falls_from_obj([5, 3, 6, 1])  # r < l
+
+    @given(nested_falls())
+    @settings(max_examples=100)
+    def test_property_roundtrip(self, f):
+        assert falls_from_obj(falls_to_obj(f)) == f
+
+
+class TestPartitionRoundtrip:
+    def test_matrix_layouts(self):
+        for layout in "rcb":
+            p = matrix_partition(layout, 16, 16, 4)
+            text = partition_to_json(p)
+            back = partition_from_json(text)
+            assert back == p
+
+    def test_displacement_preserved(self):
+        p = round_robin(3, 4, displacement=7)
+        assert partition_from_json(partition_to_json(p)).displacement == 7
+
+    def test_json_is_plain(self):
+        p = round_robin(2, 2)
+        obj = json.loads(partition_to_json(p, indent=2))
+        assert obj["format"] == 1
+        # Single-block FALLS canonicalise the stride to the block length.
+        assert obj["elements"] == [[[0, 1, 2, 1]], [[2, 3, 2, 1]]]
+
+    def test_corrupt_metadata_fails_loudly(self):
+        p = round_robin(2, 2)
+        obj = partition_to_obj(p)
+        obj["elements"][0][0][1] = 99  # element now escapes the pattern
+        with pytest.raises(Exception):
+            partition_from_obj(obj)
+
+    def test_version_check(self):
+        obj = partition_to_obj(round_robin(2, 2))
+        obj["format"] = 42
+        with pytest.raises(ValueError):
+            partition_from_obj(obj)
+
+    def test_not_a_partition(self):
+        with pytest.raises(ValueError):
+            partition_from_obj({"nope": 1})
+
+    @given(any_partition())
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip(self, p):
+        assert partition_from_json(partition_to_json(p)) == p
+
+
+class TestPitfallsRoundtrip:
+    def test_flat(self):
+        pf = Pitfalls(0, 1, 8, 2, 2, 4)
+        assert pitfalls_from_obj(pitfalls_to_obj(pf)) == pf
+
+    def test_nested(self):
+        pf = Pitfalls(0, 3, 8, 2, 4, 2, (Pitfalls(0, 0, 2, 2, 0, 1),))
+        assert pitfalls_from_obj(pitfalls_to_obj(pf)) == pf
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            pitfalls_from_obj([1, 2, 3])

@@ -1,0 +1,96 @@
+"""Tests for the ASCII renderers."""
+
+from repro import Falls, FallsSet, Partition, PeriodicFallsSet
+from repro.viz import (
+    ownership_string,
+    render_falls,
+    render_partition,
+    render_periodic,
+)
+
+
+class TestRenderFalls:
+    def test_figure1(self):
+        out = render_falls(Falls(3, 5, 6, 3))
+        marks = out.splitlines()[-1]
+        assert marks == "...###...###...###"
+
+    def test_width_padding(self):
+        out = render_falls(Falls(0, 1, 4, 2), width=10)
+        assert out.splitlines()[-1] == "##..##...."
+
+    def test_set(self):
+        out = render_falls([Falls(0, 0, 4, 2), Falls(2, 2, 4, 2)])
+        assert out.splitlines()[-1] == "#.#.#.#"
+
+    def test_nested(self):
+        out = render_falls(Falls(0, 3, 8, 2, (Falls(0, 0, 2, 2),)))
+        assert out.splitlines()[-1] == "#.#.....#.#"
+
+    def test_empty(self):
+        assert render_falls([]) == "(empty)"
+
+
+class TestOwnership:
+    def test_striped(self):
+        p = Partition(
+            [Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)],
+            displacement=2,
+        )
+        assert ownership_string(p, 14) == "..001122001122"
+
+    def test_ruler_alignment(self):
+        out = render_partition(
+            Partition([Falls(0, 3, 8, 1), Falls(4, 7, 8, 1)]), 16
+        )
+        lines = out.splitlines()
+        assert lines[1].startswith("0")  # tens ruler
+        assert lines[2] == "0123456789012345"
+        assert lines[3] == "0000111100001111"
+
+    def test_element_lanes(self):
+        out = render_partition(
+            Partition([Falls(0, 3, 8, 1), Falls(4, 7, 8, 1)]), 8
+        )
+        lanes = [l for l in out.splitlines() if "element " in l and "B/period" in l]
+        assert lanes[0].startswith("0000....")
+        assert lanes[1].startswith("....1111")
+
+
+class TestRenderPeriodic:
+    def test_marks(self):
+        pfs = PeriodicFallsSet(FallsSet([Falls(0, 1, 4, 1)]), 2, 4)
+        out = render_periodic(pfs, 10)
+        assert out.splitlines()[-1] == "..##..##.."
+
+    def test_header_reports_fragments(self):
+        pfs = PeriodicFallsSet(FallsSet([Falls(0, 0, 2, 4)]), 0, 8)
+        out = render_periodic(pfs)
+        assert "4 fragment(s)" in out.splitlines()[0]
+
+
+class TestRenderPlan:
+    def test_identity_diagonal(self):
+        from repro import matrix_partition, build_plan
+        from repro.viz import render_plan
+
+        plan = build_plan(
+            matrix_partition("r", 8, 8, 4), matrix_partition("r", 8, 8, 4)
+        )
+        out = render_plan(plan)
+        assert "[identity]" in out
+        lines = out.splitlines()
+        # Row 0 moves 16 bytes to destination 0 and nothing elsewhere.
+        assert "16" in lines[3]
+        assert lines[-1].endswith("64")
+
+    def test_all_to_all_matrix(self):
+        from repro import matrix_partition, build_plan
+        from repro.viz import render_plan
+
+        plan = build_plan(
+            matrix_partition("c", 8, 8, 4), matrix_partition("r", 8, 8, 4)
+        )
+        out = render_plan(plan)
+        assert "[identity]" not in out
+        assert out.count(" 4") >= 16  # 16 cells of 4 bytes each

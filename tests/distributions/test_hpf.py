@@ -1,0 +1,99 @@
+"""Unit tests for 1-D HPF-style distributions."""
+
+import pytest
+
+from repro.distributions.hpf import (
+    Block,
+    BlockCyclic,
+    Cyclic,
+    Replicated,
+    falls_1d,
+    owned_count,
+    validate_partition_cover,
+)
+
+
+def owned(dist, n, nprocs, p):
+    out = set()
+    for f in falls_1d(dist, n, nprocs, p):
+        for seg in f.leaf_segments():
+            out.update(range(seg.start, seg.stop + 1))
+    return out
+
+
+class TestBlock:
+    def test_even_split(self):
+        assert owned(Block(), 8, 4, 0) == {0, 1}
+        assert owned(Block(), 8, 4, 3) == {6, 7}
+
+    def test_ragged_split(self):
+        # ceil(10/4)=3: 3,3,3,1
+        assert owned(Block(), 10, 4, 0) == {0, 1, 2}
+        assert owned(Block(), 10, 4, 3) == {9}
+
+    def test_empty_processor(self):
+        # ceil(3/4)=1: procs 0..2 get one element, proc 3 nothing.
+        assert owned(Block(), 3, 4, 3) == set()
+
+    def test_cover(self):
+        for n, p in [(8, 4), (10, 4), (3, 4), (7, 2)]:
+            validate_partition_cover(Block(), n, p)
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        assert owned(Cyclic(), 10, 4, 0) == {0, 4, 8}
+        assert owned(Cyclic(), 10, 4, 1) == {1, 5, 9}
+        assert owned(Cyclic(), 10, 4, 2) == {2, 6}
+
+    def test_cover(self):
+        for n, p in [(10, 4), (4, 4), (9, 2)]:
+            validate_partition_cover(Cyclic(), n, p)
+
+
+class TestBlockCyclic:
+    def test_blocks_dealt(self):
+        assert owned(BlockCyclic(2), 12, 3, 0) == {0, 1, 6, 7}
+        assert owned(BlockCyclic(2), 12, 3, 2) == {4, 5, 10, 11}
+
+    def test_ragged_tail(self):
+        # n=10, k=3, p=2: proc 0 gets [0..2] and the ragged [6..8]... no:
+        # stride 6, proc0 blocks start 0,6 -> {0,1,2,6,7,8}; proc1 start 3,9
+        # -> {3,4,5,9}.
+        assert owned(BlockCyclic(3), 10, 2, 0) == {0, 1, 2, 6, 7, 8}
+        assert owned(BlockCyclic(3), 10, 2, 1) == {3, 4, 5, 9}
+
+    def test_cover(self):
+        for n, p, k in [(10, 2, 3), (16, 4, 2), (7, 3, 2), (5, 4, 3)]:
+            validate_partition_cover(BlockCyclic(k), n, p)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            BlockCyclic(0)
+
+    def test_processor_beyond_data(self):
+        assert owned(BlockCyclic(4), 6, 3, 2) == set()
+
+
+class TestReplicated:
+    def test_whole_dimension(self):
+        assert owned(Replicated(), 5, 1, 0) == {0, 1, 2, 3, 4}
+
+    def test_not_a_partition(self):
+        with pytest.raises(ValueError):
+            validate_partition_cover(Replicated(), 5, 1)
+
+
+class TestArgumentValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            falls_1d(Block(), 0, 4, 0)
+        with pytest.raises(ValueError):
+            falls_1d(Block(), 4, 0, 0)
+        with pytest.raises(ValueError):
+            falls_1d(Block(), 4, 2, 2)
+
+    def test_owned_count(self):
+        assert owned_count(Block(), 10, 4, 0) == 3
+        assert owned_count(Block(), 10, 4, 3) == 1
+        assert owned_count(Cyclic(), 10, 4, 2) == 2

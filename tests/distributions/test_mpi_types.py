@@ -1,0 +1,187 @@
+"""Unit tests for MPI derived datatypes as nested FALLS."""
+
+import numpy as np
+import pytest
+
+from repro.core import PeriodicFallsSet
+from repro.core.indexset import falls_set_indices
+from repro.distributions.mpi_types import (
+    TypeMap,
+    contiguous,
+    indexed,
+    primitive,
+    simplify,
+    struct_like,
+    subarray,
+    vector,
+)
+from repro.redistribution import gather, scatter
+
+
+def significant(t: TypeMap) -> set:
+    return set(falls_set_indices(t.falls.falls).tolist())
+
+
+class TestPrimitive:
+    def test_basic(self):
+        d = primitive(8)
+        assert d.size == 8
+        assert d.extent == 8
+        assert significant(d) == set(range(8))
+
+    def test_resized(self):
+        d = primitive(4).resized(16)
+        assert d.size == 4
+        assert d.extent == 16
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            primitive(4).resized(0)
+        with pytest.raises(ValueError):
+            TypeMap(primitive(8).falls, 4)  # map exceeds extent
+
+
+class TestContiguous:
+    def test_bytes(self):
+        t = contiguous(3, primitive(4))
+        assert t.size == 12
+        assert t.extent == 12
+        assert significant(t) == set(range(12))
+
+    def test_of_sparse_base(self):
+        base = primitive(2).resized(4)  # 2 significant bytes per 4
+        t = contiguous(3, base)
+        assert t.extent == 12
+        assert significant(t) == {0, 1, 4, 5, 8, 9}
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            contiguous(0, primitive(4))
+
+
+class TestVector:
+    def test_column_of_matrix(self):
+        # 4x4 matrix of 1-byte elements; one column.
+        t = vector(count=4, blocklength=1, stride=4, base=primitive(1))
+        assert significant(t) == {0, 4, 8, 12}
+        assert t.size == 4
+        assert t.extent == 13  # MPI: last block end
+
+    def test_blocklength(self):
+        t = vector(count=2, blocklength=2, stride=3, base=primitive(2))
+        # blocks of 2 elements (4 bytes) every 3 elements (6 bytes)
+        assert significant(t) == {0, 1, 2, 3, 6, 7, 8, 9}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vector(2, 0, 4, primitive(1))
+        with pytest.raises(ValueError):
+            vector(2, 5, 4, primitive(1))
+
+
+class TestIndexed:
+    def test_triangular(self):
+        t = indexed([3, 2, 1], [0, 4, 7], primitive(1))
+        assert significant(t) == {0, 1, 2, 4, 5, 7}
+        assert t.extent == 8
+
+    def test_with_wide_base(self):
+        t = indexed([1, 1], [0, 2], primitive(4))
+        assert significant(t) == {0, 1, 2, 3, 8, 9, 10, 11}
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            indexed([2, 2], [0, 1], primitive(1))
+        with pytest.raises(ValueError):
+            indexed([2], [0, 1], primitive(1))
+        with pytest.raises(ValueError):
+            indexed([], [], primitive(1))
+
+
+class TestSubarray:
+    def test_2d_region(self):
+        t = subarray((4, 4), (2, 2), (1, 1), primitive(1))
+        arr = np.arange(16).reshape(4, 4)
+        want = set(arr[1:3, 1:3].reshape(-1).tolist())
+        assert significant(t) == want
+        assert t.extent == 16
+
+    def test_3d_region_oracle(self):
+        shape, sub, start = (3, 4, 5), (2, 2, 3), (1, 1, 1)
+        t = subarray(shape, sub, start, primitive(1))
+        arr = np.arange(np.prod(shape)).reshape(shape)
+        want = set(arr[1:3, 1:3, 1:4].reshape(-1).tolist())
+        assert significant(t) == want
+
+    def test_with_multibyte_base(self):
+        t = subarray((2, 3), (1, 2), (1, 0), primitive(4))
+        arr = np.arange(24).reshape(2, 3, 4)
+        want = set(arr[1, 0:2].reshape(-1).tolist())
+        assert significant(t) == want
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subarray((4,), (5,), (0,), primitive(1))
+        with pytest.raises(ValueError):
+            subarray((4,), (2,), (3,), primitive(1))
+        with pytest.raises(ValueError):
+            subarray((4, 4), (2,), (0,), primitive(1))
+
+
+class TestStruct:
+    def test_fields(self):
+        t = struct_like([(0, primitive(2)), (4, primitive(4))])
+        assert significant(t) == {0, 1, 4, 5, 6, 7}
+        assert t.extent == 8
+
+    def test_nested_composition(self):
+        inner = vector(2, 1, 2, primitive(1))  # bytes {0, 2}
+        t = struct_like([(0, inner), (4, primitive(1))])
+        assert significant(t) == {0, 2, 4}
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            struct_like([(0, primitive(4)), (2, primitive(2))])
+        with pytest.raises(ValueError):
+            struct_like([])
+
+
+class TestSimplify:
+    def test_coalesces_adjacent(self):
+        t = struct_like([(0, primitive(2)), (2, primitive(2))])
+        s = simplify(t)
+        assert s.size == t.size
+        assert significant(s) == significant(t)
+        assert len(s.falls) == 1
+        assert s.falls[0].is_contiguous
+
+
+class TestPackUnpack:
+    """The paper's claim: gather/scatter implement MPI pack/unpack."""
+
+    def test_vector_pack_roundtrip(self):
+        t = vector(count=8, blocklength=2, stride=4, base=primitive(1))
+        pfs = PeriodicFallsSet(t.falls, 0, t.extent)
+        buf = np.arange(t.extent, dtype=np.uint8)
+        packed = np.empty(t.size, dtype=np.uint8)
+        gather(packed, buf, 0, t.extent - 1, pfs)
+        out = np.zeros(t.extent, dtype=np.uint8)
+        scatter(out, packed, 0, t.extent - 1, pfs)
+        idx = sorted(significant(t))
+        np.testing.assert_array_equal(out[idx], buf[idx])
+        mask = np.ones(t.extent, dtype=bool)
+        mask[idx] = False
+        assert not out[mask].any()
+
+    def test_repeated_type_pack(self):
+        """Packing `count` instances uses the extent as the period."""
+        t = indexed([1, 2], [0, 2], primitive(1))  # bytes {0,2,3} of 4
+        count = 5
+        pfs = PeriodicFallsSet(t.falls, 0, t.extent)
+        buf = np.arange(t.extent * count, dtype=np.uint8)
+        packed = np.empty(t.size * count, dtype=np.uint8)
+        gather(packed, buf, 0, t.extent * count - 1, pfs)
+        want = np.concatenate(
+            [buf[k * 4 + np.array([0, 2, 3])] for k in range(count)]
+        )
+        np.testing.assert_array_equal(packed, want)

@@ -1,0 +1,138 @@
+"""Multidimensional distributions checked against a NumPy ownership oracle.
+
+The oracle distributes a ``shape`` array over a processor grid with plain
+NumPy index arithmetic and compares byte sets with the nested-FALLS
+construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.indexset import falls_set_indices, pattern_element_indices
+from repro.distributions.hpf import Block, BlockCyclic, Cyclic, Replicated
+from repro.distributions.multidim import (
+    column_blocks,
+    matrix_partition,
+    multidim_element,
+    multidim_partition,
+    row_blocks,
+    square_blocks,
+)
+
+
+def oracle_owner_bytes(shape, itemsize, dists, grid, coords):
+    """Byte offsets owned by a grid cell, computed by brute force."""
+
+    def dim_indices(dist, n, nprocs, p):
+        idx = np.arange(n)
+        if isinstance(dist, Replicated):
+            return idx
+        if isinstance(dist, Block):
+            chunk = -(-n // nprocs)
+            return idx[(idx // chunk) == p]
+        if isinstance(dist, Cyclic):
+            return idx[idx % nprocs == p]
+        if isinstance(dist, BlockCyclic):
+            return idx[(idx // dist.k) % nprocs == p]
+        raise TypeError(dist)
+
+    per_dim = [
+        dim_indices(dists[d], shape[d], grid[d], coords[d])
+        for d in range(len(shape))
+    ]
+    mesh = np.meshgrid(*per_dim, indexing="ij")
+    flat = np.ravel_multi_index([m.reshape(-1) for m in mesh], shape)
+    bytes_ = (flat[:, None] * itemsize + np.arange(itemsize)[None, :]).reshape(-1)
+    return np.sort(bytes_)
+
+
+CASES = [
+    ((8, 8), 1, (Block(), Replicated()), (4, 1)),
+    ((8, 8), 1, (Replicated(), Block()), (1, 4)),
+    ((8, 8), 1, (Block(), Block()), (2, 2)),
+    ((8, 8), 4, (Block(), Block()), (2, 2)),
+    ((6, 10), 2, (Cyclic(), Block()), (3, 2)),
+    ((12, 8), 1, (BlockCyclic(2), BlockCyclic(2)), (2, 2)),
+    ((4, 6, 8), 1, (Block(), Replicated(), Block()), (2, 1, 2)),
+    ((4, 6, 8), 8, (Cyclic(), Block(), Replicated()), (2, 3, 1)),
+]
+
+
+class TestMultidimElement:
+    @pytest.mark.parametrize("shape,itemsize,dists,grid", CASES)
+    def test_matches_oracle(self, shape, itemsize, dists, grid):
+        import itertools
+
+        for coords in itertools.product(*(range(g) for g in grid)):
+            element = multidim_element(shape, itemsize, dists, grid, coords)
+            got = falls_set_indices(element.falls)
+            want = oracle_owner_bytes(shape, itemsize, dists, grid, coords)
+            np.testing.assert_array_equal(got, want)
+
+
+class TestMultidimPartition:
+    @pytest.mark.parametrize("shape,itemsize,dists,grid", CASES)
+    def test_partition_valid_and_sized(self, shape, itemsize, dists, grid):
+        p = multidim_partition(shape, itemsize, dists, grid)
+        assert p.size == int(np.prod(shape)) * itemsize
+
+    def test_replicated_needs_unit_grid(self):
+        with pytest.raises(ValueError):
+            multidim_partition((4, 4), 1, (Replicated(), Block()), (2, 2))
+
+    def test_empty_cell_rejected(self):
+        # 2 rows over 4 row-procs: cells 2,3 own nothing.
+        with pytest.raises(ValueError):
+            multidim_partition((2, 8), 1, (Block(), Replicated()), (4, 1))
+
+
+class TestPaperLayouts:
+    def test_row_blocks_structure(self):
+        p = row_blocks(8, 8, 4)
+        # Each element: 2 contiguous rows = 16 contiguous bytes.
+        assert p.element_size(0) == 16
+        for i in range(4):
+            e = p.elements[i]
+            assert e.is_contiguous()
+
+    def test_column_blocks_structure(self):
+        p = column_blocks(8, 8, 4)
+        # Each element: 2 columns = 8 segments of 2 bytes, stride 8.
+        e = p.elements[1]
+        segs = list(e.leaf_segments())
+        assert len(segs) == 8
+        assert segs[0].start == 2 and segs[0].length == 2
+        assert segs[1].start == 10
+
+    def test_square_blocks_structure(self):
+        p = square_blocks(8, 8, 4)
+        # Element (0,1): rows 0..3, cols 4..7 -> 4 segments of 4 bytes.
+        segs = list(p.elements[1].leaf_segments())
+        assert len(segs) == 4
+        assert segs[0].start == 4 and segs[0].length == 4
+
+    def test_matrix_partition_dispatch(self):
+        for layout in ("r", "c", "b"):
+            p = matrix_partition(layout, 16, 16, 4)
+            assert p.size == 256
+        with pytest.raises(ValueError):
+            matrix_partition("x", 16, 16, 4)
+
+    def test_layouts_cover_file(self):
+        # Tiling over a 2-matrix file: pattern applies twice.
+        p = column_blocks(4, 8, 4)
+        for e in range(4):
+            idx = pattern_element_indices(p.elements[e], p.size, 0, 64)
+            assert idx.size == 16
+
+    def test_row_equals_logical_row(self):
+        # The evaluation's logical partition is always row blocks over 4
+        # processors; physical 'r' must match element for element.
+        phys = matrix_partition("r", 16, 16, 4)
+        logical = row_blocks(16, 16, 4)
+        assert phys.elements == logical.elements
+
+    def test_square_blocks_nonsquare_proc_count(self):
+        p = square_blocks(8, 8, 2)  # falls back to 1x2 grid
+        assert p.num_elements == 2
+        assert p.element_size(0) == 32

@@ -1,0 +1,139 @@
+"""Unit tests for the nCube baseline and irregular distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.indexset import pattern_element_indices
+from repro.distributions.irregular import (
+    partition_from_owner_array,
+    partition_from_segments,
+    round_robin,
+)
+from repro.distributions.ncube import (
+    BitPermutation,
+    NCubeError,
+    disk_of_address,
+    striped_bit_partition,
+)
+
+
+class TestBitPermutation:
+    def test_identity(self):
+        p = BitPermutation(tuple(range(8)))
+        for a in (0, 1, 37, 255):
+            assert p.apply(a) == a
+
+    def test_swap_fields(self):
+        # Swap the low 2 bits with the next 2 bits.
+        p = BitPermutation((2, 3, 0, 1))
+        assert p.apply(0b0001) == 0b0100
+        assert p.apply(0b0110) == 0b1001
+
+    def test_inverse_roundtrip(self):
+        p = BitPermutation((3, 1, 0, 2))
+        inv = p.inverse()
+        for a in range(16):
+            assert inv.apply(p.apply(a)) == a
+
+    def test_compose(self):
+        p = BitPermutation((1, 2, 3, 0))
+        q = p.compose(p.inverse())
+        assert q.perm == (0, 1, 2, 3)
+
+    def test_apply_many_matches_scalar(self):
+        p = BitPermutation((4, 0, 3, 1, 2))
+        addrs = np.arange(32, dtype=np.int64)
+        got = p.apply_many(addrs)
+        want = np.array([p.apply(int(a)) for a in addrs])
+        np.testing.assert_array_equal(got, want)
+
+    def test_validation(self):
+        with pytest.raises(NCubeError):
+            BitPermutation((0, 0, 1))
+        with pytest.raises(NCubeError):
+            BitPermutation((1, 2))
+        with pytest.raises(NCubeError):
+            BitPermutation((0, 1)).apply(4)
+        with pytest.raises(NCubeError):
+            BitPermutation((0, 1)).compose(BitPermutation((0, 1, 2)))
+
+
+class TestStripedBitPartition:
+    def test_matches_bit_extraction(self):
+        p = striped_bit_partition(256, 4, 16)
+        for addr in range(256):
+            owner, _ = p.element_owning(addr)
+            assert owner == disk_of_address(addr, 4, 16)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(NCubeError):
+            striped_bit_partition(100, 4, 16)
+        with pytest.raises(NCubeError):
+            striped_bit_partition(256, 3, 16)
+        with pytest.raises(NCubeError):
+            striped_bit_partition(256, 4, 24)
+        with pytest.raises(NCubeError):
+            striped_bit_partition(16, 4, 16)  # one stripe exceeds file
+
+
+class TestPartitionFromSegments:
+    def test_basic(self):
+        p = partition_from_segments([[(0, 3), (8, 11)], [(4, 7), (12, 15)]])
+        assert p.num_elements == 2
+        assert p.size == 16
+        idx0 = pattern_element_indices(p.elements[0], p.size, 0, 16)
+        assert idx0.tolist() == [0, 1, 2, 3, 8, 9, 10, 11]
+
+    def test_gap_rejected(self):
+        with pytest.raises(Exception):
+            partition_from_segments([[(0, 3)], [(5, 7)]])
+
+    def test_regularity_recovered(self):
+        # Explicit segments that happen to be a regular stripe compress
+        # back to a single FALLS per element.
+        p = partition_from_segments(
+            [[(0, 1), (4, 5), (8, 9)], [(2, 3), (6, 7), (10, 11)]]
+        )
+        assert len(p.elements[0]) == 1
+        assert p.elements[0][0].n == 3
+
+
+class TestPartitionFromOwnerArray:
+    def test_matches_owner_map(self):
+        rng = np.random.default_rng(5)
+        owners = rng.integers(0, 3, 60)
+        # Ensure every element owns something.
+        owners[:3] = [0, 1, 2]
+        p = partition_from_owner_array(owners, 3)
+        for e in range(3):
+            idx = pattern_element_indices(p.elements[e], p.size, 0, 60)
+            np.testing.assert_array_equal(idx, np.flatnonzero(owners == e))
+
+    def test_tiles_beyond_one_period(self):
+        owners = np.array([0, 0, 1, 1, 0, 1])
+        p = partition_from_owner_array(owners, 2)
+        idx = pattern_element_indices(p.elements[0], p.size, 0, 12)
+        np.testing.assert_array_equal(idx, [0, 1, 4, 6, 7, 10])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_from_owner_array(np.array([0, 2]), 2)  # id out of range
+        with pytest.raises(ValueError):
+            partition_from_owner_array(np.array([0, 0]), 2)  # element 1 empty
+        with pytest.raises(ValueError):
+            partition_from_owner_array(np.empty(0, dtype=int))
+
+
+class TestRoundRobin:
+    def test_structure(self):
+        p = round_robin(3, 4)
+        assert p.size == 12
+        assert p.element_owning(0) == (0, 0)
+        assert p.element_owning(4) == (1, 0)
+        assert p.element_owning(13) == (0, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            round_robin(0, 4)
+        with pytest.raises(ValueError):
+            round_robin(4, 0)

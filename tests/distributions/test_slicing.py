@@ -1,0 +1,114 @@
+"""Slice-to-FALLS tests against the NumPy indexing oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexset import falls_set_indices
+from repro.distributions.slicing import normalize_index, slice_falls
+
+
+def oracle_bytes(shape, itemsize, index):
+    """Byte offsets numpy selects for arr[index] of a C-ordered array."""
+    n = int(np.prod(shape))
+    offsets = np.arange(n).reshape(shape)
+    sel = offsets[index]
+    flat = np.asarray(sel).reshape(-1)
+    return np.sort(
+        (flat[:, None] * itemsize + np.arange(itemsize)[None, :]).reshape(-1)
+    )
+
+
+CASES = [
+    ((8,), 1, slice(2, 6)),
+    ((8,), 1, slice(0, 8, 3)),
+    ((8,), 4, slice(1, 7, 2)),
+    ((8,), 1, 5),
+    ((6, 8), 1, (slice(1, 4), slice(2, 7))),
+    ((6, 8), 1, (slice(0, 6, 2), slice(0, 8, 3))),
+    ((6, 8), 2, (3, slice(None))),
+    ((6, 8), 1, (slice(None), 0)),
+    ((4, 5, 6), 1, (slice(1, 3), slice(0, 5, 2), slice(2, 6))),
+    ((4, 5, 6), 8, (2, slice(1, 4), slice(0, 6, 5))),
+    ((6, 8), 1, slice(2, 5)),  # trailing dims implicit
+]
+
+
+class TestSliceFalls:
+    @pytest.mark.parametrize("shape,itemsize,index", CASES)
+    def test_matches_numpy(self, shape, itemsize, index):
+        fs = slice_falls(shape, itemsize, index)
+        got = falls_set_indices(fs.falls)
+        np.testing.assert_array_equal(got, oracle_bytes(shape, itemsize, index))
+
+    def test_negative_integer_index(self):
+        fs = slice_falls((8,), 1, -2)
+        assert falls_set_indices(fs.falls).tolist() == [6]
+
+    def test_errors(self):
+        with pytest.raises(IndexError):
+            slice_falls((4,), 1, 7)
+        with pytest.raises(IndexError):
+            slice_falls((4,), 1, (slice(None), slice(None)))
+        with pytest.raises(ValueError):
+            slice_falls((8,), 1, slice(4, 2))
+        with pytest.raises(ValueError):
+            slice_falls((8,), 1, slice(None, None, -1))
+        with pytest.raises(TypeError):
+            slice_falls((8,), 1, "nope")
+
+    @given(
+        st.integers(2, 12),
+        st.integers(2, 10),
+        st.data(),
+    )
+    @settings(max_examples=150)
+    def test_randomized_2d(self, rows, cols, data):
+        def rand_slice(extent):
+            start = data.draw(st.integers(0, extent - 1))
+            stop = data.draw(st.integers(start + 1, extent))
+            step = data.draw(st.integers(1, 3))
+            return slice(start, stop, step)
+
+        index = (rand_slice(rows), rand_slice(cols))
+        itemsize = data.draw(st.sampled_from([1, 2, 4]))
+        fs = slice_falls((rows, cols), itemsize, index)
+        got = falls_set_indices(fs.falls)
+        np.testing.assert_array_equal(
+            got, oracle_bytes((rows, cols), itemsize, index)
+        )
+
+
+class TestNormalizeIndex:
+    def test_fills_trailing(self):
+        assert normalize_index(slice(1, 3), (4, 5)) == ((1, 3, 1), (0, 5, 1))
+
+    def test_clamps_like_numpy(self):
+        assert normalize_index(slice(0, 100), (8,)) == ((0, 8, 1),)
+
+    def test_integer_resolution(self):
+        assert normalize_index((-1, 2), (4, 5)) == ((3, 4, 1), (2, 3, 1))
+
+
+class TestSliceViews:
+    def test_slice_as_clusterfile_view(self):
+        """A strided sub-matrix view built straight from a slice."""
+        from repro import Partition
+        from repro.clusterfile import Clusterfile
+        from repro.core.algebra import complement
+        from repro.distributions import matrix_partition
+        from repro.simulation import ClusterConfig
+
+        n = 16
+        window = slice_falls((n, n), 1, (slice(2, 10, 2), slice(4, 12)))
+        rest = complement(window, n * n)
+        view_part = Partition([window, rest])
+        fs = Clusterfile(ClusterConfig())
+        fs.create("m", matrix_partition("b", n, n, 4))
+        fs.set_view("m", 0, view_part, element=0)
+        payload = np.arange(window.size(), dtype=np.uint8)
+        fs.write("m", [(0, 0, payload)])
+        mat = fs.linear_contents("m", n * n).reshape(n, n)
+        want = payload.reshape(4, 8)
+        np.testing.assert_array_equal(mat[2:10:2, 4:12], want)

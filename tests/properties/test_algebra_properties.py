@@ -1,0 +1,80 @@
+"""Property tests for the FALLS set algebra: boolean-algebra laws over
+randomized families, against the byte-set oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algebra import complement, difference, same_bytes, union
+from repro.core.indexset import falls_set_indices
+
+from .strategies import falls_sets, nested_falls
+
+
+def bytes_of(fam):
+    falls = fam.falls if hasattr(fam, "falls") else list(fam)
+    if not falls:
+        return set()
+    return set(falls_set_indices(falls).tolist())
+
+
+class TestAlgebraLaws:
+    @given(falls_sets(), falls_sets())
+    @settings(max_examples=150)
+    def test_union_is_set_union(self, a, b):
+        assert bytes_of(union(a, b)) == bytes_of(a) | bytes_of(b)
+
+    @given(falls_sets(), falls_sets())
+    @settings(max_examples=150)
+    def test_difference_is_set_difference(self, a, b):
+        assert bytes_of(difference(a, b)) == bytes_of(a) - bytes_of(b)
+
+    @given(falls_sets())
+    @settings(max_examples=100)
+    def test_complement_partitions_the_window(self, a):
+        within = a.extent_stop + 1
+        comp = complement(a, within)
+        assert bytes_of(comp) | bytes_of(a) == set(range(within))
+        assert bytes_of(comp) & bytes_of(a) == set()
+
+    @given(falls_sets())
+    @settings(max_examples=100)
+    def test_double_complement_is_identity(self, a):
+        within = a.extent_stop + 1
+        back = complement(complement(a, within), within)
+        assert bytes_of(back) == bytes_of(a)
+        assert same_bytes(back, a)
+
+    @given(falls_sets(), falls_sets())
+    @settings(max_examples=100)
+    def test_de_morgan(self, a, b):
+        within = max(a.extent_stop, b.extent_stop) + 1
+        lhs = complement(union(a, b), within)
+        rhs_bytes = bytes_of(complement(a, within)) & bytes_of(
+            complement(b, within)
+        )
+        assert bytes_of(lhs) == rhs_bytes
+
+    @given(falls_sets(), falls_sets())
+    @settings(max_examples=100)
+    def test_union_commutative_semantically(self, a, b):
+        assert same_bytes(union(a, b), union(b, a))
+
+    @given(nested_falls())
+    @settings(max_examples=100)
+    def test_same_bytes_reflexive_for_flat_form(self, f):
+        from repro.core.normalize import falls_set_from_segments
+        from repro.core.segments import leaf_segment_arrays
+
+        flat = falls_set_from_segments(leaf_segment_arrays(f))
+        assert same_bytes([f], flat)
+
+    @given(falls_sets(), falls_sets())
+    @settings(max_examples=100)
+    def test_difference_then_union_restores(self, a, b):
+        # (a - b) ∪ (a ∩ b) == a
+        from repro.core.intersect_nested import intersect_nested_sets
+
+        inter = intersect_nested_sets(list(a.falls), list(b.falls))
+        rebuilt = union(difference(a, b), inter)
+        assert bytes_of(rebuilt) == bytes_of(a)

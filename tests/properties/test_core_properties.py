@@ -1,0 +1,209 @@
+"""Property-based tests pinning the structural algorithms to the
+byte-index-set oracle (repro.core.indexset)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ElementMapper,
+    Falls,
+    cut_falls,
+    intersect_elements,
+    intersect_falls,
+    intersect_nested_sets,
+    map_offset,
+    project,
+    unmap_offset,
+)
+from repro.core.indexset import (
+    falls_indices,
+    falls_set_indices,
+    pattern_element_indices,
+)
+from repro.core.normalize import compress_segments, pad_to_height
+from repro.core.segments import leaf_segment_arrays
+
+from .strategies import any_partition, flat_falls, nested_falls
+
+MAX_EXAMPLES = 200
+
+
+def bytes_of(falls_list, shift=0):
+    if not falls_list:
+        return set()
+    return set((falls_set_indices(falls_list) + shift).tolist())
+
+
+class TestFallsInvariants:
+    @given(nested_falls())
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_size_equals_index_count(self, f):
+        assert f.size() == falls_indices(f).size
+
+    @given(nested_falls())
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_segment_arrays_match_indices(self, f):
+        starts, lengths = leaf_segment_arrays(f)
+        expanded = np.concatenate(
+            [np.arange(s, s + ln) for s, ln in zip(starts, lengths)]
+        )
+        np.testing.assert_array_equal(np.sort(expanded), falls_indices(f))
+
+    @given(nested_falls(), st.integers(0, 50))
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_shift_translates_bytes(self, f, delta):
+        np.testing.assert_array_equal(
+            falls_indices(f.shifted(delta)), falls_indices(f) + delta
+        )
+
+    @given(nested_falls(), st.integers(2, 4))
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_height_padding_is_neutral(self, f, h):
+        target = max(h, f.height())
+        padded = pad_to_height(f, target)
+        assert padded.height() == target
+        np.testing.assert_array_equal(falls_indices(padded), falls_indices(f))
+
+
+class TestCompression:
+    @given(flat_falls())
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_compress_roundtrip(self, f):
+        segs = leaf_segment_arrays(f)
+        back = compress_segments(segs)
+        assert bytes_of(back) == set(falls_indices(f).tolist())
+        # A regular family must compress back to a single FALLS.
+        assert len(back) == 1
+
+
+class TestCut:
+    @given(flat_falls(), st.integers(0, 60), st.integers(0, 60))
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_cut_equals_clipped_oracle(self, f, a, b):
+        idx = falls_indices(f)
+        want = set((idx[(idx >= a) & (idx <= b)] - a).tolist())
+        got = bytes_of(cut_falls(f, a, b))
+        assert got == want
+
+
+class TestIntersectFlat:
+    @given(flat_falls(), flat_falls())
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_matches_set_intersection(self, f1, f2):
+        want = set(falls_indices(f1).tolist()) & set(falls_indices(f2).tolist())
+        assert bytes_of(intersect_falls(f1, f2)) == want
+
+    @given(flat_falls(), flat_falls())
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_commutative(self, f1, f2):
+        assert bytes_of(intersect_falls(f1, f2)) == bytes_of(intersect_falls(f2, f1))
+
+
+class TestIntersectNested:
+    @given(nested_falls(), nested_falls())
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_matches_set_intersection(self, f1, f2):
+        want = set(falls_indices(f1).tolist()) & set(falls_indices(f2).tolist())
+        assert bytes_of(intersect_nested_sets([f1], [f2])) == want
+
+    @given(nested_falls())
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_self_intersection_is_identity(self, f):
+        assert bytes_of(intersect_nested_sets([f], [f])) == set(
+            falls_indices(f).tolist()
+        )
+
+
+class TestMappingRoundtrip:
+    @given(any_partition(), st.data())
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_map_unmap_roundtrip(self, p, data):
+        e = data.draw(st.integers(0, p.num_elements - 1))
+        y = data.draw(st.integers(0, 3 * p.element_size(e) - 1))
+        x = unmap_offset(p, e, y)
+        assert map_offset(p, e, x) == y
+
+    @given(any_partition(), st.data())
+    @settings(max_examples=MAX_EXAMPLES)
+    def test_map_matches_rank_oracle(self, p, data):
+        e = data.draw(st.integers(0, p.num_elements - 1))
+        length = p.displacement + 2 * p.size
+        offs = pattern_element_indices(p.elements[e], p.size, p.displacement, length)
+        for rank, off in enumerate(offs.tolist()):
+            assert map_offset(p, e, off) == rank
+
+    @given(any_partition(), st.data())
+    @settings(max_examples=100)
+    def test_next_prev_bracket_exact(self, p, data):
+        e = data.draw(st.integers(0, p.num_elements - 1))
+        x = data.draw(st.integers(p.displacement, p.displacement + 2 * p.size))
+        nxt = map_offset(p, e, x, mode="next")
+        assert unmap_offset(p, e, nxt) >= x
+        if nxt > 0:
+            assert unmap_offset(p, e, nxt - 1) < x
+
+    @given(any_partition(), st.data())
+    @settings(max_examples=100)
+    def test_vectorised_equals_scalar(self, p, data):
+        e = data.draw(st.integers(0, p.num_elements - 1))
+        mapper = ElementMapper(p, e)
+        ranks = np.arange(2 * p.element_size(e), dtype=np.int64)
+        offs = mapper.unmap_many(ranks)
+        for rank, off in zip(ranks.tolist(), offs.tolist()):
+            assert unmap_offset(p, e, rank) == off
+            assert map_offset(p, e, off) == rank
+        np.testing.assert_array_equal(mapper.map_many(offs), ranks)
+
+
+class TestPartitionIntersectionProperties:
+    @given(any_partition(), any_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_element_intersections_tile_the_file(self, p1, p2):
+        """Summed over all element pairs, the intersections cover every
+        byte beyond both displacements exactly once."""
+        start = max(p1.displacement, p2.displacement)
+        import math
+
+        stop = start + math.lcm(p1.size, p2.size) - 1
+        seen = np.zeros(stop + 1, dtype=np.int32)
+        for i in range(p1.num_elements):
+            for j in range(p2.num_elements):
+                inter = intersect_elements(p1, i, p2, j)
+                starts, lengths = inter.segments_in(0, stop)
+                for s, ln in zip(starts.tolist(), lengths.tolist()):
+                    seen[s : s + ln] += 1
+        np.testing.assert_array_equal(seen[start:], 1)
+        np.testing.assert_array_equal(seen[:start], 0)
+
+    @given(any_partition(), any_partition())
+    @settings(max_examples=40, deadline=None)
+    def test_projection_preserves_counts(self, p1, p2):
+        for i in range(p1.num_elements):
+            for j in range(p2.num_elements):
+                inter = intersect_elements(p1, i, p2, j)
+                if inter.is_empty:
+                    continue
+                pr1 = project(inter, p1, i)
+                pr2 = project(inter, p2, j)
+                assert (
+                    pr1.size_per_period
+                    == pr2.size_per_period
+                    == inter.size_per_period
+                )
+
+
+class TestIntersectNestedMultiSets:
+    """Sets of several nested FALLS on both sides (the shape view-set
+    intersections take after cutting), against the oracle."""
+
+    from .strategies import falls_sets as _falls_sets
+
+    @given(_falls_sets(), _falls_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_matches_set_intersection(self, a, b):
+        want = set(falls_set_indices(a.falls).tolist()) & set(
+            falls_set_indices(b.falls).tolist()
+        )
+        got = bytes_of(intersect_nested_sets(list(a.falls), list(b.falls)))
+        assert got == want

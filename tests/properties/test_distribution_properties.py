@@ -1,0 +1,121 @@
+"""Property tests for distribution generators and PITFALLS."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexset import falls_indices, falls_set_indices
+from repro.core.pitfalls import Pitfalls, pitfalls_from_falls
+from repro.distributions.hpf import Block, BlockCyclic, Cyclic, falls_1d
+from repro.distributions.multidim import multidim_element, multidim_partition
+
+
+@st.composite
+def dim_distributions(draw):
+    kind = draw(st.sampled_from(["block", "cyclic", "block_cyclic"]))
+    if kind == "block":
+        return Block()
+    if kind == "cyclic":
+        return Cyclic()
+    return BlockCyclic(draw(st.integers(1, 4)))
+
+
+class TestHpfProperties:
+    @given(dim_distributions(), st.integers(1, 40), st.integers(1, 6))
+    @settings(max_examples=200)
+    def test_exact_cover(self, dist, n, nprocs):
+        """Every element of the dimension is owned exactly once."""
+        seen = np.zeros(n, dtype=int)
+        for p in range(nprocs):
+            for f in falls_1d(dist, n, nprocs, p):
+                idx = falls_indices(f)
+                assert idx.max() < n
+                seen[idx] += 1
+        np.testing.assert_array_equal(seen, 1)
+
+    @given(dim_distributions(), st.integers(1, 40), st.integers(1, 6))
+    @settings(max_examples=100)
+    def test_block_ownership_is_monotone(self, dist, n, nprocs):
+        """Lower processor ids own lower-or-equal leading elements for
+        BLOCK; all distributions give processor 0 element 0 when p0 owns
+        anything."""
+        own0 = falls_1d(dist, n, nprocs, 0)
+        assert own0, "processor 0 always owns the first element"
+        assert own0[0].l == 0
+
+
+@st.composite
+def small_grids(draw):
+    ndim = draw(st.integers(1, 3))
+    shape = tuple(draw(st.integers(2, 8)) for _ in range(ndim))
+    dists = tuple(draw(dim_distributions()) for _ in range(ndim))
+    grid = []
+    for d in range(ndim):
+        g = draw(st.integers(1, min(3, shape[d])))
+        grid.append(g)
+    itemsize = draw(st.sampled_from([1, 2, 4]))
+    return shape, itemsize, dists, tuple(grid)
+
+
+class TestMultidimProperties:
+    @given(small_grids())
+    @settings(max_examples=150, deadline=None)
+    def test_grid_cells_tile_the_array(self, case):
+        shape, itemsize, dists, grid = case
+        import itertools
+        total = int(np.prod(shape)) * itemsize
+        seen = np.zeros(total, dtype=int)
+        for coords in itertools.product(*(range(g) for g in grid)):
+            element = multidim_element(shape, itemsize, dists, grid, coords)
+            if element.is_empty:
+                continue
+            idx = falls_set_indices(element.falls)
+            seen[idx] += 1
+        np.testing.assert_array_equal(seen, 1)
+
+    @given(small_grids())
+    @settings(max_examples=80, deadline=None)
+    def test_partition_when_no_empty_cells(self, case):
+        shape, itemsize, dists, grid = case
+        try:
+            p = multidim_partition(shape, itemsize, dists, grid)
+        except ValueError:
+            return  # some grid cell owns nothing - correctly rejected
+        assert p.size == int(np.prod(shape)) * itemsize
+
+
+@st.composite
+def pitfalls_strategy(draw):
+    blen = draw(st.integers(1, 5))
+    l = draw(st.integers(0, 4))
+    p = draw(st.integers(1, 4))
+    d = draw(st.integers(blen, blen + 4)) if p > 1 else 0
+    n = draw(st.integers(1, 4))
+    # Stride must clear all processors' blocks to avoid overlap.
+    s = draw(st.integers(max(blen, p * d), max(blen, p * d) + 6))
+    return Pitfalls(l, l + blen - 1, s, n, d, p)
+
+
+class TestPitfallsProperties:
+    @given(pitfalls_strategy())
+    @settings(max_examples=200)
+    def test_expansion_is_disjoint(self, pf):
+        all_idx = np.concatenate([falls_indices(f) for f in pf.expand()])
+        assert len(set(all_idx.tolist())) == all_idx.size
+
+    @given(pitfalls_strategy())
+    @settings(max_examples=200)
+    def test_inference_roundtrip(self, pf):
+        back = pitfalls_from_falls(pf.expand())
+        assert back is not None
+        for proc in range(pf.p):
+            np.testing.assert_array_equal(
+                falls_indices(back.falls_for(proc)),
+                falls_indices(pf.falls_for(proc)),
+            )
+
+    @given(pitfalls_strategy())
+    @settings(max_examples=100)
+    def test_sizes_uniform_across_processors(self, pf):
+        sizes = {f.size() for f in pf.expand()}
+        assert sizes == {pf.size_per_processor()}

@@ -1,0 +1,54 @@
+"""Property tests for the executor variants: serial, threaded and
+windowed execution must be indistinguishable on arbitrary partitions."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.redistribution import build_plan, distribute
+from repro.redistribution.executor import execute_plan, execute_plan_windowed
+
+from .strategies import any_partition
+
+
+class TestExecutorEquivalence:
+    @given(any_partition(), any_partition(), st.integers(1, 40), st.integers(1, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_windowed_equals_serial(self, src_p, dst_p, window, periods):
+        length = max(src_p.displacement, dst_p.displacement) + periods * math.lcm(
+            src_p.size, dst_p.size
+        )
+        data = np.random.default_rng(0).integers(0, 256, length, dtype=np.uint8)
+        src = distribute(data, src_p)
+        plan = build_plan(src_p, dst_p)
+        want = execute_plan(plan, src, length)
+        got = execute_plan_windowed(plan, src, length, window)
+        for a, b in zip(want, got):
+            np.testing.assert_array_equal(a, b)
+
+    @given(any_partition(), any_partition())
+    @settings(max_examples=30, deadline=None)
+    def test_threaded_equals_serial(self, src_p, dst_p):
+        length = max(src_p.displacement, dst_p.displacement) + 2 * math.lcm(
+            src_p.size, dst_p.size
+        )
+        data = np.random.default_rng(1).integers(0, 256, length, dtype=np.uint8)
+        src = distribute(data, src_p)
+        plan = build_plan(src_p, dst_p)
+        want = execute_plan(plan, src, length)
+        got = execute_plan(plan, src, length, parallel=True, max_workers=3)
+        for a, b in zip(want, got):
+            np.testing.assert_array_equal(a, b)
+
+    @given(any_partition(), st.integers(1, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_windowed_identity_plan(self, p, window):
+        length = p.displacement + 2 * p.size + 3  # ragged tail
+        data = np.random.default_rng(2).integers(0, 256, length, dtype=np.uint8)
+        src = distribute(data, p)
+        plan = build_plan(p, p)
+        got = execute_plan_windowed(plan, src, length, window)
+        for a, b in zip(got, src):
+            np.testing.assert_array_equal(a, b)

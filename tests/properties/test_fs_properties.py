@@ -1,0 +1,79 @@
+"""Property tests for the higher file-system operations: re-layout,
+collective writes, and resharding on randomized partitions."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import reshard
+from repro.clusterfile import Clusterfile
+from repro.clusterfile.relayout import relayout
+from repro.redistribution import collect, distribute
+from repro.simulation import ClusterConfig
+
+from .strategies import any_partition, contiguous_partitions, striped_partitions
+
+
+class TestReshardProperties:
+    @given(any_partition(), any_partition(), st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_reshard_preserves_every_byte(self, src_p, dst_p, periods):
+        start = max(src_p.displacement, dst_p.displacement)
+        length = start + periods * math.lcm(src_p.size, dst_p.size)
+        data = np.random.default_rng(0).integers(0, 256, length, dtype=np.uint8)
+        pieces = distribute(data, src_p)
+        out = reshard(pieces, src_p, dst_p, length)
+        back = collect(out, dst_p, length)
+        np.testing.assert_array_equal(back[start:], data[start:])
+
+    @given(any_partition())
+    @settings(max_examples=40, deadline=None)
+    def test_reshard_to_self_is_identity(self, p):
+        length = p.displacement + 2 * p.size
+        data = np.random.default_rng(1).integers(0, 256, length, dtype=np.uint8)
+        pieces = distribute(data, p)
+        out = reshard(pieces, p, p, length)
+        for a, b in zip(out, pieces):
+            np.testing.assert_array_equal(a, b)
+
+
+@st.composite
+def zero_displacement_partitions(draw):
+    """Re-layout requires displacement-0 partitions (file contents start
+    at 0); reuse the generic strategies with displacement pinned."""
+    p = draw(
+        st.one_of(
+            contiguous_partitions(max_displacement=0),
+            striped_partitions(max_displacement=0),
+        )
+    )
+    return p
+
+
+class TestRelayoutProperties:
+    @given(
+        zero_displacement_partitions(),
+        zero_displacement_partitions(),
+        st.integers(1, 2),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_relayout_preserves_contents(self, old, new, periods):
+        length = periods * math.lcm(old.size, new.size)
+        data = np.random.default_rng(2).integers(0, 256, length, dtype=np.uint8)
+        fs = Clusterfile(
+            ClusterConfig(
+                compute_nodes=1,
+                io_nodes=max(old.num_elements, new.num_elements),
+            )
+        )
+        fs.create("f", old)
+        # Fill the file directly through the stores (no views needed).
+        pieces = distribute(data, old)
+        for s, piece in enumerate(pieces):
+            if piece.size:
+                fs.open("f").stores[s].view(0, piece.size - 1)[:] = piece
+        res = relayout(fs, "f", new)
+        assert res.bytes_moved == length
+        np.testing.assert_array_equal(fs.linear_contents("f", length), data)

@@ -1,0 +1,131 @@
+"""Unit tests for GATHER/SCATTER across all execution strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import Falls, FallsSet, PeriodicFallsSet
+from repro.core.segments import segments_from_pairs
+from repro.redistribution.gather_scatter import (
+    gather,
+    gather_segments,
+    scatter,
+    scatter_segments,
+)
+
+STRATEGIES = ["auto", "strided", "fancy", "slices"]
+
+
+def reference_gather(src, segs):
+    starts, lengths = segs
+    out = []
+    for a, ln in zip(starts.tolist(), lengths.tolist()):
+        out.extend(src[a : a + ln].tolist())
+    return np.array(out, dtype=src.dtype)
+
+
+class TestGatherSegments:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_uniform_segments(self, strategy):
+        src = np.arange(64, dtype=np.uint8)
+        segs = segments_from_pairs([(0, 3), (16, 19), (32, 35), (48, 51)])
+        got = gather_segments(src, segs, strategy=strategy)
+        np.testing.assert_array_equal(got, reference_gather(src, segs))
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_irregular_segments(self, strategy):
+        src = np.arange(100, dtype=np.uint8)
+        segs = segments_from_pairs([(0, 0), (5, 9), (20, 27), (99, 99)])
+        got = gather_segments(src, segs, strategy=strategy)
+        np.testing.assert_array_equal(got, reference_gather(src, segs))
+
+    def test_strided_overread_falls_back(self):
+        # Last segment ends exactly at the buffer end but an as_strided
+        # view padded to the stride would over-read; must still be exact.
+        src = np.arange(10, dtype=np.uint8)
+        segs = segments_from_pairs([(0, 1), (4, 5), (8, 9)])
+        got = gather_segments(src, segs, strategy="strided")
+        np.testing.assert_array_equal(got, np.array([0, 1, 4, 5, 8, 9]))
+
+    def test_empty(self):
+        src = np.arange(4, dtype=np.uint8)
+        segs = segments_from_pairs([])
+        assert gather_segments(src, segs).size == 0
+
+    def test_provided_destination(self):
+        src = np.arange(16, dtype=np.uint8)
+        segs = segments_from_pairs([(2, 5)])
+        dst = np.zeros(10, dtype=np.uint8)
+        out = gather_segments(src, segs, dst=dst)
+        assert out.base is dst or out is dst[:4]
+        np.testing.assert_array_equal(dst[:4], [2, 3, 4, 5])
+
+    def test_destination_too_small(self):
+        src = np.arange(16, dtype=np.uint8)
+        segs = segments_from_pairs([(0, 7)])
+        with pytest.raises(ValueError):
+            gather_segments(src, segs, dst=np.zeros(4, dtype=np.uint8))
+
+
+class TestScatterSegments:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_roundtrip(self, strategy):
+        rng = np.random.default_rng(3)
+        src = rng.integers(0, 256, 128, dtype=np.uint8)
+        segs = segments_from_pairs([(3, 10), (20, 20), (50, 69), (100, 127)])
+        packed = gather_segments(src, segs)
+        dst = np.zeros(128, dtype=np.uint8)
+        scatter_segments(dst, segs, packed, strategy=strategy)
+        # Scattered positions match, untouched positions stay zero.
+        starts, lengths = segs
+        mask = np.zeros(128, dtype=bool)
+        for a, ln in zip(starts.tolist(), lengths.tolist()):
+            mask[a : a + ln] = True
+        np.testing.assert_array_equal(dst[mask], src[mask])
+        assert not dst[~mask].any()
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_uniform_scatter_writes_in_place(self, strategy):
+        dst = np.zeros(32, dtype=np.uint8)
+        segs = segments_from_pairs([(0, 1), (8, 9), (16, 17)])
+        scatter_segments(dst, segs, np.array([1, 2, 3, 4, 5, 6], dtype=np.uint8),
+                         strategy=strategy)
+        np.testing.assert_array_equal(np.flatnonzero(dst), [0, 1, 8, 9, 16, 17])
+        np.testing.assert_array_equal(dst[[0, 1, 8, 9, 16, 17]], [1, 2, 3, 4, 5, 6])
+
+    def test_source_too_small(self):
+        dst = np.zeros(16, dtype=np.uint8)
+        segs = segments_from_pairs([(0, 7)])
+        with pytest.raises(ValueError):
+            scatter_segments(dst, segs, np.zeros(4, dtype=np.uint8))
+
+    def test_empty_noop(self):
+        dst = np.zeros(8, dtype=np.uint8)
+        scatter_segments(dst, segments_from_pairs([]), np.empty(0, dtype=np.uint8))
+        assert not dst.any()
+
+
+class TestPaperStyleGatherScatter:
+    """§8.1: gather between limits lo/hi from a view buffer via a FALLS set."""
+
+    def test_figure5_gather(self):
+        # PROJ^{V∩S}_V = (0,0,4,2): bytes 0 and 4 of the view interval.
+        proj = PeriodicFallsSet(FallsSet([Falls(0, 0, 4, 2)]), 0, 8)
+        view_buf = np.array([10, 11, 12, 13, 14, 15, 16, 17], dtype=np.uint8)
+        out = np.empty(2, dtype=np.uint8)
+        gather(out, view_buf, 0, 7, proj)
+        np.testing.assert_array_equal(out, [10, 14])
+
+    def test_figure5_scatter(self):
+        proj = PeriodicFallsSet(FallsSet([Falls(0, 0, 4, 2)]), 0, 8)
+        subfile = np.zeros(8, dtype=np.uint8)
+        scatter(subfile, np.array([10, 14], dtype=np.uint8), 0, 7, proj)
+        np.testing.assert_array_equal(subfile, [10, 0, 0, 0, 14, 0, 0, 0])
+
+    def test_window_offsets(self):
+        # Gather a window that does not start at 0: coordinates are
+        # relative to lo.
+        proj = PeriodicFallsSet(FallsSet([Falls(0, 1, 4, 1)]), 0, 4)
+        buf = np.arange(100, 112, dtype=np.uint8)  # holds offsets 100..111
+        out = np.empty(6, dtype=np.uint8)
+        gather(out, buf, 100, 111, proj)
+        np.testing.assert_array_equal(out, [100, 101, 104, 105, 108, 109])

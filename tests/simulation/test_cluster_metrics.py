@@ -1,0 +1,94 @@
+"""Unit tests for cluster assembly and metrics records."""
+
+import time
+
+import pytest
+
+from repro.simulation import (
+    Cluster,
+    ClusterConfig,
+    ScatterBreakdown,
+    Stopwatch,
+    WriteBreakdown,
+    mean_breakdown,
+)
+
+
+class TestClusterConfig:
+    def test_defaults_match_paper(self):
+        c = ClusterConfig()
+        assert c.compute_nodes == 4
+        assert c.io_nodes == 4
+        assert c.contiguous_write_optimized is False  # the paper's setup
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(compute_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(io_nodes=0)
+
+
+class TestCluster:
+    def test_node_naming(self):
+        cluster = Cluster(ClusterConfig(compute_nodes=2, io_nodes=3))
+        assert [n.name for n in cluster.compute] == ["compute0", "compute1"]
+        assert [n.name for n in cluster.io] == ["io0", "io1", "io2"]
+
+    def test_subfile_round_robin(self):
+        cluster = Cluster(ClusterConfig(io_nodes=3))
+        assert cluster.io_node_for(0).index == 0
+        assert cluster.io_node_for(4).index == 1
+        assert cluster.io_node_for(5).index == 2
+
+    def test_device_state_persists_across_operations(self):
+        cluster = Cluster(ClusterConfig())
+        cluster.io[0].disk.access_time(0, 100)
+        q1 = cluster.new_operation()
+        q2 = cluster.new_operation()
+        assert q1 is not q2
+        assert cluster.io[0].disk.bytes_written == 100
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        sw = Stopwatch()
+        with sw.measure("a"):
+            time.sleep(0.002)
+        with sw.measure("a"):
+            time.sleep(0.002)
+        assert sw.us("a") >= 3000
+        assert sw.us("missing") == 0.0
+
+    def test_add(self):
+        sw = Stopwatch()
+        sw.add("x", 0.5)
+        sw.add("x", 0.25)
+        assert sw.totals["x"] == pytest.approx(0.75)
+
+    def test_exception_safe(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with sw.measure("boom"):
+                raise RuntimeError
+        assert "boom" in sw.totals
+
+
+class TestBreakdowns:
+    def test_write_breakdown_addition(self):
+        a = WriteBreakdown(t_i=1, t_m=2, t_g=3, t_w_bc=4, t_w_disk=5)
+        b = WriteBreakdown(t_i=10, t_m=20, t_g=30, t_w_bc=40, t_w_disk=50)
+        c = a + b
+        assert (c.t_i, c.t_m, c.t_g, c.t_w_bc, c.t_w_disk) == (11, 22, 33, 44, 55)
+
+    def test_scatter_breakdown_addition(self):
+        c = ScatterBreakdown(1, 2) + ScatterBreakdown(3, 4)
+        assert (c.t_sc_bc, c.t_sc_disk) == (4, 6)
+
+    def test_mean(self):
+        rows = [WriteBreakdown(t_i=2), WriteBreakdown(t_i=4)]
+        m = mean_breakdown(rows)
+        assert m.t_i == 3
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_breakdown([])

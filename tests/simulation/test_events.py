@@ -1,0 +1,95 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.events import EventQueue, Resource
+
+
+class TestEventQueue:
+    def test_ordering(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, lambda: log.append("c"))
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(2.0, lambda: log.append("b"))
+        end = q.run()
+        assert log == ["a", "b", "c"]
+        assert end == 3.0
+
+    def test_tie_break_by_insertion(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append(1))
+        q.schedule(1.0, lambda: log.append(2))
+        q.run()
+        assert log == [1, 2]
+
+    def test_nested_scheduling(self):
+        q = EventQueue()
+        log = []
+
+        def first():
+            log.append(("first", q.now))
+            q.schedule(0.5, lambda: log.append(("second", q.now)))
+
+        q.schedule(1.0, first)
+        q.run()
+        assert log == [("first", 1.0), ("second", 1.5)]
+
+    def test_run_until(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append(1))
+        q.schedule(5.0, lambda: log.append(5))
+        q.run(until=2.0)
+        assert log == [1]
+        assert q.now == 2.0
+        assert q.pending == 1
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-1.0, lambda: None)
+
+    def test_events_processed_counter(self):
+        q = EventQueue()
+        for _ in range(5):
+            q.schedule(1.0, lambda: None)
+        q.run()
+        assert q.events_processed == 5
+
+
+class TestResource:
+    def test_fifo_serialisation(self):
+        q = EventQueue()
+        r = Resource("disk")
+        slots = []
+        r.acquire(q, 2.0, lambda s, e: slots.append((s, e)))
+        r.acquire(q, 3.0, lambda s, e: slots.append((s, e)))
+        q.run()
+        assert slots == [(0.0, 2.0), (2.0, 5.0)]
+        assert r.busy_time == 5.0
+        assert r.requests == 2
+
+    def test_acquire_after_idle(self):
+        q = EventQueue()
+        r = Resource()
+        slots = []
+        q.schedule(10.0, lambda: r.acquire(q, 1.0, lambda s, e: slots.append((s, e))))
+        q.run()
+        assert slots == [(10.0, 11.0)]
+
+    def test_contention_from_concurrent_arrivals(self):
+        q = EventQueue()
+        r = Resource()
+        ends = []
+        q.schedule(1.0, lambda: r.acquire(q, 2.0, lambda s, e: ends.append(e)))
+        q.schedule(1.0, lambda: r.acquire(q, 2.0, lambda s, e: ends.append(e)))
+        q.run()
+        assert ends == [3.0, 5.0]
+
+    def test_negative_service_rejected(self):
+        q = EventQueue()
+        r = Resource()
+        with pytest.raises(ValueError):
+            r.acquire(q, -0.1, lambda s, e: None)
