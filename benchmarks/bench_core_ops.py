@@ -17,6 +17,7 @@ from repro.core import (
     project,
     unmap_offset,
 )
+from repro.core.periodic import PeriodicFallsSet
 from repro.core.segments import segments_from_pairs
 from repro.distributions import matrix_partition
 from repro.redistribution.gather_scatter import gather_segments, scatter_segments
@@ -102,3 +103,57 @@ class TestGatherScatter:
         src = np.zeros(1024 * 256, dtype=np.uint8)
         benchmark.group = "gather-uniform"
         benchmark(lambda: src.copy())
+
+
+class TestPeriodicCounting:
+    """Closed-form ``count_in`` must not depend on the file length.
+
+    The rows below grow the window from 16 KiB to a full 2048x2048
+    matrix (4 MiB) over a fixed small-period striped intersection; with
+    the closed form (full periods x size-per-period + prefix-summed edge
+    periods) every row should take the same time, where the old tiling
+    implementation scaled linearly with the window.
+    """
+
+    #: Stripe units 64 vs 48 over 4 elements each -> the intersection
+    #: repeats every lcm(4*64, 4*48) = 768 bytes.
+    def _intersection(self):
+        from repro.core import Partition
+
+        def striped(unit, p=4):
+            return Partition(
+                [
+                    Falls(k * unit, (k + 1) * unit - 1, p * unit, 1)
+                    for k in range(p)
+                ]
+            )
+
+        return intersect_elements(striped(64), 0, striped(48), 1)
+
+    @pytest.mark.parametrize("length", [2**14, 2**18, 2**22])
+    def test_count_in_growing_file(self, benchmark, length):
+        pfs = self._intersection()
+        pfs.count_in(0, length - 1)  # warm the period prefix cache
+        benchmark.group = "periodic-count"
+        out = benchmark(lambda: pfs.count_in(0, length - 1))
+        assert out > 0
+
+    def test_count_in_uncached_instance(self, benchmark):
+        """Including the one-off prefix construction (first query)."""
+        length = 2**22
+        benchmark.group = "periodic-count"
+
+        def fresh():
+            pfs = self._intersection()
+            return pfs.count_in(0, length - 1)
+
+        assert benchmark(fresh) > 0
+
+    def test_segments_in_window_memo(self, benchmark):
+        """Repeated same-extremity queries hit the per-instance memo."""
+        pfs = self._intersection()
+        length = 2**18
+        pfs.segments_in(0, length - 1)
+        benchmark.group = "periodic-count"
+        starts, _ = benchmark(lambda: pfs.segments_in(0, length - 1))
+        assert starts.size > 0

@@ -1,0 +1,128 @@
+"""Plan-cache benchmark: cold schedule construction vs warm cache hits.
+
+Measures, for every Table-1 partition pair (row-block logical views vs
+the three physical layouts at each paper size):
+
+* **cold** — a full ``build_plan`` (INTERSECT + PROJ over all element
+  pairs), the paper's ``t_i``;
+* **warm** — ``PlanCache.get`` on a populated cache, what every view
+  set, collective, relayout and reshard after the first one pays;
+* the pair-pruning effect: candidate vs pruned vs surviving pairs.
+
+Run as a module to (re)generate the committed results file::
+
+    PYTHONPATH=src python benchmarks/bench_plan_cache.py
+
+which writes ``BENCH_plan_cache.json`` at the repository root, or under
+pytest (``pytest benchmarks/bench_plan_cache.py --benchmark-only``) for
+the usual timing tables.
+"""
+
+import json
+import os
+import statistics
+import time
+
+from repro.bench.workloads import PAPER_PHYSICAL_LAYOUTS, PAPER_SIZES
+from repro.distributions.multidim import matrix_partition, row_blocks
+from repro.redistribution.plan_cache import PlanCache
+from repro.redistribution.schedule import build_plan
+
+NPROCS = 4
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_plan_cache.json",
+)
+
+
+def _pairs():
+    for n in PAPER_SIZES:
+        for ph in PAPER_PHYSICAL_LAYOUTS:
+            yield n, ph, row_blocks(n, n, NPROCS), matrix_partition(
+                ph, n, n, NPROCS
+            )
+
+
+def _median_time(fn, repeats):
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def measure(repeats: int = 9) -> dict:
+    """Cold/warm medians and pruning counts for every Table-1 pair."""
+    rows = []
+    for n, ph, logical, physical in _pairs():
+        cold_s = _median_time(lambda: build_plan(logical, physical), repeats)
+        cache = PlanCache(capacity=8)
+        cache.get(logical, physical)  # populate
+        warm_s = _median_time(lambda: cache.get(logical, physical), repeats)
+        plan = build_plan(logical, physical, prune=True)
+        unpruned = build_plan(logical, physical, prune=False)
+        assert len(plan.transfers) == len(unpruned.transfers)
+        rows.append(
+            {
+                "size": n,
+                "physical": ph,
+                "logical": "r",
+                "cold_us": cold_s * 1e6,
+                "warm_us": warm_s * 1e6,
+                "speedup": cold_s / warm_s if warm_s else float("inf"),
+                "candidate_pairs": plan.candidate_pairs,
+                "pruned_pairs": plan.pruned_pairs,
+                "transfers": len(plan.transfers),
+            }
+        )
+    speedups = [r["speedup"] for r in rows]
+    return {
+        "benchmark": "plan_cache",
+        "nprocs": NPROCS,
+        "repeats": repeats,
+        "rows": rows,
+        "min_speedup": min(speedups),
+        "median_speedup": statistics.median(speedups),
+    }
+
+
+class TestPlanCacheBench:
+    def test_cold_build(self, benchmark):
+        logical = row_blocks(1024, 1024, NPROCS)
+        physical = matrix_partition("b", 1024, 1024, NPROCS)
+        benchmark.group = "plan-cache"
+        plan = benchmark(lambda: build_plan(logical, physical))
+        assert plan.transfers
+
+    def test_warm_hit(self, benchmark):
+        logical = row_blocks(1024, 1024, NPROCS)
+        physical = matrix_partition("b", 1024, 1024, NPROCS)
+        cache = PlanCache(capacity=8)
+        cache.get(logical, physical)
+        benchmark.group = "plan-cache"
+        plan = benchmark(lambda: cache.get(logical, physical))
+        assert plan.transfers
+
+    def test_warm_is_10x_faster(self):
+        """The ISSUE acceptance bar: warm acquisition at least 10x the
+        cold build, for every Table-1 pair."""
+        result = measure(repeats=5)
+        assert result["min_speedup"] >= 10, result
+
+
+def main() -> None:
+    result = measure()
+    with open(RESULT_PATH, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {RESULT_PATH}")
+    print(
+        f"min speedup {result['min_speedup']:.1f}x, "
+        f"median {result['median_speedup']:.1f}x over "
+        f"{len(result['rows'])} pairs"
+    )
+
+
+if __name__ == "__main__":
+    main()

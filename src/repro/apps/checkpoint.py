@@ -26,7 +26,7 @@ import numpy as np
 from ..core.partition import Partition
 from ..clusterfile.fs import Clusterfile
 from ..redistribution.executor import execute_plan
-from ..redistribution.schedule import build_plan
+from ..redistribution.plan_cache import get_plan
 from ..simulation.cluster import ClusterConfig
 
 __all__ = ["CheckpointStore", "reshard"]
@@ -46,7 +46,7 @@ def reshard(
     """
     if total_bytes is None:
         total_bytes = old_partition.displacement + sum(p.size for p in pieces)
-    plan = build_plan(old_partition, new_partition)
+    plan = get_plan(old_partition, new_partition)
     buffers = [np.ascontiguousarray(p, dtype=np.uint8).reshape(-1) for p in pieces]
     return execute_plan(plan, buffers, total_bytes)
 

@@ -24,6 +24,7 @@ from statistics import mean
 from typing import List, Sequence
 
 from ..clusterfile.fs import Clusterfile
+from ..redistribution.plan_cache import clear_plan_cache
 from ..simulation.cluster import ClusterConfig
 from .workloads import PAPER_PHYSICAL_LAYOUTS, PAPER_SIZES, MatrixWorkload
 
@@ -78,6 +79,10 @@ def run_workload(
     t2_acc: List[Table2Row] = []
     messages = payload_bytes = 0
     for rep in range(repeats):
+        # Each repetition measures a *cold* t_i, as the paper's tables
+        # do; without this the process-wide plan cache would serve every
+        # repetition after the first and t_i would collapse to a lookup.
+        clear_plan_cache()
         fs = Clusterfile(config)
         fs.create("m", workload.physical())
         logical = workload.logical()

@@ -103,9 +103,18 @@ def _prepare_messages(
     requests: Sequence[WriteRequest],
     gather_payload: bool,
 ) -> Tuple[List[_Message], Dict[int, WriteBreakdown]]:
-    """Client-side phase: extremity mapping and (for writes) gathering."""
+    """Client-side phase: extremity mapping and (for writes) gathering.
+
+    Gather destinations come from the view's per-subfile scratch buffers
+    (:meth:`View.gather_buffer`), so a view issuing many accesses does
+    not re-allocate its send buffers every time.  A buffer is only
+    reused when its (view, subfile) pair appears once in this batch —
+    messages outlive the loop, so aliasing two payloads would corrupt
+    the first.
+    """
     messages: List[_Message] = []
     breakdowns: Dict[int, WriteBreakdown] = {}
+    seen_buffers: set = set()
     for req in requests:
         bd = WriteBreakdown(t_i=req.view.set_time_s * 1e6)
         view = req.view
@@ -132,9 +141,16 @@ def _prepare_messages(
                     payload = req.buf[a : a + nbytes]
                 else:
                     # Line 9: GATHER the non-contiguous regions.
+                    buf_key = (id(view), link.subfile)
+                    scratch = (
+                        view.gather_buffer(link.subfile, nbytes)
+                        if buf_key not in seen_buffers
+                        else None
+                    )
+                    seen_buffers.add(buf_key)
                     t0 = time.perf_counter()
                     payload = gather_segments(
-                        req.buf, (starts - req.lo, lengths)
+                        req.buf, (starts - req.lo, lengths), scratch
                     )
                     bd.t_g += (time.perf_counter() - t0) * 1e6
             messages.append(

@@ -34,7 +34,8 @@ import numpy as np
 from ..core.falls import Falls
 from ..core.partition import Partition
 from ..redistribution.executor import execute_plan
-from ..redistribution.schedule import RedistributionPlan, build_plan
+from ..redistribution.plan_cache import get_plan
+from ..redistribution.schedule import RedistributionPlan
 from .client import OperationResult
 from .fs import Clusterfile
 
@@ -162,7 +163,7 @@ def two_phase_write(
     domain = file_domain_partition(
         length - logical.displacement, aggregators, logical.displacement
     )
-    plan = build_plan(logical, domain)
+    plan = get_plan(logical, domain)
     src_buffers: List[np.ndarray] = [None] * logical.num_elements  # type: ignore
     for node, _, data in accesses:
         element = fs.view_of(name, node).element
@@ -191,7 +192,7 @@ def two_phase_write(
     # compare against.
     fragments = sum(
         t.dst_fragments_per_period
-        for t in build_plan(domain, cfile.physical).transfers
+        for t in get_plan(domain, cfile.physical).transfers
     )
     return CollectiveResult(
         shuffle_messages=messages,
@@ -263,7 +264,7 @@ def two_phase_read(
     )
 
     # Phase 2: shuffle from the file domain to the callers' views.
-    plan = build_plan(domain, logical)
+    plan = get_plan(domain, logical)
     out_by_element = execute_plan(plan, agg_buffers, length)
     messages, off_bytes, shuffle_s = _shuffle_cost(fs.cluster, plan, length)
 
@@ -274,7 +275,7 @@ def two_phase_read(
     cfile = fs.open(name)
     fragments = sum(
         t.src_fragments_per_period
-        for t in build_plan(cfile.physical, domain).transfers
+        for t in get_plan(cfile.physical, domain).transfers
     )
     buffers = [
         out_by_element[fs.view_of(name, node).element] for node, _, _ in requests

@@ -21,7 +21,7 @@ from typing import Dict, List
 
 from ..core.partition import Partition
 from ..redistribution.gather_scatter import gather_segments, scatter_segments
-from ..redistribution.schedule import build_plan
+from ..redistribution.plan_cache import get_plan
 from ..simulation.cluster import Cluster
 from ..simulation.disk import write_time_for_segments
 from ..simulation.events import EventQueue
@@ -59,7 +59,7 @@ def relayout(
     cfile: ClusterFile = fs.open(name)
     old = cfile.physical
     length = cfile.file_length()
-    plan = build_plan(old, new_physical)
+    plan = get_plan(old, new_physical)
 
     # New stores come from the deployment's storage backend, under a
     # scratch name first (on-disk backends must not clobber the old

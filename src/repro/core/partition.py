@@ -14,6 +14,8 @@ size of the pattern is the sum of the sizes of its elements.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
@@ -27,6 +29,17 @@ __all__ = ["Partition", "PartitionError"]
 
 class PartitionError(ValueError):
     """Raised when a partitioning pattern is structurally invalid."""
+
+
+def _falls_canonical(f: Falls) -> list:
+    """The compact array form ``[l, r, s, n, [inner...]]`` — identical to
+    :func:`repro.core.serialize.falls_to_obj` (kept local to avoid an
+    import cycle), so the structural key is stable across the JSON
+    round-trip."""
+    base: list = [f.l, f.r, f.s, f.n]
+    if f.inner:
+        base.append([_falls_canonical(g) for g in f.inner])
+    return base
 
 
 @dataclass(frozen=True)
@@ -145,6 +158,36 @@ class Partition:
 
             total += count_below(self.elements[idx], rem)
         return total
+
+    def structure_key(self) -> str:
+        """A stable content hash identifying this partition structurally.
+
+        Two partitions get the same key exactly when their displacement
+        and FALLS trees are identical (the canonical form mirrors the
+        JSON serialization, so keys survive a
+        :func:`repro.core.serialize.partition_to_json` round-trip and are
+        comparable across processes).  This is the cache key the
+        process-wide redistribution plan cache
+        (:mod:`repro.redistribution.plan_cache`) uses to amortise the
+        paper's ``t_i`` across every consumer of the same pattern pair.
+        """
+        cached = self.__dict__.get("_structure_key")
+        if cached is None:
+            payload = json.dumps(
+                [
+                    self.displacement,
+                    [
+                        [_falls_canonical(f) for f in e.falls]
+                        for e in self.elements
+                    ],
+                ],
+                separators=(",", ":"),
+            )
+            cached = hashlib.sha256(payload.encode("ascii")).hexdigest()
+            # Frozen dataclass: memoise through __dict__ like
+            # functools.cached_property does.
+            self.__dict__["_structure_key"] = cached
+        return cached
 
     def element_owning(self, x: int) -> Tuple[int, int]:
         """The ``(element index, element offset)`` pair owning file offset

@@ -13,6 +13,7 @@ per-byte indices.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Tuple
@@ -29,6 +30,12 @@ from .segments import (
 )
 
 __all__ = ["PeriodicFallsSet"]
+
+#: Distinct query windows memoised per instance by :meth:`segments_in`.
+#: Real workloads hit a handful of extremity pairs per projection (the
+#: access pattern of one view repeated over many operations), so a small
+#: LRU suffices.
+_WINDOW_MEMO_CAPACITY = 8
 
 
 @dataclass(frozen=True)
@@ -72,6 +79,22 @@ class PeriodicFallsSet:
         """Merged, sorted segments of one period (period-relative)."""
         return merge_segment_arrays(leaf_segment_arrays_set(self.falls.falls))
 
+    @cached_property
+    def _period_prefix(self) -> np.ndarray:
+        """Running byte count at each period segment: ``prefix[i]`` is the
+        number of selected bytes in segments ``[0, i)`` of one period."""
+        lengths = self._period_segments[1]
+        out = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=out[1:])
+        return out
+
+    @cached_property
+    def _window_memo(self) -> "OrderedDict[Tuple[int, int], SegmentArrays]":
+        """Per-instance LRU of :meth:`segments_in` results, keyed by the
+        query window.  Repeated same-extremity accesses (the amortisation
+        workload) skip the tile/clip/merge entirely."""
+        return OrderedDict()
+
     @property
     def fragment_count_per_period(self) -> int:
         """Number of maximal contiguous runs per period."""
@@ -79,7 +102,12 @@ class PeriodicFallsSet:
 
     def segments_in(self, lo: int, hi: int) -> SegmentArrays:
         """Absolute byte segments selected within ``[lo, hi]`` (inclusive),
-        sorted and merged."""
+        sorted and merged.
+
+        Results for recent windows are memoised per instance and returned
+        as **read-only** arrays (callers derive new arrays via arithmetic,
+        never write in place).
+        """
         if hi < lo or self.is_empty:
             return (
                 np.empty(0, dtype=np.int64),
@@ -91,6 +119,11 @@ class PeriodicFallsSet:
                 np.empty(0, dtype=np.int64),
                 np.empty(0, dtype=np.int64),
             )
+        memo = self._window_memo
+        cached = memo.get((lo, hi))
+        if cached is not None:
+            memo.move_to_end((lo, hi))
+            return cached
         k_first = (lo - self.displacement) // self.period
         k_last = (hi - self.displacement) // self.period
         base = self._period_segments
@@ -102,12 +135,55 @@ class PeriodicFallsSet:
         )
         # Runs can continue across period boundaries (a fully covering
         # pattern is one infinite run), so merge after tiling.
-        return merge_segment_arrays(clip_segments(tiled[0], tiled[1], lo, hi))
+        result = merge_segment_arrays(clip_segments(tiled[0], tiled[1], lo, hi))
+        result[0].setflags(write=False)
+        result[1].setflags(write=False)
+        memo[(lo, hi)] = result
+        if len(memo) > _WINDOW_MEMO_CAPACITY:
+            memo.popitem(last=False)
+        return result
+
+    def _count_below(self, x: int) -> int:
+        """Selected bytes at absolute offsets in ``[displacement, x)``.
+
+        Closed form: whole periods contribute ``size_per_period`` each;
+        the partial edge period is resolved with one ``searchsorted``
+        against the cached period segments and their prefix sums — no
+        segment arrays are materialised, so the cost is O(log fragments)
+        regardless of ``x``.
+        """
+        if x <= self.displacement:
+            return 0
+        full, rem = divmod(x - self.displacement, self.period)
+        total = full * self.size_per_period
+        if rem:
+            starts, lengths = self._period_segments
+            # Segments [0, i) start strictly before rem; only segment
+            # i - 1 can straddle the boundary (segments are merged and
+            # disjoint), so clip its overshoot.
+            i = int(np.searchsorted(starts, rem, side="left"))
+            if i:
+                total += int(self._period_prefix[i])
+                overshoot = int(starts[i - 1] + lengths[i - 1]) - rem
+                if overshoot > 0:
+                    total -= overshoot
+        return int(total)
 
     def count_in(self, lo: int, hi: int) -> int:
-        """Number of selected bytes within ``[lo, hi]``."""
-        _, lengths = self.segments_in(lo, hi)
-        return int(lengths.sum()) if lengths.size else 0
+        """Number of selected bytes within ``[lo, hi]``.
+
+        Computed in closed form from the periodic structure — the cost
+        depends only on the fragment count of one period, not on the
+        width of the window (so ``Transfer.bytes_in_file`` and
+        ``RedistributionPlan.total_bytes`` are O(period), never
+        O(file length / period)).
+        """
+        if hi < lo or self.is_empty:
+            return 0
+        lo = max(lo, self.displacement)
+        if hi < lo:
+            return 0
+        return self._count_below(hi + 1) - self._count_below(lo)
 
     def contiguous_run_in(self, lo: int, hi: int) -> Tuple[int, int] | None:
         """If the bytes selected within ``[lo, hi]`` form exactly one

@@ -30,6 +30,7 @@ __all__ = [
     "partition_from_obj",
     "partition_to_json",
     "partition_from_json",
+    "partition_structure_key",
     "pitfalls_to_obj",
     "pitfalls_from_obj",
 ]
@@ -90,6 +91,18 @@ def partition_to_json(p: Partition, indent: int | None = None) -> str:
 def partition_from_json(text: str, validate: bool = True) -> Partition:
     """Parse JSON text back into a validated partition."""
     return partition_from_obj(json.loads(text), validate=validate)
+
+
+def partition_structure_key(p: Partition) -> str:
+    """The stable content hash of a partition's displacement/FALLS trees.
+
+    Delegates to :meth:`repro.core.partition.Partition.structure_key`;
+    the hash is computed over the same canonical array form this module
+    serializes, so a partition and its JSON round-trip share one key.
+    Use it to key layout metadata (plan caches, checkpoint indexes)
+    across processes.
+    """
+    return p.structure_key()
 
 
 def pitfalls_to_obj(pf: Pitfalls) -> list:

@@ -2,7 +2,16 @@
 
 from .gather_scatter import gather, gather_segments, scatter, scatter_segments
 from .schedule import RedistributionPlan, Transfer, build_plan
+from .plan_cache import (
+    PlanCache,
+    clear_plan_cache,
+    configure_plan_cache,
+    get_mapper,
+    get_plan,
+    plan_cache_stats,
+)
 from .executor import (
+    PlanExecutor,
     collect,
     distribute,
     execute_plan,
@@ -12,15 +21,22 @@ from .executor import (
 from .naive import redistribute_bytewise, redistribute_bytewise_vectorized
 
 __all__ = [
+    "PlanCache",
+    "PlanExecutor",
     "RedistributionPlan",
     "Transfer",
     "build_plan",
+    "clear_plan_cache",
     "collect",
+    "configure_plan_cache",
     "distribute",
     "execute_plan",
     "execute_plan_windowed",
     "gather",
     "gather_segments",
+    "get_mapper",
+    "get_plan",
+    "plan_cache_stats",
     "redistribute",
     "redistribute_bytewise",
     "redistribute_bytewise_vectorized",

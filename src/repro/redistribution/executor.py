@@ -16,16 +16,17 @@ bytes.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..core.partition import Partition
 from ..core.mapping import ElementMapper
 from .gather_scatter import gather_segments, scatter_segments
-from .schedule import RedistributionPlan, build_plan
+from .schedule import RedistributionPlan, Transfer, build_plan
 
 __all__ = [
+    "PlanExecutor",
     "distribute",
     "collect",
     "execute_plan",
@@ -89,6 +90,103 @@ def collect(
     return data
 
 
+class PlanExecutor:
+    """Reusable execution state for one plan.
+
+    The schedule of a plan never changes, so repeated executions (the
+    amortisation workload: same views, many accesses) should not pay the
+    per-call setup again.  The executor keeps, across calls:
+
+    * the per-transfer projection segment lists for the last few access
+      extremities (via each projection's window memo), and
+    * one preallocated gather scratch buffer per transfer, so the packed
+      intermediate is not re-allocated on every access.
+
+    Scratch buffers are per transfer, so the parallel path (which runs
+    each transfer exactly once per execution, grouped by destination) is
+    as safe as before.  Obtain a process-shared instance via
+    :meth:`RedistributionPlan` + :func:`execute_plan`, or hold one
+    explicitly for a long-lived pipeline.
+    """
+
+    def __init__(self, plan: RedistributionPlan):
+        self.plan = plan
+        self._scratch: Dict[Tuple[int, int], np.ndarray] = {}
+
+    def _gather_scratch(self, key: Tuple[int, int], nbytes: int) -> np.ndarray:
+        buf = self._scratch.get(key)
+        if buf is None or buf.size < nbytes:
+            buf = np.empty(nbytes, dtype=np.uint8)
+            self._scratch[key] = buf
+        return buf
+
+    def _run_transfer(
+        self,
+        t: Transfer,
+        src_buffers: Sequence[np.ndarray],
+        dst_buffers: List[np.ndarray],
+    ) -> None:
+        src_len = src_buffers[t.src_element].size
+        dst_len = dst_buffers[t.dst_element].size
+        if src_len == 0 or dst_len == 0:
+            return
+        src_segs = t.src_projection.segments_in(0, src_len - 1)
+        dst_segs = t.dst_projection.segments_in(0, dst_len - 1)
+        nbytes = int(src_segs[1].sum()) if src_segs[1].size else 0
+        if nbytes != (int(dst_segs[1].sum()) if dst_segs[1].size else 0):
+            raise AssertionError(  # pragma: no cover
+                "projection byte counts diverge - plan is corrupt"
+            )
+        scratch = self._gather_scratch((t.src_element, t.dst_element), nbytes)
+        packed = gather_segments(src_buffers[t.src_element], src_segs, scratch)
+        scatter_segments(dst_buffers[t.dst_element], dst_segs, packed)
+
+    def execute(
+        self,
+        src_buffers: Sequence[np.ndarray],
+        file_length: int,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> List[np.ndarray]:
+        """One redistribution pass; see :func:`execute_plan`."""
+        plan = self.plan
+        _check_buffers(plan.src, src_buffers, file_length)
+        dst_buffers = [
+            np.zeros(plan.dst.element_length(j, file_length), dtype=np.uint8)
+            for j in range(plan.dst.num_elements)
+        ]
+        if not parallel:
+            for t in plan.transfers:
+                self._run_transfer(t, src_buffers, dst_buffers)
+            return dst_buffers
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run_group(group) -> None:
+            for t in group:
+                self._run_transfer(t, src_buffers, dst_buffers)
+
+        groups = [
+            plan.transfers_to(j)
+            for j in range(plan.dst.num_elements)
+            if plan.transfers_to(j)
+        ]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            list(pool.map(run_group, groups))
+        return dst_buffers
+
+
+def _executor_for(plan: RedistributionPlan) -> PlanExecutor:
+    """The plan's lazily attached executor (plans cached process-wide by
+    :mod:`repro.redistribution.plan_cache` thus share scratch buffers
+    and segment memos across every consumer)."""
+    ex = plan.__dict__.get("_executor")
+    if ex is None:
+        ex = PlanExecutor(plan)
+        plan.__dict__["_executor"] = ex
+    return ex
+
+
 def execute_plan(
     plan: RedistributionPlan,
     src_buffers: Sequence[np.ndarray],
@@ -105,45 +203,14 @@ def execute_plan(
     scatter into a shared buffer from multiple threads is still best
     avoided); NumPy's block copies release the GIL, so large
     redistributions scale with cores.
+
+    Repeated executions of the same plan reuse cached projection
+    segments and preallocated gather scratch via the plan's attached
+    :class:`PlanExecutor`.
     """
-    _check_buffers(plan.src, src_buffers, file_length)
-    dst_buffers = [
-        np.zeros(plan.dst.element_length(j, file_length), dtype=np.uint8)
-        for j in range(plan.dst.num_elements)
-    ]
-
-    def run_transfer(t) -> None:
-        src_len = src_buffers[t.src_element].size
-        dst_len = dst_buffers[t.dst_element].size
-        if src_len == 0 or dst_len == 0:
-            return
-        src_segs = t.src_projection.segments_in(0, src_len - 1)
-        dst_segs = t.dst_projection.segments_in(0, dst_len - 1)
-        if int(src_segs[1].sum()) != int(dst_segs[1].sum()):  # pragma: no cover
-            raise AssertionError(
-                "projection byte counts diverge - plan is corrupt"
-            )
-        packed = gather_segments(src_buffers[t.src_element], src_segs)
-        scatter_segments(dst_buffers[t.dst_element], dst_segs, packed)
-
-    if not parallel:
-        for t in plan.transfers:
-            run_transfer(t)
-        return dst_buffers
-
-    from concurrent.futures import ThreadPoolExecutor
-
-    by_dst: dict[int, list] = {}
-    for t in plan.transfers:
-        by_dst.setdefault(t.dst_element, []).append(t)
-
-    def run_group(group) -> None:
-        for t in group:
-            run_transfer(t)
-
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        list(pool.map(run_group, by_dst.values()))
-    return dst_buffers
+    return _executor_for(plan).execute(
+        src_buffers, file_length, parallel=parallel, max_workers=max_workers
+    )
 
 
 def execute_plan_windowed(
@@ -232,9 +299,18 @@ def redistribute(
     file_length: int,
     plan: RedistributionPlan | None = None,
 ) -> List[np.ndarray]:
-    """Convenience wrapper: build (or reuse) a plan and execute it."""
+    """Convenience wrapper: fetch (or reuse) a plan and execute it.
+
+    Without an explicit plan the process-wide plan cache serves the
+    pattern pair, so repeated redistributions between the same layouts
+    build the schedule once.  A supplied plan must match the partitions
+    *structurally* (cached plans are shared objects, so identity would
+    be too strict).
+    """
     if plan is None:
-        plan = build_plan(src, dst)
-    elif plan.src is not src or plan.dst is not dst:
+        from .plan_cache import get_plan  # local import avoids a cycle
+
+        plan = get_plan(src, dst)
+    elif plan.src != src or plan.dst != dst:
         raise ValueError("plan was built for different partitions")
     return execute_plan(plan, src_buffers, file_length)

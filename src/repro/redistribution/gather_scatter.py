@@ -100,19 +100,19 @@ def gather_segments(
     out = dst[:total]
     if total == 0:
         return out
+    uniform: Optional[bool] = None
     if strategy == "auto":
-        if _is_uniform(starts, lengths):
+        uniform = _is_uniform(starts, lengths)
+        if uniform:
             strategy = "strided"
         elif starts.size >= _FANCY_THRESHOLD:
             strategy = "fancy"
         else:
             strategy = "slices"
     if strategy == "strided":
-        view = (
-            _strided_view(src, starts, lengths)
-            if _is_uniform(starts, lengths)
-            else None
-        )
+        if uniform is None:
+            uniform = _is_uniform(starts, lengths)
+        view = _strided_view(src, starts, lengths) if uniform else None
         if view is not None:
             out[:] = view.reshape(-1)
             return out
@@ -142,19 +142,19 @@ def scatter_segments(
     if src.size < total:
         raise ValueError(f"source holds {src.size} bytes, need {total}")
     payload = src[:total]
+    uniform: Optional[bool] = None
     if strategy == "auto":
-        if _is_uniform(starts, lengths):
+        uniform = _is_uniform(starts, lengths)
+        if uniform:
             strategy = "strided"
         elif starts.size >= _FANCY_THRESHOLD:
             strategy = "fancy"
         else:
             strategy = "slices"
     if strategy == "strided":
-        view = (
-            _strided_view(dst, starts, lengths)
-            if _is_uniform(starts, lengths)
-            else None
-        )
+        if uniform is None:
+            uniform = _is_uniform(starts, lengths)
+        view = _strided_view(dst, starts, lengths) if uniform else None
         if view is not None:
             # NB: reshape(-1) on a non-contiguous strided view would
             # silently copy; assign through the 2-D view instead.

@@ -21,15 +21,17 @@ and any number of accesses — this is exactly the cost the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.intersect_nested import intersect_elements
 from ..core.mapping import ElementMapper
 from ..core.partition import Partition
 from ..core.periodic import PeriodicFallsSet
 from ..core.projection import project
+from ..core.segments import SegmentArrays, intersect_segment_arrays
 
 __all__ = ["Transfer", "RedistributionPlan", "build_plan"]
 
@@ -69,10 +71,29 @@ class RedistributionPlan:
     src: Partition
     dst: Partition
     transfers: List[Transfer]
+    #: Element pairs the schedule construction considered (``p * q``).
+    candidate_pairs: int = 0
+    #: Pairs skipped by the cheap segment-overlap test before the nested
+    #: intersection ran (see :func:`build_plan`).
+    pruned_pairs: int = 0
 
     @cached_property
     def by_pair(self) -> Dict[Tuple[int, int], Transfer]:
         return {(t.src_element, t.dst_element): t for t in self.transfers}
+
+    @cached_property
+    def _by_src(self) -> Dict[int, List[Transfer]]:
+        out: Dict[int, List[Transfer]] = {}
+        for t in self.transfers:
+            out.setdefault(t.src_element, []).append(t)
+        return out
+
+    @cached_property
+    def _by_dst(self) -> Dict[int, List[Transfer]]:
+        out: Dict[int, List[Transfer]] = {}
+        for t in self.transfers:
+            out.setdefault(t.dst_element, []).append(t)
+        return out
 
     @property
     def message_count(self) -> int:
@@ -81,10 +102,14 @@ class RedistributionPlan:
         return len(self.transfers)
 
     def transfers_from(self, src_element: int) -> List[Transfer]:
-        return [t for t in self.transfers if t.src_element == src_element]
+        """Transfers leaving one source element (cached index — plans are
+        queried per element on every operation, so this must not rescan
+        the whole transfer list)."""
+        return self._by_src.get(src_element, [])
 
     def transfers_to(self, dst_element: int) -> List[Transfer]:
-        return [t for t in self.transfers if t.dst_element == dst_element]
+        """Transfers arriving at one destination element (cached index)."""
+        return self._by_dst.get(dst_element, [])
 
     def total_bytes(self, file_length: int) -> int:
         return sum(t.bytes_in_file(file_length) for t in self.transfers)
@@ -132,22 +157,76 @@ class RedistributionPlan:
         }
 
 
-def build_plan(src: Partition, dst: Partition) -> RedistributionPlan:
+def _element_window_segments(
+    p: Partition, window_lo: int, window_hi: int
+) -> Optional[List[SegmentArrays]]:
+    """Absolute byte segments each element of ``p`` selects within the
+    common window ``[window_lo, window_hi]``, or ``None`` when the
+    pattern cannot be expressed periodically (pruning is then skipped).
+    """
+    try:
+        return [
+            PeriodicFallsSet(e, p.displacement, p.size).segments_in(
+                window_lo, window_hi
+            )
+            for e in p.elements
+        ]
+    except ValueError:  # pragma: no cover - non-tiling pattern, be safe
+        return None
+
+
+def build_plan(
+    src: Partition, dst: Partition, prune: bool = True
+) -> RedistributionPlan:
     """Compute the redistribution schedule between two partitions.
 
     Every (source element, destination element) pair is intersected; the
     non-empty intersections are projected onto both sides.  Mappers are
     built once per element and shared across the pairs, as a view-set
     implementation would cache them.
+
+    With ``prune=True`` (the default) each pair is first tested with a
+    cheap byte-exact overlap check: both elements' merged segment lists
+    over one common lcm period are intersected as flat arrays
+    (:func:`repro.core.segments.intersect_segment_arrays`), and provably
+    empty pairs skip the nested intersection entirely.  Everything is
+    periodic with the lcm period starting at the larger displacement, so
+    emptiness over that single window is emptiness everywhere — the test
+    never drops a communicating pair.  Sparse communication matrices
+    (matching and near-matching layouts) therefore cost O(non-zero
+    pairs) nested intersections instead of O(p*q).
     """
-    src_mappers = [ElementMapper(src, i) for i in range(src.num_elements)]
-    dst_mappers = [ElementMapper(dst, j) for j in range(dst.num_elements)]
     transfers: List[Transfer] = []
+    candidates = src.num_elements * dst.num_elements
+    pruned = 0
+
+    src_window = dst_window = None
+    if prune:
+        window_lo = max(src.displacement, dst.displacement)
+        window_hi = window_lo + math.lcm(src.size, dst.size) - 1
+        src_window = _element_window_segments(src, window_lo, window_hi)
+        dst_window = _element_window_segments(dst, window_lo, window_hi)
+    can_prune = src_window is not None and dst_window is not None
+
+    src_mappers: Dict[int, ElementMapper] = {}
+    dst_mappers: Dict[int, ElementMapper] = {}
     for i in range(src.num_elements):
         for j in range(dst.num_elements):
+            if can_prune and (
+                intersect_segment_arrays(src_window[i], dst_window[j])[
+                    0
+                ].size
+                == 0
+            ):
+                pruned += 1
+                continue
             inter = intersect_elements(src, i, dst, j)
             if inter.is_empty:
                 continue
+            if i not in src_mappers:
+                src_mappers[i] = ElementMapper(src, i)
+            if j not in dst_mappers:
+                dst_mappers[j] = ElementMapper(dst, j)
             transfers.append(
                 Transfer(
                     src_element=i,
@@ -157,4 +236,10 @@ def build_plan(src: Partition, dst: Partition) -> RedistributionPlan:
                     dst_projection=project(inter, dst, j, dst_mappers[j]),
                 )
             )
-    return RedistributionPlan(src=src, dst=dst, transfers=transfers)
+    return RedistributionPlan(
+        src=src,
+        dst=dst,
+        transfers=transfers,
+        candidate_pairs=candidates,
+        pruned_pairs=pruned,
+    )
