@@ -25,6 +25,7 @@ import time
 
 from repro.bench.workloads import PAPER_PHYSICAL_LAYOUTS, PAPER_SIZES
 from repro.distributions.multidim import matrix_partition, row_blocks
+from repro.obs import metrics
 from repro.redistribution.plan_cache import PlanCache
 from repro.redistribution.schedule import build_plan
 
@@ -53,11 +54,17 @@ def _median_time(fn, repeats):
 
 
 def measure(repeats: int = 9) -> dict:
-    """Cold/warm medians and pruning counts for every Table-1 pair."""
+    """Cold/warm medians and pruning counts for every Table-1 pair.
+
+    Cache traffic is read back from the process-wide metrics registry
+    (the benchmark cache is named ``bench``, so its hits/misses land
+    under ``plan_cache.bench.*``), not from private counters.
+    """
     rows = []
+    metrics.reset_metrics("plan_cache.bench")
     for n, ph, logical, physical in _pairs():
         cold_s = _median_time(lambda: build_plan(logical, physical), repeats)
-        cache = PlanCache(capacity=8)
+        cache = PlanCache(capacity=8, name="bench")
         cache.get(logical, physical)  # populate
         warm_s = _median_time(lambda: cache.get(logical, physical), repeats)
         plan = build_plan(logical, physical, prune=True)
@@ -77,11 +84,23 @@ def measure(repeats: int = 9) -> dict:
             }
         )
     speedups = [r["speedup"] for r in rows]
+    snap = metrics.snapshot("plan_cache.bench")
+    n_pairs = len(rows)
+    cache_stats = {
+        "hits": snap.get("plan_cache.bench.hits", 0),
+        "misses": snap.get("plan_cache.bench.misses", 0),
+        "evictions": snap.get("plan_cache.bench.evictions", 0),
+    }
+    # One miss (populate) + `repeats` hits per pair, no evictions: a
+    # mismatch means the registry mirroring regressed.
+    assert cache_stats["misses"] == n_pairs, cache_stats
+    assert cache_stats["hits"] == n_pairs * repeats, cache_stats
     return {
         "benchmark": "plan_cache",
         "nprocs": NPROCS,
         "repeats": repeats,
         "rows": rows,
+        "cache_stats": cache_stats,
         "min_speedup": min(speedups),
         "median_speedup": statistics.median(speedups),
     }

@@ -1,231 +1,26 @@
 """The compute-node side of Clusterfile data operations (paper §8.1).
 
-Implements the first pseudocode fragment of §8.1 — for every subfile
-intersecting the view: map the access extremities (``t_m``), decide
-between the contiguous fast path and GATHER (``t_g``), and issue the
-request — and drives the whole exchange through the discrete-event
-simulation so that ``t_w`` reflects network serialisation, I/O-node CPU
-queueing and (in write-through mode) disk positioning, "limited by the
-slowest I/O server" exactly as the paper observes.
-
-``t_i`` (paid at view set), ``t_m`` and ``t_g`` are *measured* wall
-times of the real algorithms; message and device times are *modelled*
-(see DESIGN.md §3).
+The actual pipeline — map the access extremities (``t_m``), decide
+between the contiguous fast path and GATHER (``t_g``), issue the
+requests and drive the exchange through the discrete-event simulation
+(``t_w``) — lives in the unified I/O engine
+(:mod:`repro.clusterfile.engine`); this module keeps the historical
+entry points.  ``t_i`` (paid at view set), ``t_m`` and ``t_g`` are
+*measured* wall times of the real algorithms; message and device times
+are *modelled* (see DESIGN.md §3).  All timings are recorded as spans
+(:mod:`repro.obs`) and the Table 1/2 breakdowns are derived from the
+span tree.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence
 
-import numpy as np
-
-from ..redistribution.gather_scatter import gather_segments, scatter_segments
 from ..simulation.cluster import Cluster
-from ..simulation.events import EventQueue
-from ..simulation.metrics import ScatterBreakdown, WriteBreakdown
+from .engine import IOEngine, OperationResult, WriteRequest
 from .file_model import ClusterFile
-from .server import IOServer
-from .view import View
 
 __all__ = ["WriteRequest", "OperationResult", "parallel_write", "parallel_read"]
-
-#: Control-message size for (l_S, r_S) request headers, bytes.
-_HEADER_BYTES = 16
-
-
-@dataclass(frozen=True)
-class WriteRequest:
-    """One compute node's access: a view interval plus its buffer."""
-
-    view: View
-    lo: int
-    hi: int
-    buf: np.ndarray  # for writes: data; for reads: destination
-
-    def __post_init__(self) -> None:
-        if self.hi < self.lo:
-            raise ValueError(f"bad view interval [{self.lo}, {self.hi}]")
-        if self.buf.size != self.hi - self.lo + 1:
-            raise ValueError(
-                f"buffer holds {self.buf.size} bytes for interval of "
-                f"{self.hi - self.lo + 1}"
-            )
-
-
-@dataclass
-class OperationResult:
-    """Timings of one parallel operation."""
-
-    per_compute: Dict[int, WriteBreakdown] = field(default_factory=dict)
-    per_io: Dict[int, ScatterBreakdown] = field(default_factory=dict)
-    messages: int = 0
-    payload_bytes: int = 0
-
-
-@dataclass
-class _Message:
-    compute: int
-    subfile: int
-    l_s: int
-    r_s: int
-    payload: np.ndarray
-    #: Fragments gathered on the view side (1 = contiguous fast path).
-    #: The §8.1 loop gathers per subfile *between* sends, so this cost
-    #: sits on the client's critical path inside t_w.
-    view_runs: int = 1
-    reply_segs: Tuple[np.ndarray, np.ndarray] | None = None  # reads only
-
-
-def _map_extremities(view: View, link, lo: int, hi: int) -> Tuple[int, int]:
-    """Lines 3-4 of the first §8.1 fragment: l_S and r_S via MAP
-    composition with next/prev rounding.
-
-    When the view and the subfile perfectly overlap the mapping is the
-    identity and costs nothing (the paper's t_m = 0 case).  Otherwise
-    the scalar recursive MAP functions are used — a few binary searches,
-    matching the paper's observation that t_m "is very small".
-    """
-    if link.is_identity:
-        return lo, hi
-    from ..core.mapping import map_offset, unmap_offset
-
-    x0 = unmap_offset(view.logical, view.element, lo)
-    x1 = unmap_offset(view.logical, view.element, hi)
-    phys = link.subfile_mapper.partition
-    l_s = map_offset(phys, link.subfile, x0, mode="next")
-    r_s = map_offset(phys, link.subfile, x1, mode="prev")
-    return l_s, r_s
-
-
-def _prepare_messages(
-    requests: Sequence[WriteRequest],
-    gather_payload: bool,
-) -> Tuple[List[_Message], Dict[int, WriteBreakdown]]:
-    """Client-side phase: extremity mapping and (for writes) gathering.
-
-    Gather destinations come from the view's per-subfile scratch buffers
-    (:meth:`View.gather_buffer`), so a view issuing many accesses does
-    not re-allocate its send buffers every time.  A buffer is only
-    reused when its (view, subfile) pair appears once in this batch —
-    messages outlive the loop, so aliasing two payloads would corrupt
-    the first.
-    """
-    messages: List[_Message] = []
-    breakdowns: Dict[int, WriteBreakdown] = {}
-    seen_buffers: set = set()
-    for req in requests:
-        bd = WriteBreakdown(t_i=req.view.set_time_s * 1e6)
-        view = req.view
-        for link in view.links.values():
-            # Which view-space bytes of this link fall in the window
-            # (line 2's emptiness test, and the gather index set).
-            starts, lengths = link.proj_view.segments_in(req.lo, req.hi)
-            if starts.size == 0:
-                continue
-
-            # Lines 3-4: map the access extremities onto the subfile.
-            t0 = time.perf_counter()
-            l_s, r_s = _map_extremities(view, link, req.lo, req.hi)
-            bd.t_m += (time.perf_counter() - t0) * 1e6
-
-            payload = np.empty(0, dtype=np.uint8)
-            runs = int(starts.size)
-            if gather_payload:
-                nbytes = int(lengths.sum())
-                if runs == 1:
-                    # Line 7: one contiguous run - send it straight out
-                    # of the user buffer, no copy, no gather time.
-                    a = int(starts[0]) - req.lo
-                    payload = req.buf[a : a + nbytes]
-                else:
-                    # Line 9: GATHER the non-contiguous regions.
-                    buf_key = (id(view), link.subfile)
-                    scratch = (
-                        view.gather_buffer(link.subfile, nbytes)
-                        if buf_key not in seen_buffers
-                        else None
-                    )
-                    seen_buffers.add(buf_key)
-                    t0 = time.perf_counter()
-                    payload = gather_segments(
-                        req.buf, (starts - req.lo, lengths), scratch
-                    )
-                    bd.t_g += (time.perf_counter() - t0) * 1e6
-            messages.append(
-                _Message(
-                    view.compute_node, link.subfile, l_s, r_s, payload, runs
-                )
-            )
-        breakdowns[view.compute_node] = bd
-    return messages, breakdowns
-
-
-def _simulate_exchange(
-    cluster: Cluster,
-    messages: List[_Message],
-    service_costs: List[Tuple[float, float]],
-    result: OperationResult,
-) -> Tuple[Dict[int, float], Dict[int, float]]:
-    """Run the request/ack exchange through the event queue.
-
-    ``service_costs[i]`` is ``(cache_s, disk_s)`` for message ``i``.
-    Returns per-compute-node completion times for the cache-only and
-    the write-through timelines (both computed in one pass: the disk
-    stage extends the cache timeline).
-    """
-    queue: EventQueue = cluster.new_operation()
-    done_bc: Dict[int, float] = {}
-    done_disk: Dict[int, float] = {}
-    nic_free: Dict[int, float] = {}
-
-    net = cluster.network
-
-    memory = cluster.config.memory
-    for msg, (cache_s, disk_s) in zip(messages, service_costs):
-        io_node = cluster.io_node_for(msg.subfile)
-        compute_name = f"compute{msg.compute}"
-        # The §8.1 loop runs per subfile: the gather for this message
-        # happens after the previous message went out, so its (modelled)
-        # copy cost sits on the client's critical path.
-        prep_s = (
-            memory.copy_time(int(msg.payload.size), msg.view_runs)
-            if msg.view_runs > 1
-            else 0.0
-        )
-        # Sender NIC serialises this node's outgoing messages.
-        send_s = net.send_time(compute_name, io_node.name, _HEADER_BYTES) + (
-            net.send_time(compute_name, io_node.name, int(msg.payload.size))
-        )
-        start = nic_free.get(msg.compute, 0.0) + prep_s
-        arrival = start + send_s
-        nic_free[msg.compute] = arrival
-
-        def on_arrival(
-            msg=msg, io_node=io_node, cache_s=cache_s, disk_s=disk_s
-        ) -> None:
-            def after_cpu(_s: float, cpu_end: float, msg=msg) -> None:
-                ack = net.model.latency_s + _HEADER_BYTES / net.model.bandwidth_Bps
-
-                def after_disk(_s2: float, disk_end: float, msg=msg) -> None:
-                    t = disk_end + ack
-                    done_disk[msg.compute] = max(
-                        done_disk.get(msg.compute, 0.0), t
-                    )
-
-                t_bc = cpu_end + ack
-                done_bc[msg.compute] = max(done_bc.get(msg.compute, 0.0), t_bc)
-                io_node.disk_queue.acquire(queue, disk_s, after_disk)
-
-            io_node.cpu.acquire(queue, cache_s, after_cpu)
-
-        queue.at(arrival, on_arrival)
-        result.messages += 1 if msg.payload.size == 0 else 2
-        result.payload_bytes += int(msg.payload.size)
-
-    queue.run()
-    return done_bc, done_disk
 
 
 def parallel_write(
@@ -237,37 +32,10 @@ def parallel_write(
     """All compute nodes write their view intervals concurrently.
 
     Returns per-compute-node :class:`WriteBreakdown` (Table 1 columns)
-    and per-I/O-node :class:`ScatterBreakdown` (Table 2 columns).
+    and per-I/O-node :class:`ScatterBreakdown` (Table 2 columns), both
+    derived from the operation's span tree (``result.trace``).
     """
-    messages, breakdowns = _prepare_messages(requests, gather_payload=True)
-    result = OperationResult(per_compute=breakdowns)
-
-    servers = {
-        s: IOServer(cluster.io_node_for(s), cfile.stores[s], cluster.config)
-        for s in range(cfile.num_subfiles)
-    }
-    req_by_view = {req.view.compute_node: req for req in requests}
-    service_costs: List[Tuple[float, float]] = []
-    for msg in messages:
-        view = req_by_view[msg.compute].view
-        cost = servers[msg.subfile].write(
-            msg.l_s,
-            msg.r_s,
-            msg.payload,
-            view.links[msg.subfile].proj_subfile,
-            to_disk=to_disk,
-        )
-        service_costs.append((cost.cache_s, cost.disk_s))
-        io_index = cluster.io_node_for(msg.subfile).index
-        sb = result.per_io.setdefault(io_index, ScatterBreakdown())
-        sb.t_sc_bc += cost.cache_s * 1e6
-        sb.t_sc_disk += (cost.cache_s + cost.disk_s) * 1e6
-
-    done_bc, done_disk = _simulate_exchange(cluster, messages, service_costs, result)
-    for compute, bd in result.per_compute.items():
-        bd.t_w_bc = done_bc.get(compute, 0.0) * 1e6
-        bd.t_w_disk = done_disk.get(compute, 0.0) * 1e6
-    return result
+    return IOEngine(cluster).write(cfile, requests, to_disk=to_disk)
 
 
 def parallel_read(
@@ -278,42 +46,4 @@ def parallel_read(
 ) -> OperationResult:
     """The reverse-symmetric read operation (§8.1: "the write and read
     are reverse symmetrical").  Request buffers are filled in place."""
-    messages, breakdowns = _prepare_messages(requests, gather_payload=False)
-    result = OperationResult(per_compute=breakdowns)
-
-    servers = {
-        s: IOServer(cluster.io_node_for(s), cfile.stores[s], cluster.config)
-        for s in range(cfile.num_subfiles)
-    }
-    req_by_view = {req.view.compute_node: req for req in requests}
-    service_costs: List[Tuple[float, float]] = []
-    for msg in messages:
-        req = req_by_view[msg.compute]
-        link = req.view.links[msg.subfile]
-        payload, cost = servers[msg.subfile].read(
-            msg.l_s, msg.r_s, link.proj_subfile, from_disk=from_disk
-        )
-        msg.payload = payload
-        service_costs.append((cost.cache_s, cost.disk_s))
-        io_index = cluster.io_node_for(msg.subfile).index
-        sb = result.per_io.setdefault(io_index, ScatterBreakdown())
-        sb.t_sc_bc += cost.cache_s * 1e6
-        sb.t_sc_disk += (cost.cache_s + cost.disk_s) * 1e6
-
-        # Client-side scatter of the reply into the user buffer, the
-        # mirror of the write-side gather (measured).
-        bd = result.per_compute[msg.compute]
-        t0 = time.perf_counter()
-        starts, lengths = link.proj_view.segments_in(req.lo, req.hi)
-        run = link.proj_view.contiguous_run_in(req.lo, req.hi)
-        if run is not None:
-            req.buf[run[0] - req.lo : run[1] - req.lo + 1] = payload
-        else:
-            scatter_segments(req.buf, (starts - req.lo, lengths), payload)
-            bd.t_g += (time.perf_counter() - t0) * 1e6
-
-    done_bc, done_disk = _simulate_exchange(cluster, messages, service_costs, result)
-    for compute, bd in result.per_compute.items():
-        bd.t_w_bc = done_bc.get(compute, 0.0) * 1e6
-        bd.t_w_disk = done_disk.get(compute, 0.0) * 1e6
-    return result
+    return IOEngine(cluster).read(cfile, requests, from_disk=from_disk)

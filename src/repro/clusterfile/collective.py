@@ -27,16 +27,15 @@ fall back to independent writes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..core.falls import Falls
 from ..core.partition import Partition
-from ..redistribution.executor import execute_plan
 from ..redistribution.plan_cache import get_plan
-from ..redistribution.schedule import RedistributionPlan
 from .client import OperationResult
+from .engine import run_shuffle
 from .fs import Clusterfile
 
 __all__ = [
@@ -62,6 +61,8 @@ class CollectiveResult:
     #: Aggregate fragments the file system had to scatter, for
     #: comparison against the direct write.
     scatter_fragments: int
+    #: Span tree of the phase-1 shuffle (see :mod:`repro.obs`).
+    shuffle_trace: object = None
 
 
 def file_domain_partition(
@@ -84,34 +85,6 @@ def file_domain_partition(
         elements.append(Falls(pos, pos + size - 1, file_bytes, 1))
         pos += size
     return Partition(elements, displacement=displacement)
-
-
-def _shuffle_cost(
-    cluster, plan: RedistributionPlan, length: int
-) -> Tuple[int, int, float]:
-    """Messages, off-node bytes and simulated time of the phase-1
-    exchange.
-
-    Each compute node sends its intersections with every aggregator in
-    parallel across nodes, serially on its own NIC — the standard
-    alpha-beta model of an irregular all-to-all.
-    """
-    net = cluster.network.model
-    per_sender: Dict[int, float] = {}
-    messages = 0
-    off_node_bytes = 0
-    for t in plan.transfers:
-        nbytes = t.bytes_in_file(length)
-        if nbytes == 0:
-            continue
-        if t.src_element == t.dst_element:
-            continue  # stays in the process's own memory
-        messages += 1
-        off_node_bytes += nbytes
-        per_sender[t.src_element] = per_sender.get(
-            t.src_element, 0.0
-        ) + net.transfer_time(nbytes)
-    return messages, off_node_bytes, max(per_sender.values(), default=0.0)
 
 
 def two_phase_write(
@@ -170,8 +143,12 @@ def two_phase_write(
         src_buffers[element] = np.ascontiguousarray(
             data, dtype=np.uint8
         ).reshape(-1)
-    agg_buffers = execute_plan(plan, src_buffers, length)
-    messages, off_bytes, shuffle_s = _shuffle_cost(fs.cluster, plan, length)
+    # The engine's direct transport prices the exchange: each compute
+    # node sends its intersections with every aggregator in parallel
+    # across nodes, serially on its own NIC — the standard alpha-beta
+    # model of an irregular all-to-all.
+    sh = run_shuffle(plan, src_buffers, length, network=fs.cluster.network.model)
+    agg_buffers = sh.buffers
 
     # Phase 2: aggregators write their contiguous chunks.
     for a in range(domain.num_elements):
@@ -195,11 +172,12 @@ def two_phase_write(
         for t in get_plan(domain, cfile.physical).transfers
     )
     return CollectiveResult(
-        shuffle_messages=messages,
-        shuffle_bytes=off_bytes,
-        shuffle_time_s=shuffle_s,
+        shuffle_messages=sh.messages,
+        shuffle_bytes=sh.off_node_bytes,
+        shuffle_time_s=sh.time_s,
         write=result,
         scatter_fragments=fragments,
+        shuffle_trace=sh.trace,
     )
 
 
@@ -265,8 +243,8 @@ def two_phase_read(
 
     # Phase 2: shuffle from the file domain to the callers' views.
     plan = get_plan(domain, logical)
-    out_by_element = execute_plan(plan, agg_buffers, length)
-    messages, off_bytes, shuffle_s = _shuffle_cost(fs.cluster, plan, length)
+    sh = run_shuffle(plan, agg_buffers, length, network=fs.cluster.network.model)
+    out_by_element = sh.buffers
 
     # Restore the callers' views.
     for v in views:
@@ -281,9 +259,10 @@ def two_phase_read(
         out_by_element[fs.view_of(name, node).element] for node, _, _ in requests
     ]
     return buffers, CollectiveResult(
-        shuffle_messages=messages,
-        shuffle_bytes=off_bytes,
-        shuffle_time_s=shuffle_s,
+        shuffle_messages=sh.messages,
+        shuffle_bytes=sh.off_node_bytes,
+        shuffle_time_s=sh.time_s,
         write=result,
         scatter_fragments=fragments,
+        shuffle_trace=sh.trace,
     )

@@ -1,0 +1,702 @@
+"""The unified I/O engine: one map→gather→transport→scatter pipeline.
+
+Before this module, the four data-movement paths — independent parallel
+write/read (§8.1), two-phase collective I/O, on-the-fly physical
+re-layout, and checkpoint resharding — each re-implemented the same
+per-subfile request loop: *map* the access extremities, *gather* the
+non-contiguous source bytes, move them over a *transport*, and
+*scatter* them into the destination.  ViPIOS (PAPERS.md) demonstrates
+the value of funnelling every request through one I/O-engine layer;
+this module is ours.
+
+Two transports plug into the pipeline:
+
+* :class:`SimulatedTransport` — the discrete-event exchange on the
+  simulated cluster (sender-NIC serialisation, I/O-node CPU and disk
+  FIFOs, header/ack pricing), used by the client write/read paths and
+  by re-layout's disk-to-disk moves;
+* :class:`DirectTransport` — synchronous in-process movement with an
+  alpha-beta cost model, used by the memory-memory paths (collective
+  shuffle, checkpoint resharding).
+
+Every operation builds a span tree (:mod:`repro.obs`): measured
+wall-clock phases (``t_m`` mapping, ``t_g`` gather/scatter) interleaved
+with modelled simulation-clock events (NIC, CPU, disk), and the Table
+1/2 breakdown records are **derived from that tree** by
+:func:`breakdowns_from_trace` — the table numbers and the trace are
+provably the same measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.partition import Partition
+from ..obs import metrics as obs_metrics
+from ..obs.span import Span, open_span
+from ..redistribution.executor import execute_plan
+from ..redistribution.gather_scatter import gather_segments, scatter_segments
+from ..redistribution.schedule import RedistributionPlan
+from ..simulation.cluster import Cluster
+from ..simulation.disk import write_time_for_segments
+from ..simulation.metrics import ScatterBreakdown, WriteBreakdown
+from ..simulation.network import NetworkModel
+from .file_model import ClusterFile
+from .server import IOServer
+from .view import View
+
+__all__ = [
+    "WriteRequest",
+    "OperationResult",
+    "SimMessage",
+    "SimulatedTransport",
+    "DirectTransport",
+    "IOEngine",
+    "ShuffleResult",
+    "run_shuffle",
+    "breakdowns_from_trace",
+]
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """One compute node's access: a view interval plus its buffer."""
+
+    view: View
+    lo: int
+    hi: int
+    buf: np.ndarray  # for writes: data; for reads: destination
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"bad view interval [{self.lo}, {self.hi}]")
+        if self.buf.size != self.hi - self.lo + 1:
+            raise ValueError(
+                f"buffer holds {self.buf.size} bytes for interval of "
+                f"{self.hi - self.lo + 1}"
+            )
+
+
+@dataclass
+class OperationResult:
+    """Timings of one parallel operation.
+
+    ``per_compute`` / ``per_io`` carry the paper's Table 1/2 records;
+    both are derived from :attr:`trace` by
+    :func:`breakdowns_from_trace`, never accumulated separately.
+    """
+
+    per_compute: Dict[int, WriteBreakdown] = field(default_factory=dict)
+    per_io: Dict[int, ScatterBreakdown] = field(default_factory=dict)
+    messages: int = 0
+    payload_bytes: int = 0
+    #: The operation's span tree (wall + simulation clocks).
+    trace: Optional[Span] = None
+
+
+@dataclass
+class _Message:
+    compute: int
+    subfile: int
+    l_s: int
+    r_s: int
+    payload: np.ndarray
+    #: Fragments gathered on the view side (1 = contiguous fast path).
+    #: The §8.1 loop gathers per subfile *between* sends, so this cost
+    #: sits on the client's critical path inside t_w.
+    view_runs: int = 1
+
+
+# --------------------------------------------------------------------------
+# Transports
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimMessage:
+    """One message on the simulated cluster, transport-agnostic form.
+
+    ``lane`` serialises the sender side (a NIC, a source disk);
+    ``stages`` are destination resources acquired in order, each
+    optionally recording its completion (plus ``ack_s``) into the named
+    timeline bucket keyed by ``key``.
+    """
+
+    key: Hashable
+    lane: Hashable
+    lane_s: float
+    post_lane_s: float = 0.0
+    stages: Tuple[Tuple[object, float, Optional[str]], ...] = ()
+    ack_s: float = 0.0
+
+
+class SimulatedTransport:
+    """Event-queue transport: lanes, wire latency, destination FIFOs.
+
+    Runs one batch of :class:`SimMessage` through a fresh operation
+    timeline and returns per-label completion maps, e.g. ``{"bc":
+    {compute: t}, "disk": {compute: t}}`` — "limited by the slowest I/O
+    server" falls out of the max-merge per key.
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    def run(
+        self,
+        messages: Sequence[SimMessage],
+        trace_span: Optional[Span] = None,
+    ) -> Dict[str, Dict[Hashable, float]]:
+        queue = self.cluster.new_operation()
+        queue.trace_span = trace_span
+        lane_free: Dict[Hashable, float] = {}
+        done: Dict[str, Dict[Hashable, float]] = {}
+
+        def chain(msg: SimMessage, stage_idx: int) -> None:
+            resource, service_s, label = msg.stages[stage_idx]
+
+            def after(_start: float, stage_end: float) -> None:
+                if label is not None:
+                    bucket = done.setdefault(label, {})
+                    t = stage_end + msg.ack_s
+                    bucket[msg.key] = max(bucket.get(msg.key, 0.0), t)
+                if stage_idx + 1 < len(msg.stages):
+                    chain(msg, stage_idx + 1)
+
+            resource.acquire(queue, service_s, after)
+
+        for msg in messages:
+            start = lane_free.get(msg.lane, 0.0)
+            lane_end = start + msg.lane_s
+            lane_free[msg.lane] = lane_end
+            if not msg.stages:
+                continue
+            queue.at(lane_end + msg.post_lane_s, lambda msg=msg: chain(msg, 0))
+        queue.run()
+        return done
+
+
+class DirectTransport:
+    """In-process transport cost: the alpha-beta model of an irregular
+    exchange.
+
+    Data moves synchronously (the caller's gather/scatter has already
+    placed the bytes); this transport prices it — each sender ships its
+    cross-element payloads serially on its own NIC, senders run in
+    parallel.  With no network model the move is free (pure
+    memory-memory resharding) but traffic is still counted.
+    """
+
+    def __init__(self, network: Optional[NetworkModel] = None):
+        self.network = network
+
+    def cost(self, moves) -> Tuple[int, int, float]:
+        """``moves`` yields ``(src_element, dst_element, nbytes)``;
+        returns ``(messages, off_node_bytes, time_s)``."""
+        per_sender: Dict[int, float] = {}
+        messages = 0
+        off_node_bytes = 0
+        for src, dst, nbytes in moves:
+            if nbytes == 0:
+                continue
+            if src == dst:
+                continue  # stays in the process's own memory
+            messages += 1
+            off_node_bytes += nbytes
+            if self.network is not None:
+                per_sender[src] = per_sender.get(
+                    src, 0.0
+                ) + self.network.transfer_time(nbytes)
+        return messages, off_node_bytes, max(per_sender.values(), default=0.0)
+
+
+# --------------------------------------------------------------------------
+# Breakdown derivation
+# --------------------------------------------------------------------------
+
+
+def breakdowns_from_trace(
+    root: Span,
+) -> Tuple[Dict[int, WriteBreakdown], Dict[int, ScatterBreakdown]]:
+    """Derive the paper's Table 1/2 records from an operation span tree.
+
+    * ``t_i`` — the ``t_i_us`` attribute of each ``client.prepare``
+      span (measured at view set);
+    * ``t_m`` / ``t_g`` — sums of the ``map`` and ``gather``/``scatter``
+      span wall durations;
+    * ``t_w^bc`` / ``t_w^disk`` — the transport span's per-compute
+      completion timelines;
+    * ``t_sc`` — the modelled cache/disk seconds on the ``server.*``
+      spans.
+    """
+    per_compute: Dict[int, WriteBreakdown] = {}
+    per_io: Dict[int, ScatterBreakdown] = {}
+    done_bc: Dict = {}
+    done_disk: Dict = {}
+    for sp in root.children:
+        if sp.name == "client.prepare":
+            node = sp.attrs["compute"]
+            bd = WriteBreakdown(t_i=sp.attrs.get("t_i_us", 0.0))
+            for c in sp.children:
+                if c.name == "map":
+                    bd.t_m += c.wall_us
+                elif c.name == "gather":
+                    bd.t_g += c.wall_us
+            per_compute[node] = bd
+        elif sp.name == "scatter":
+            per_compute[sp.attrs["compute"]].t_g += sp.wall_us
+        elif sp.name in ("server.write", "server.read"):
+            sb = per_io.setdefault(sp.attrs["io_node"], ScatterBreakdown())
+            cache_s = sp.attrs["cache_s"]
+            disk_s = sp.attrs["disk_s"]
+            sb.t_sc_bc += cache_s * 1e6
+            sb.t_sc_disk += (cache_s + disk_s) * 1e6
+        elif sp.name == "transport":
+            done_bc = sp.attrs.get("done_bc", done_bc)
+            done_disk = sp.attrs.get("done_disk", done_disk)
+    for node, bd in per_compute.items():
+        bd.t_w_bc = done_bc.get(node, 0.0) * 1e6
+        bd.t_w_disk = done_disk.get(node, 0.0) * 1e6
+    return per_compute, per_io
+
+
+# --------------------------------------------------------------------------
+# The engine
+# --------------------------------------------------------------------------
+
+
+class IOEngine:
+    """Owns the map→gather→transport→scatter pipeline for one cluster.
+
+    The client paths (:meth:`write` / :meth:`read`) implement the §8.1
+    pseudocode fragments; :meth:`relayout_transfers` runs the same
+    pipeline between I/O nodes for physical re-layout.  Memory-memory
+    shuffles go through the module-level :func:`run_shuffle` (no
+    cluster needed).
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.transport = SimulatedTransport(cluster)
+
+    # -- client-side phases --------------------------------------------------
+
+    @staticmethod
+    def _map_extremities(view: View, link, lo: int, hi: int) -> Tuple[int, int]:
+        """Lines 3-4 of the first §8.1 fragment: l_S and r_S via MAP
+        composition with next/prev rounding.
+
+        When the view and the subfile perfectly overlap the mapping is
+        the identity and costs nothing (the paper's t_m = 0 case).
+        Otherwise the scalar recursive MAP functions are used — a few
+        binary searches, matching the paper's observation that t_m "is
+        very small".
+        """
+        if link.is_identity:
+            return lo, hi
+        from ..core.mapping import map_offset, unmap_offset
+
+        x0 = unmap_offset(view.logical, view.element, lo)
+        x1 = unmap_offset(view.logical, view.element, hi)
+        phys = link.subfile_mapper.partition
+        l_s = map_offset(phys, link.subfile, x0, mode="next")
+        r_s = map_offset(phys, link.subfile, x1, mode="prev")
+        return l_s, r_s
+
+    def _prepare(
+        self, requests: Sequence[WriteRequest], gather_payload: bool
+    ) -> List[_Message]:
+        """Client-side phase: extremity mapping and (for writes)
+        gathering, one ``client.prepare`` span per request.
+
+        Gather destinations come from the view's per-subfile scratch
+        buffers (:meth:`View.gather_buffer`), so a view issuing many
+        accesses does not re-allocate its send buffers every time.  A
+        buffer is only reused when its (view, subfile) pair appears once
+        in this batch — messages outlive the loop, so aliasing two
+        payloads would corrupt the first.
+        """
+        messages: List[_Message] = []
+        seen_buffers: set = set()
+        for req in requests:
+            view = req.view
+            with open_span(
+                "client.prepare",
+                compute=view.compute_node,
+                t_i_us=view.set_time_s * 1e6,
+            ):
+                for link in view.links.values():
+                    # Which view-space bytes of this link fall in the
+                    # window (line 2's emptiness test, and the gather
+                    # index set).
+                    starts, lengths = link.proj_view.segments_in(
+                        req.lo, req.hi
+                    )
+                    if starts.size == 0:
+                        continue
+
+                    # Lines 3-4: map the access extremities.
+                    with open_span("map", subfile=link.subfile):
+                        l_s, r_s = self._map_extremities(
+                            view, link, req.lo, req.hi
+                        )
+
+                    payload = np.empty(0, dtype=np.uint8)
+                    runs = int(starts.size)
+                    if gather_payload:
+                        nbytes = int(lengths.sum())
+                        if runs == 1:
+                            # Line 7: one contiguous run - send it
+                            # straight out of the user buffer, no copy,
+                            # no gather time.
+                            a = int(starts[0]) - req.lo
+                            payload = req.buf[a : a + nbytes]
+                        else:
+                            # Line 9: GATHER the non-contiguous regions.
+                            buf_key = (id(view), link.subfile)
+                            scratch = (
+                                view.gather_buffer(link.subfile, nbytes)
+                                if buf_key not in seen_buffers
+                                else None
+                            )
+                            seen_buffers.add(buf_key)
+                            with open_span(
+                                "gather",
+                                subfile=link.subfile,
+                                bytes=nbytes,
+                                runs=runs,
+                            ):
+                                payload = gather_segments(
+                                    req.buf, (starts - req.lo, lengths), scratch
+                                )
+                    messages.append(
+                        _Message(
+                            view.compute_node,
+                            link.subfile,
+                            l_s,
+                            r_s,
+                            payload,
+                            runs,
+                        )
+                    )
+        return messages
+
+    def _exchange(
+        self, messages: List[_Message], service_costs: List[Tuple[float, float]]
+    ) -> Tuple[int, int]:
+        """Price and run the request/ack exchange; returns traffic.
+
+        ``service_costs[i]`` is ``(cache_s, disk_s)`` for message ``i``.
+        Completion timelines land on the ``transport`` span's
+        ``done_bc`` / ``done_disk`` attributes (the cache-only and
+        write-through clocks; the disk stage extends the cache one).
+        """
+        net = self.cluster.network
+        memory = self.cluster.config.memory
+        header = self.cluster.config.header_bytes
+        sim_msgs: List[SimMessage] = []
+        n_messages = 0
+        payload_bytes = 0
+        for msg, (cache_s, disk_s) in zip(messages, service_costs):
+            io_node = self.cluster.io_node_for(msg.subfile)
+            compute_name = f"compute{msg.compute}"
+            # The §8.1 loop runs per subfile: the gather for this message
+            # happens after the previous message went out, so its
+            # (modelled) copy cost sits on the client's critical path.
+            prep_s = (
+                memory.copy_time(int(msg.payload.size), msg.view_runs)
+                if msg.view_runs > 1
+                else 0.0
+            )
+            # Sender NIC serialises this node's outgoing messages.
+            send_s = net.send_time(compute_name, io_node.name, header) + (
+                net.send_time(compute_name, io_node.name, int(msg.payload.size))
+            )
+            ack_s = net.model.latency_s + header / net.model.bandwidth_Bps
+            sim_msgs.append(
+                SimMessage(
+                    key=msg.compute,
+                    lane=("nic", msg.compute),
+                    lane_s=prep_s + send_s,
+                    stages=(
+                        (io_node.cpu, cache_s, "bc"),
+                        (io_node.disk_queue, disk_s, "disk"),
+                    ),
+                    ack_s=ack_s,
+                )
+            )
+            n_messages += 1 if msg.payload.size == 0 else 2
+            payload_bytes += int(msg.payload.size)
+
+        with open_span(
+            "transport", messages=n_messages, payload_bytes=payload_bytes
+        ) as tspan:
+            done = self.transport.run(sim_msgs, trace_span=tspan)
+        tspan.annotate(
+            done_bc=done.get("bc", {}), done_disk=done.get("disk", {})
+        )
+        return n_messages, payload_bytes
+
+    # -- parallel write / read ----------------------------------------------
+
+    def write(
+        self,
+        cfile: ClusterFile,
+        requests: Sequence[WriteRequest],
+        to_disk: bool = False,
+    ) -> OperationResult:
+        """All compute nodes write their view intervals concurrently."""
+        with open_span("parallel_write", op="write", to_disk=to_disk) as root:
+            messages = self._prepare(requests, gather_payload=True)
+            servers = self._servers(cfile)
+            req_by_view = {req.view.compute_node: req for req in requests}
+            service_costs: List[Tuple[float, float]] = []
+            for msg in messages:
+                view = req_by_view[msg.compute].view
+                io_index = self.cluster.io_node_for(msg.subfile).index
+                with open_span(
+                    "server.write", subfile=msg.subfile, io_node=io_index
+                ) as sp:
+                    cost = servers[msg.subfile].write(
+                        msg.l_s,
+                        msg.r_s,
+                        msg.payload,
+                        view.links[msg.subfile].proj_subfile,
+                        to_disk=to_disk,
+                    )
+                sp.annotate(
+                    bytes=cost.nbytes,
+                    runs=cost.runs,
+                    cache_s=cost.cache_s,
+                    disk_s=cost.disk_s,
+                )
+                service_costs.append((cost.cache_s, cost.disk_s))
+            n_messages, payload_bytes = self._exchange(messages, service_costs)
+        return self._finish(root, "write", n_messages, payload_bytes)
+
+    def read(
+        self,
+        cfile: ClusterFile,
+        requests: Sequence[WriteRequest],
+        from_disk: bool = False,
+    ) -> OperationResult:
+        """The reverse-symmetric read operation (§8.1: "the write and
+        read are reverse symmetrical").  Request buffers are filled in
+        place."""
+        with open_span("parallel_read", op="read", from_disk=from_disk) as root:
+            messages = self._prepare(requests, gather_payload=False)
+            servers = self._servers(cfile)
+            req_by_view = {req.view.compute_node: req for req in requests}
+            service_costs: List[Tuple[float, float]] = []
+            for msg in messages:
+                req = req_by_view[msg.compute]
+                link = req.view.links[msg.subfile]
+                io_index = self.cluster.io_node_for(msg.subfile).index
+                with open_span(
+                    "server.read", subfile=msg.subfile, io_node=io_index
+                ) as sp:
+                    payload, cost = servers[msg.subfile].read(
+                        msg.l_s, msg.r_s, link.proj_subfile, from_disk=from_disk
+                    )
+                sp.annotate(
+                    bytes=cost.nbytes,
+                    runs=cost.runs,
+                    cache_s=cost.cache_s,
+                    disk_s=cost.disk_s,
+                )
+                msg.payload = payload
+                service_costs.append((cost.cache_s, cost.disk_s))
+
+                # Client-side scatter of the reply into the user buffer,
+                # the mirror of the write-side gather (measured).
+                t0 = time.perf_counter()
+                starts, lengths = link.proj_view.segments_in(req.lo, req.hi)
+                run = link.proj_view.contiguous_run_in(req.lo, req.hi)
+                if run is not None:
+                    req.buf[run[0] - req.lo : run[1] - req.lo + 1] = payload
+                else:
+                    scatter_segments(
+                        req.buf, (starts - req.lo, lengths), payload
+                    )
+                    root.record(
+                        "scatter",
+                        time.perf_counter() - t0,
+                        compute=msg.compute,
+                        subfile=msg.subfile,
+                        bytes=int(payload.size),
+                        runs=int(starts.size),
+                    )
+            n_messages, payload_bytes = self._exchange(messages, service_costs)
+        return self._finish(root, "read", n_messages, payload_bytes)
+
+    def _servers(self, cfile: ClusterFile) -> Dict[int, IOServer]:
+        return {
+            s: IOServer(
+                self.cluster.io_node_for(s), cfile.stores[s], self.cluster.config
+            )
+            for s in range(cfile.num_subfiles)
+        }
+
+    def _finish(
+        self, root: Span, op: str, n_messages: int, payload_bytes: int
+    ) -> OperationResult:
+        per_compute, per_io = breakdowns_from_trace(root)
+        obs_metrics.inc(f"engine.{op}.ops")
+        obs_metrics.inc(f"engine.{op}.messages", n_messages)
+        obs_metrics.inc(f"engine.{op}.payload_bytes", payload_bytes)
+        return OperationResult(
+            per_compute=per_compute,
+            per_io=per_io,
+            messages=n_messages,
+            payload_bytes=payload_bytes,
+            trace=root,
+        )
+
+    # -- physical re-layout --------------------------------------------------
+
+    def relayout_transfers(
+        self,
+        plan: RedistributionPlan,
+        old: Partition,
+        new_physical: Partition,
+        length: int,
+        src_stores: Sequence,
+        dst_stores: Sequence,
+    ) -> Tuple[int, int, float, Span]:
+        """The per-transfer loop of a physical re-layout: gather at the
+        source subfile, wire between distinct I/O nodes, scatter into
+        the destination subfile — data movement real, timing simulated.
+
+        Returns ``(bytes_moved, cross_node_messages, makespan_s,
+        trace)``.
+        """
+        with open_span(
+            "relayout", transfers=len(plan.transfers), length=length
+        ) as root:
+            sim_msgs: List[SimMessage] = []
+            bytes_moved = 0
+            cross = 0
+            for t in plan.transfers:
+                src_len = old.element_length(t.src_element, length)
+                dst_len = new_physical.element_length(t.dst_element, length)
+                if src_len == 0 or dst_len == 0:
+                    continue
+                src_segs = t.src_projection.segments_in(0, src_len - 1)
+                dst_segs = t.dst_projection.segments_in(0, dst_len - 1)
+                nbytes = int(src_segs[1].sum()) if src_segs[1].size else 0
+                if nbytes == 0:
+                    continue
+
+                # Real data movement.
+                with open_span(
+                    "move",
+                    src=t.src_element,
+                    dst=t.dst_element,
+                    bytes=nbytes,
+                ):
+                    payload = gather_segments(
+                        src_stores[t.src_element].view(0, src_len - 1), src_segs
+                    )
+                    scatter_segments(
+                        dst_stores[t.dst_element].view(0, dst_len - 1),
+                        dst_segs,
+                        payload,
+                    )
+                bytes_moved += nbytes
+
+                # Simulated timing: read at source, wire, write at
+                # destination.
+                src_node = self.cluster.io_node_for(t.src_element)
+                dst_node = self.cluster.io_node_for(t.dst_element)
+                read_s = write_time_for_segments(
+                    src_node.disk,
+                    zip(src_segs[0].tolist(), src_segs[1].tolist()),
+                )
+                if src_node.index != dst_node.index:
+                    wire_s = self.cluster.network.send_time(
+                        src_node.name, dst_node.name, nbytes
+                    )
+                    cross += 1
+                else:
+                    wire_s = 0.0
+                write_s = write_time_for_segments(
+                    dst_node.disk,
+                    zip(dst_segs[0].tolist(), dst_segs[1].tolist()),
+                )
+                sim_msgs.append(
+                    SimMessage(
+                        key=t.dst_element,
+                        lane=("disk-read", src_node.index),
+                        lane_s=read_s,
+                        post_lane_s=wire_s,
+                        stages=((dst_node.disk_queue, write_s, "disk"),),
+                    )
+                )
+
+            with open_span("transport", messages=cross) as tspan:
+                done = self.transport.run(sim_msgs, trace_span=tspan)
+            makespan_s = max(done.get("disk", {}).values(), default=0.0)
+            root.annotate(bytes_moved=bytes_moved, makespan_s=makespan_s)
+        obs_metrics.inc("engine.relayout.ops")
+        obs_metrics.inc("engine.relayout.bytes_moved", bytes_moved)
+        obs_metrics.inc("engine.relayout.cross_node_messages", cross)
+        return bytes_moved, cross, makespan_s, root
+
+
+# --------------------------------------------------------------------------
+# Memory-memory shuffle (collective phase 1, checkpoint resharding)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ShuffleResult:
+    """One memory-memory redistribution through the direct transport."""
+
+    buffers: List[np.ndarray]
+    messages: int
+    off_node_bytes: int
+    #: Modelled parallel alpha-beta exchange time (0.0 with no network).
+    time_s: float
+    trace: Optional[Span] = None
+
+
+def run_shuffle(
+    plan: RedistributionPlan,
+    src_buffers: Sequence[np.ndarray],
+    file_length: int,
+    network: Optional[NetworkModel] = None,
+    parallel: bool = False,
+) -> ShuffleResult:
+    """Execute a redistribution plan in memory through the engine.
+
+    The gather/scatter loop is the plan executor's (scratch reuse and
+    all); the :class:`DirectTransport` prices the exchange when a
+    network model is supplied.  Used by two-phase collective I/O
+    (phase-1 shuffle) and by checkpoint resharding (no network — ranks
+    convert their own pieces).
+    """
+    with open_span(
+        "shuffle", transfers=len(plan.transfers), file_length=file_length
+    ) as root:
+        with open_span("move"):
+            buffers = execute_plan(
+                plan, src_buffers, file_length, parallel=parallel
+            )
+        transport = DirectTransport(network)
+        messages, off_node_bytes, time_s = transport.cost(
+            (t.src_element, t.dst_element, t.bytes_in_file(file_length))
+            for t in plan.transfers
+        )
+        root.annotate(
+            messages=messages,
+            off_node_bytes=off_node_bytes,
+            time_us=time_s * 1e6,
+        )
+    obs_metrics.inc("engine.shuffle.ops")
+    obs_metrics.inc("engine.shuffle.messages", messages)
+    obs_metrics.inc("engine.shuffle.off_node_bytes", off_node_bytes)
+    return ShuffleResult(buffers, messages, off_node_bytes, time_s, root)

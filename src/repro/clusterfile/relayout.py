@@ -8,23 +8,23 @@ running the redistribution schedule *between the I/O nodes* — each old
 subfile's owner gathers the segments destined for each new subfile,
 ships them, and the receiver scatters them into the new subfile store.
 
-The data movement is real (byte-verified); the time is simulated on the
-same device models as the write path, with disk reads at the sources,
-network transfers between distinct I/O nodes (same-node moves skip the
-wire), and disk writes at the destinations.
+The per-transfer gather→wire→scatter loop runs on the unified I/O
+engine (:meth:`repro.clusterfile.engine.IOEngine.relayout_transfers`):
+the data movement is real (byte-verified); the time is simulated on
+the same device models as the write path, with disk reads at the
+sources, network transfers between distinct I/O nodes (same-node moves
+skip the wire), and disk writes at the destinations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from ..core.partition import Partition
-from ..redistribution.gather_scatter import gather_segments, scatter_segments
 from ..redistribution.plan_cache import get_plan
 from ..simulation.cluster import Cluster
-from ..simulation.disk import write_time_for_segments
-from ..simulation.events import EventQueue
+from .engine import IOEngine
 from .file_model import ClusterFile
 from .fs import Clusterfile
 
@@ -45,6 +45,8 @@ class RelayoutResult:
     #: True when old and new layouts matched element-for-element (the
     #: re-layout degenerated to local copies).
     was_identity: bool
+    #: Span tree of the re-layout (see :mod:`repro.obs`).
+    trace: object = None
 
 
 def relayout(
@@ -70,61 +72,9 @@ def relayout(
     ]
 
     cluster: Cluster = fs.cluster
-    queue: EventQueue = cluster.new_operation()
-    read_free: Dict[int, float] = {}
-    done_at: List[float] = [0.0]
-    bytes_moved = 0
-    cross = 0
-
-    for t in plan.transfers:
-        src_len = old.element_length(t.src_element, length)
-        dst_len = new_physical.element_length(t.dst_element, length)
-        if src_len == 0 or dst_len == 0:
-            continue
-        src_segs = t.src_projection.segments_in(0, src_len - 1)
-        dst_segs = t.dst_projection.segments_in(0, dst_len - 1)
-        nbytes = int(src_segs[1].sum()) if src_segs[1].size else 0
-        if nbytes == 0:
-            continue
-
-        # Real data movement.
-        src_store = cfile.stores[t.src_element]
-        payload = gather_segments(src_store.view(0, src_len - 1), src_segs)
-        dst_window = new_stores[t.dst_element].view(0, dst_len - 1)
-        scatter_segments(dst_window, dst_segs, payload)
-        bytes_moved += nbytes
-
-        # Simulated timing: read at source, wire, write at destination.
-        src_node = cluster.io_node_for(t.src_element)
-        dst_node = cluster.io_node_for(t.dst_element)
-        read_s = write_time_for_segments(
-            src_node.disk, zip(src_segs[0].tolist(), src_segs[1].tolist())
-        )
-        start = read_free.get(src_node.index, 0.0)
-        read_done = start + read_s
-        read_free[src_node.index] = read_done
-        if src_node.index != dst_node.index:
-            wire_s = cluster.network.send_time(
-                src_node.name, dst_node.name, nbytes
-            )
-            cross += 1
-        else:
-            wire_s = 0.0
-        write_s = write_time_for_segments(
-            dst_node.disk, zip(dst_segs[0].tolist(), dst_segs[1].tolist())
-        )
-
-        def finish(_s: float, end: float) -> None:
-            done_at[0] = max(done_at[0], end)
-
-        queue.at(
-            read_done + wire_s,
-            lambda write_s=write_s, dst_node=dst_node: dst_node.disk_queue.acquire(
-                queue, write_s, finish
-            ),
-        )
-
-    queue.run()
+    bytes_moved, cross, makespan_s, trace = IOEngine(
+        cluster
+    ).relayout_transfers(plan, old, new_physical, length, cfile.stores, new_stores)
 
     # Swap in the new layout; file-backed old subfiles are deleted from
     # disk (their bytes now live in the new stores).
@@ -145,7 +95,8 @@ def relayout(
         bytes_moved=bytes_moved,
         transfers=plan.message_count,
         cross_node_messages=cross,
-        makespan_s=done_at[0],
+        makespan_s=makespan_s,
         disk_busy_s={n.index: n.disk_queue.busy_time for n in cluster.io},
         was_identity=plan.is_identity,
+        trace=trace,
     )

@@ -27,15 +27,15 @@ reuses the cached schedule and pays only the per-element slicing.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..core.mapping import ElementMapper
 from ..core.partition import Partition
 from ..core.periodic import PeriodicFallsSet
+from ..obs.span import Span, open_span
 from ..redistribution.plan_cache import get_mapper, get_plan
 
 __all__ = ["SubfileLink", "View", "set_view"]
@@ -70,6 +70,8 @@ class View:
     #: Reusable per-subfile gather buffers for the client-side GATHER of
     #: repeated accesses (grown on demand, owned by this view alone).
     gather_buffers: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: The ``view.set`` span this view's ``set_time_s`` was read from.
+    trace: Optional[Span] = None
 
     @property
     def size_per_period(self) -> int:
@@ -104,33 +106,34 @@ def set_view(
     — call :func:`repro.redistribution.plan_cache.clear_plan_cache`
     first to measure a cold set).
     """
-    start = time.perf_counter()
-    plan = get_plan(logical, physical)
-    view_mapper = get_mapper(logical, element)
-    links: Dict[int, SubfileLink] = {}
-    for t in plan.transfers_from(element):
-        proj_view = t.src_projection
-        proj_subfile = t.dst_projection
-        identity = (
-            proj_view.size_per_period == proj_view.period
-            and proj_subfile.size_per_period == proj_subfile.period
-            and proj_view.displacement == 0
-            and proj_subfile.displacement == 0
-        )
-        links[t.dst_element] = SubfileLink(
-            subfile=t.dst_element,
-            intersection=t.intersection,
-            proj_view=proj_view,
-            proj_subfile=proj_subfile,
-            subfile_mapper=get_mapper(physical, t.dst_element),
-            is_identity=identity,
-        )
-    elapsed = time.perf_counter() - start
+    with open_span("view.set", compute=compute_node, element=element) as sp:
+        plan = get_plan(logical, physical)
+        view_mapper = get_mapper(logical, element)
+        links: Dict[int, SubfileLink] = {}
+        for t in plan.transfers_from(element):
+            proj_view = t.src_projection
+            proj_subfile = t.dst_projection
+            identity = (
+                proj_view.size_per_period == proj_view.period
+                and proj_subfile.size_per_period == proj_subfile.period
+                and proj_view.displacement == 0
+                and proj_subfile.displacement == 0
+            )
+            links[t.dst_element] = SubfileLink(
+                subfile=t.dst_element,
+                intersection=t.intersection,
+                proj_view=proj_view,
+                proj_subfile=proj_subfile,
+                subfile_mapper=get_mapper(physical, t.dst_element),
+                is_identity=identity,
+            )
+    sp.annotate(links=len(links))
     return View(
         compute_node=compute_node,
         logical=logical,
         element=element,
         links=links,
         view_mapper=view_mapper,
-        set_time_s=elapsed,
+        set_time_s=sp.wall_s,
+        trace=sp,
     )

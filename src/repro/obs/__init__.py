@@ -1,0 +1,60 @@
+"""Observability: hierarchical traces and process-wide metrics.
+
+The evaluation of the paper is a *phase-timing breakdown* (§8, Tables
+1–2); this package makes every phase a first-class span so the table
+numbers, the CLI trace dumps, and ad-hoc debugging all read from one
+instrument:
+
+* :mod:`repro.obs.span` — spans over two clocks (measured wall time and
+  modelled simulation time), implicit thread-local nesting, tracers;
+* :mod:`repro.obs.metrics` — the process-wide counter registry (plan
+  cache hits, pruning effectiveness, engine traffic);
+* :mod:`repro.obs.export` — JSON, Chrome ``chrome://tracing`` and text
+  exporters.
+"""
+
+from .export import (
+    chrome_to_json,
+    render_trace,
+    trace_to_chrome,
+    trace_to_dict,
+    trace_to_json,
+)
+from .metrics import (
+    Counter,
+    MetricsRegistry,
+    counter,
+    get_registry,
+    inc,
+    reset_metrics,
+    snapshot,
+)
+from .span import (
+    Span,
+    Tracer,
+    active_tracer,
+    current_span,
+    open_span,
+    tracked_span,
+)
+
+__all__ = [
+    "Counter",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "chrome_to_json",
+    "counter",
+    "current_span",
+    "get_registry",
+    "inc",
+    "open_span",
+    "render_trace",
+    "reset_metrics",
+    "snapshot",
+    "trace_to_chrome",
+    "trace_to_dict",
+    "trace_to_json",
+    "tracked_span",
+]

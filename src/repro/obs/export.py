@@ -1,0 +1,196 @@
+"""Trace exporters: nested JSON, Chrome ``chrome://tracing``, and text.
+
+* :func:`trace_to_dict` / :func:`trace_to_json` — a faithful nested
+  dump (names, attributes, both clocks) for programmatic consumption;
+* :func:`trace_to_chrome` — the Chrome Trace Event format (load in
+  ``chrome://tracing`` or https://ui.perfetto.dev).  Wall-clock spans
+  appear under the *wall clock* process, modelled event-queue spans
+  under the *simulation clock* process, so a single timeline shows the
+  compute-node phases next to the network/CPU/disk activity they cause;
+* :func:`render_trace` — an indented text tree for terminals and logs.
+
+All exporters accept a single :class:`~repro.obs.span.Span` or a list
+of root spans (a :class:`~repro.obs.span.Tracer`'s ``roots``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Union
+
+from .span import Span
+
+__all__ = [
+    "trace_to_dict",
+    "trace_to_json",
+    "trace_to_chrome",
+    "chrome_to_json",
+    "render_trace",
+]
+
+_WALL_PID = 1
+_SIM_PID = 2
+
+
+def _as_roots(trace: Union[Span, Sequence[Span]]) -> List[Span]:
+    return [trace] if isinstance(trace, Span) else list(trace)
+
+
+def _jsonable(value: object) -> object:
+    """Attributes may hold dicts/tuples/numpy scalars; make them JSON-safe."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    try:  # numpy integers / floats
+        return value.item()  # type: ignore[attr-defined]
+    except AttributeError:
+        return str(value)
+
+
+def trace_to_dict(trace: Union[Span, Sequence[Span]]) -> List[dict]:
+    """Nested dict form of a span tree (one dict per root)."""
+
+    def one(sp: Span) -> dict:
+        d: dict = {"name": sp.name}
+        if sp.attrs:
+            d["attrs"] = {k: _jsonable(v) for k, v in sp.attrs.items()}
+        if sp.wall_start_s is not None and sp.wall_end_s is not None:
+            d["wall_us"] = sp.wall_us
+        if sp.sim_start_s is not None and sp.sim_end_s is not None:
+            d["sim_start_us"] = sp.sim_start_s * 1e6
+            d["sim_us"] = sp.sim_s * 1e6
+        if sp.children:
+            d["children"] = [one(c) for c in sp.children]
+        return d
+
+    return [one(r) for r in _as_roots(trace)]
+
+
+def trace_to_json(trace: Union[Span, Sequence[Span]], indent: int = 2) -> str:
+    """The nested dump as a JSON string."""
+    return json.dumps(trace_to_dict(trace), indent=indent)
+
+
+def _tid_for(sp: Span, tids: Dict[str, int]) -> int:
+    """Stable small thread id per logical lane (compute node, I/O node,
+    resource name), allocated in first-appearance order."""
+    if "compute" in sp.attrs:
+        lane = f"compute{sp.attrs['compute']}"
+    elif "io_node" in sp.attrs:
+        lane = f"io{sp.attrs['io_node']}"
+    else:
+        lane = sp.name if sp.sim_start_s is not None else "main"
+    return tids.setdefault(lane, len(tids))
+
+
+def trace_to_chrome(trace: Union[Span, Sequence[Span]]) -> List[dict]:
+    """Chrome Trace Event list (``ph: "X"`` complete events).
+
+    Wall spans are re-based so the earliest one starts at ts=0; sim
+    spans use the event-queue timeline directly (it starts at 0).
+    """
+    roots = _as_roots(trace)
+    starts = [
+        s.wall_start_s
+        for r in roots
+        for s in r.walk()
+        if s.wall_start_s is not None
+    ]
+    origin = min(starts) if starts else 0.0
+
+    events: List[dict] = []
+    wall_tids: Dict[str, int] = {}
+    sim_tids: Dict[str, int] = {}
+    for root in roots:
+        for sp in root.walk():
+            args = {k: _jsonable(v) for k, v in sp.attrs.items()}
+            if sp.wall_start_s is not None and sp.wall_end_s is not None:
+                events.append(
+                    {
+                        "name": sp.name,
+                        "ph": "X",
+                        "pid": _WALL_PID,
+                        "tid": _tid_for(sp, wall_tids),
+                        "ts": (sp.wall_start_s - origin) * 1e6,
+                        "dur": sp.wall_us,
+                        "args": args,
+                    }
+                )
+            if sp.sim_start_s is not None and sp.sim_end_s is not None:
+                events.append(
+                    {
+                        "name": sp.name,
+                        "ph": "X",
+                        "pid": _SIM_PID,
+                        "tid": _tid_for(sp, sim_tids),
+                        "ts": sp.sim_start_s * 1e6,
+                        "dur": sp.sim_s * 1e6,
+                        "args": args,
+                    }
+                )
+
+    meta: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _WALL_PID,
+            "args": {"name": "wall clock (measured)"},
+        },
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _SIM_PID,
+            "args": {"name": "simulation clock (modelled)"},
+        },
+    ]
+    for pid, tids in ((_WALL_PID, wall_tids), (_SIM_PID, sim_tids)):
+        for lane, tid in tids.items():
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+    return meta + events
+
+
+def chrome_to_json(trace: Union[Span, Sequence[Span]], indent: int = 1) -> str:
+    """The Chrome event list as a JSON string (the file you load)."""
+    return json.dumps(trace_to_chrome(trace), indent=indent)
+
+
+def render_trace(trace: Union[Span, Sequence[Span]]) -> str:
+    """An indented text rendering of the span tree."""
+    lines: List[str] = []
+
+    def walk(sp: Span, depth: int) -> None:
+        clocks = []
+        if sp.wall_start_s is not None and sp.wall_end_s is not None:
+            clocks.append(f"{sp.wall_us:10.1f} us wall")
+        if sp.sim_start_s is not None and sp.sim_end_s is not None:
+            clocks.append(
+                f"sim [{sp.sim_start_s * 1e6:.1f}, {sp.sim_end_s * 1e6:.1f}] us"
+            )
+        attrs = " ".join(
+            f"{k}={v}" for k, v in sp.attrs.items() if not isinstance(v, dict)
+        )
+        text = "  " * depth + sp.name
+        if clocks:
+            text += "  (" + ", ".join(clocks) + ")"
+        if attrs:
+            text += "  " + attrs
+        lines.append(text)
+        for c in sp.children:
+            walk(c, depth + 1)
+
+    for root in _as_roots(trace):
+        walk(root, 0)
+    return "\n".join(lines)

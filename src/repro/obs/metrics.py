@@ -1,0 +1,126 @@
+"""Process-wide named counters.
+
+The span tree answers "where did this operation spend its time"; the
+metrics registry answers "what has this process done so far" — plan
+cache hits and evictions, pair-pruning effectiveness, bytes and
+messages moved by the I/O engine.  Counters are monotonic integers,
+cheap enough for hot paths, and thread-safe.
+
+Consumers read a :func:`snapshot`; tests and benchmarks carve out their
+window with :func:`reset` or by diffing two snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = [
+    "Counter",
+    "MetricsRegistry",
+    "get_registry",
+    "counter",
+    "inc",
+    "snapshot",
+    "reset_metrics",
+]
+
+
+class Counter:
+    """A monotonic named counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self._value})"
+
+
+class MetricsRegistry:
+    """A name -> :class:`Counter` map with dotted-prefix conventions.
+
+    Names are dotted paths (``plan_cache.hits``,
+    ``engine.write.payload_bytes``); prefix filters operate on those
+    paths.  Separate registries are handy in tests; production code
+    uses the process-wide one from :func:`get_registry`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, int]:
+        """Current values, optionally restricted to a dotted prefix."""
+        with self._lock:
+            items = list(self._counters.items())
+        if prefix is not None:
+            dotted = prefix if prefix.endswith(".") else prefix + "."
+            items = [
+                (k, c) for k, c in items if k.startswith(dotted) or k == prefix
+            ]
+        return {k: c.value for k, c in sorted(items)}
+
+    def reset(self, prefix: Optional[str] = None) -> None:
+        """Drop counters (all, or those under a dotted prefix)."""
+        with self._lock:
+            if prefix is None:
+                self._counters.clear()
+                return
+            dotted = prefix if prefix.endswith(".") else prefix + "."
+            for k in [
+                k
+                for k in self._counters
+                if k.startswith(dotted) or k == prefix
+            ]:
+                del self._counters[k]
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    """A process-wide counter by name."""
+    return _REGISTRY.counter(name)
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Increment a process-wide counter."""
+    _REGISTRY.inc(name, n)
+
+
+def snapshot(prefix: Optional[str] = None) -> Dict[str, int]:
+    """Snapshot of the process-wide registry."""
+    return _REGISTRY.snapshot(prefix)
+
+
+def reset_metrics(prefix: Optional[str] = None) -> None:
+    """Reset process-wide counters (all, or under a prefix)."""
+    _REGISTRY.reset(prefix)

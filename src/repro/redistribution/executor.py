@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.partition import Partition
 from ..core.mapping import ElementMapper
+from ..obs.span import tracked_span
 from .gather_scatter import gather_segments, scatter_segments
 from .schedule import RedistributionPlan, Transfer, build_plan
 
@@ -130,16 +131,25 @@ class PlanExecutor:
         dst_len = dst_buffers[t.dst_element].size
         if src_len == 0 or dst_len == 0:
             return
-        src_segs = t.src_projection.segments_in(0, src_len - 1)
-        dst_segs = t.dst_projection.segments_in(0, dst_len - 1)
-        nbytes = int(src_segs[1].sum()) if src_segs[1].size else 0
-        if nbytes != (int(dst_segs[1].sum()) if dst_segs[1].size else 0):
-            raise AssertionError(  # pragma: no cover
-                "projection byte counts diverge - plan is corrupt"
+        with tracked_span(
+            "executor.transfer", src=t.src_element, dst=t.dst_element
+        ) as sp:
+            src_segs = t.src_projection.segments_in(0, src_len - 1)
+            dst_segs = t.dst_projection.segments_in(0, dst_len - 1)
+            nbytes = int(src_segs[1].sum()) if src_segs[1].size else 0
+            if nbytes != (int(dst_segs[1].sum()) if dst_segs[1].size else 0):
+                raise AssertionError(  # pragma: no cover
+                    "projection byte counts diverge - plan is corrupt"
+                )
+            scratch = self._gather_scratch(
+                (t.src_element, t.dst_element), nbytes
             )
-        scratch = self._gather_scratch((t.src_element, t.dst_element), nbytes)
-        packed = gather_segments(src_buffers[t.src_element], src_segs, scratch)
-        scatter_segments(dst_buffers[t.dst_element], dst_segs, packed)
+            packed = gather_segments(
+                src_buffers[t.src_element], src_segs, scratch
+            )
+            scatter_segments(dst_buffers[t.dst_element], dst_segs, packed)
+            if sp is not None:
+                sp.annotate(bytes=nbytes)
 
     def execute(
         self,
@@ -148,7 +158,13 @@ class PlanExecutor:
         parallel: bool = False,
         max_workers: int | None = None,
     ) -> List[np.ndarray]:
-        """One redistribution pass; see :func:`execute_plan`."""
+        """One redistribution pass; see :func:`execute_plan`.
+
+        Inside a traced operation the pass shows up as an
+        ``executor.execute`` span with one ``executor.transfer`` child
+        per executed transfer (serial path; worker threads of the
+        parallel path have no trace context and skip the bookkeeping).
+        """
         plan = self.plan
         _check_buffers(plan.src, src_buffers, file_length)
         dst_buffers = [
@@ -156,8 +172,13 @@ class PlanExecutor:
             for j in range(plan.dst.num_elements)
         ]
         if not parallel:
-            for t in plan.transfers:
-                self._run_transfer(t, src_buffers, dst_buffers)
+            with tracked_span(
+                "executor.execute",
+                transfers=len(plan.transfers),
+                file_length=file_length,
+            ):
+                for t in plan.transfers:
+                    self._run_transfer(t, src_buffers, dst_buffers)
             return dst_buffers
 
         from concurrent.futures import ThreadPoolExecutor

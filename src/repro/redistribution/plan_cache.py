@@ -40,6 +40,7 @@ from typing import Dict, Tuple
 
 from ..core.mapping import ElementMapper
 from ..core.partition import Partition
+from ..obs import metrics as _metrics
 from .schedule import RedistributionPlan, build_plan
 
 __all__ = [
@@ -63,7 +64,7 @@ class PlanCache:
     per-tenant bounds.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, name: str | None = None):
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self._capacity = capacity
@@ -71,9 +72,17 @@ class PlanCache:
             OrderedDict()
         )
         self._lock = threading.Lock()
+        #: When named, every hit/miss/eviction is mirrored into the
+        #: process-wide metrics registry under ``plan_cache.<name>.*``
+        #: (the global cache is named ``global``).
+        self.name = name
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _mirror(self, event: str, n: int = 1) -> None:
+        if self.name is not None:
+            _metrics.inc(f"plan_cache.{self.name}.{event}", n)
 
     # -- core API ------------------------------------------------------------
 
@@ -95,8 +104,10 @@ class PlanCache:
             if plan is not None:
                 self._plans.move_to_end(key)
                 self.hits += 1
+                self._mirror("hits")
                 return plan
             self.misses += 1
+            self._mirror("misses")
         # Build outside the lock: plan construction is the expensive part
         # and must not serialise unrelated lookups.
         plan = build_plan(src, dst, prune=prune)
@@ -106,6 +117,7 @@ class PlanCache:
                 while len(self._plans) > self._capacity:
                     self._plans.popitem(last=False)
                     self.evictions += 1
+                    self._mirror("evictions")
             return self._plans[key]
 
     def configure(self, capacity: int) -> None:
@@ -117,12 +129,15 @@ class PlanCache:
             while len(self._plans) > capacity:
                 self._plans.popitem(last=False)
                 self.evictions += 1
+                self._mirror("evictions")
 
     def clear(self) -> None:
         """Drop every cached plan and reset the counters."""
         with self._lock:
             self._plans.clear()
             self.hits = self.misses = self.evictions = 0
+            if self.name is not None:
+                _metrics.reset_metrics(f"plan_cache.{self.name}")
 
     def stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counters plus current size and capacity."""
@@ -168,7 +183,7 @@ class _MapperCache:
             self._mappers.clear()
 
 
-_GLOBAL_PLANS = PlanCache()
+_GLOBAL_PLANS = PlanCache(name="global")
 _GLOBAL_MAPPERS = _MapperCache()
 
 

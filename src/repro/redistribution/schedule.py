@@ -32,6 +32,7 @@ from ..core.partition import Partition
 from ..core.periodic import PeriodicFallsSet
 from ..core.projection import project
 from ..core.segments import SegmentArrays, intersect_segment_arrays
+from ..obs import metrics as _metrics
 
 __all__ = ["Transfer", "RedistributionPlan", "build_plan"]
 
@@ -236,6 +237,9 @@ def build_plan(
                     dst_projection=project(inter, dst, j, dst_mappers[j]),
                 )
             )
+    _metrics.inc("build_plan.calls")
+    _metrics.inc("build_plan.candidate_pairs", candidates)
+    _metrics.inc("build_plan.pruned_pairs", pruned)
     return RedistributionPlan(
         src=src,
         dst=dst,

@@ -32,6 +32,10 @@ class ClusterConfig:
     network: NetworkModel = field(default_factory=NetworkModel)
     disk: DiskModel = field(default_factory=DiskModel)
     memory: MemoryModel = field(default_factory=MemoryModel)
+    #: Control-message size for (l_S, r_S) request headers and acks,
+    #: bytes.  Every request path — independent writes/reads, two-phase
+    #: collectives, relayout — prices headers from here.
+    header_bytes: int = 16
     #: The paper notes: "We didn't optimize the contiguous write case to
     #: write directly from the network card to buffer cache.  Therefore,
     #: we perform an additional copy."  Keeping the extra copy (False)
@@ -42,6 +46,8 @@ class ClusterConfig:
     def __post_init__(self) -> None:
         if self.compute_nodes < 1 or self.io_nodes < 1:
             raise ValueError("need at least one compute node and one I/O node")
+        if self.header_bytes < 0:
+            raise ValueError(f"header_bytes must be >= 0, got {self.header_bytes}")
 
 
 class ComputeNode:

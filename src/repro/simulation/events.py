@@ -36,6 +36,12 @@ class EventQueue:
         self._seq = itertools.count()
         self.now: float = 0.0
         self._processed = 0
+        #: When set to a :class:`repro.obs.span.Span` (duck-typed: only
+        #: ``record_sim`` is called), every resource acquisition on this
+        #: queue records a simulation-clock child span — the hook that
+        #: interleaves modelled network/CPU/disk activity with the
+        #: measured compute-node phases in one trace.
+        self.trace_span = None
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` ``delay`` seconds from the current time."""
@@ -114,6 +120,8 @@ class Resource:
         self._free_at = end
         self.busy_time += service_time
         self.requests += 1
+        if queue.trace_span is not None:
+            queue.trace_span.record_sim(self.name or "resource", start, end)
         queue.at(end, lambda: done(start, end))
         return start, end
 

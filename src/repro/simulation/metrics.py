@@ -22,32 +22,46 @@ Two kinds of numbers flow into these records:
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Dict, Iterator, List
+
+from ..obs.span import Span
 
 __all__ = ["Stopwatch", "WriteBreakdown", "ScatterBreakdown", "mean_breakdown"]
 
 
 class Stopwatch:
-    """Accumulates named wall-clock phases."""
+    """Accumulates named wall-clock phases.
 
-    def __init__(self) -> None:
-        self.totals: Dict[str, float] = {}
+    Backed by a span tree: every ``measure``/``add`` records a child
+    under :attr:`root`, and :attr:`totals` sums those children by name.
+    The classic dict-of-seconds API is unchanged, but the phases now
+    interoperate with the :mod:`repro.obs` exporters — pass
+    ``stopwatch.root`` to :func:`repro.obs.export.trace_to_chrome` and
+    the phases show up on the timeline.  Nested ``measure`` calls each
+    time their own child (the outer phase includes the inner one's
+    wall time, same as the historical behaviour).
+    """
+
+    def __init__(self, name: str = "stopwatch") -> None:
+        self.root = Span(name)
 
     @contextmanager
     def measure(self, phase: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
+        with self.root.measure(phase):
             yield
-        finally:
-            self.totals[phase] = self.totals.get(phase, 0.0) + (
-                time.perf_counter() - start
-            )
 
     def add(self, phase: str, seconds: float) -> None:
-        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+        self.root.record(phase, seconds)
+
+    @property
+    def totals(self) -> Dict[str, float]:
+        """Accumulated seconds per phase name (derived from the spans)."""
+        out: Dict[str, float] = {}
+        for sp in self.root.children:
+            out[sp.name] = out.get(sp.name, 0.0) + sp.wall_s
+        return out
 
     def us(self, phase: str) -> float:
         """Accumulated time of a phase in microseconds."""

@@ -6,6 +6,8 @@ Usage::
     python -m repro.tools match c r 256 4         # matching-degree report
     python -m repro.tools plan b r 64 4           # redistribution schedule
     python -m repro.tools figure3                 # the paper's figure 3
+    python -m repro.tools trace r c 64 4 \\
+        --json out.json --chrome out.trace        # traced write + read
 
 These are development/demonstration aids; the programmatic API lives in
 :mod:`repro.viz`, :mod:`repro.core.matching` and
@@ -69,6 +71,55 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import numpy as np
+
+    from .clusterfile.fs import Clusterfile
+    from .obs import metrics
+    from .obs.export import chrome_to_json, render_trace, trace_to_json
+    from .obs.span import Tracer
+    from .simulation.cluster import ClusterConfig
+
+    logical = matrix_partition(args.logical, args.n, args.n, args.nprocs)
+    physical = matrix_partition(args.physical, args.n, args.n, args.nprocs)
+    length = args.n * args.n
+
+    fs = Clusterfile(
+        ClusterConfig(compute_nodes=args.nprocs, io_nodes=args.nprocs)
+    )
+    fs.create("traced", physical)
+
+    tracer = Tracer("tools-trace")
+    with tracer.activate():
+        accesses = []
+        for e in range(args.nprocs):
+            fs.set_view("traced", e, logical, element=e)
+            piece = np.full(
+                logical.element_length(e, length), e, dtype=np.uint8
+            )
+            accesses.append((e, 0, piece))
+        fs.write("traced", accesses, to_disk=True)
+        fs.read(
+            "traced",
+            [(0, 0, logical.element_length(0, length))],
+            from_disk=True,
+        )
+
+    print(render_trace(tracer.roots))
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(trace_to_json(tracer.roots))
+        print(f"\nnested JSON trace -> {args.json}")
+    if args.chrome:
+        with open(args.chrome, "w") as f:
+            f.write(chrome_to_json(tracer.roots))
+        print(f"chrome://tracing file -> {args.chrome}")
+    print("\nmetrics:")
+    for name, value in metrics.snapshot().items():
+        print(f"  {name} = {value}")
+    return 0
+
+
 def _cmd_figure3(_args) -> int:
     p = Partition(
         [Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)],
@@ -104,6 +155,19 @@ def main(argv=None) -> int:
     pp.add_argument("n", type=int)
     pp.add_argument("nprocs", type=int)
     pp.set_defaults(fn=_cmd_plan)
+
+    pt = sub.add_parser(
+        "trace", help="trace a parallel write + read end to end"
+    )
+    pt.add_argument("logical", choices=["r", "c", "b"])
+    pt.add_argument("physical", choices=["r", "c", "b"])
+    pt.add_argument("n", type=int)
+    pt.add_argument("nprocs", type=int)
+    pt.add_argument("--json", help="write the nested JSON trace here")
+    pt.add_argument(
+        "--chrome", help="write a chrome://tracing / Perfetto file here"
+    )
+    pt.set_defaults(fn=_cmd_trace)
 
     pf = sub.add_parser("figure3", help="draw the paper's figure 3")
     pf.set_defaults(fn=_cmd_figure3)

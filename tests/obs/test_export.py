@@ -1,0 +1,86 @@
+"""Unit tests for the trace exporters."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    chrome_to_json,
+    render_trace,
+    trace_to_chrome,
+    trace_to_dict,
+    trace_to_json,
+)
+from repro.obs.span import Span
+
+
+def _sample_tree() -> Span:
+    root = Span("op", attrs={"compute": 0})
+    root.wall_start_s, root.wall_end_s = 10.0, 10.01
+    m = root.record("map", 0.001, subfile=1)
+    m.wall_start_s, m.wall_end_s = 10.002, 10.003
+    root.record_sim("io0.disk", 0.0, 0.005, io_node=0)
+    return root
+
+
+class TestDictJson:
+    def test_nested_shape(self):
+        d = trace_to_dict(_sample_tree())
+        assert [r["name"] for r in d] == ["op"]
+        names = [c["name"] for c in d[0]["children"]]
+        assert names == ["map", "io0.disk"]
+        assert d[0]["wall_us"] == pytest.approx(10000.0)
+        sim = d[0]["children"][1]
+        assert sim["sim_us"] == 5000.0
+        assert "wall_us" not in sim  # pure simulation span
+
+    def test_json_round_trips(self):
+        s = trace_to_json(_sample_tree())
+        assert json.loads(s)[0]["name"] == "op"
+
+    def test_accepts_root_list(self):
+        a, b = Span("a"), Span("b")
+        assert [r["name"] for r in trace_to_dict([a, b])] == ["a", "b"]
+
+    def test_numpy_and_dict_attrs_jsonable(self):
+        sp = Span("x", attrs={"n": np.int64(3), "d": {1: np.float64(0.5)}})
+        d = trace_to_dict(sp)[0]
+        assert d["attrs"] == {"n": 3, "d": {"1": 0.5}}
+        json.dumps(d)
+
+
+class TestChrome:
+    def test_processes_and_rebase(self):
+        events = trace_to_chrome(_sample_tree())
+        wall = [e for e in events if e.get("ph") == "X" and e["pid"] == 1]
+        sim = [e for e in events if e.get("ph") == "X" and e["pid"] == 2]
+        assert {e["name"] for e in wall} == {"op", "map"}
+        assert {e["name"] for e in sim} == {"io0.disk"}
+        # Earliest wall span is rebased to ts=0.
+        assert min(e["ts"] for e in wall) == 0.0
+        # Simulation spans keep the event-queue timeline.
+        assert sim[0]["ts"] == 0.0 and sim[0]["dur"] == 5000.0
+
+    def test_thread_metadata_lanes(self):
+        events = trace_to_chrome(_sample_tree())
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in events
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert (1, "compute0") in names
+        assert (2, "io0") in names
+
+    def test_chrome_json_parses(self):
+        assert isinstance(json.loads(chrome_to_json(_sample_tree())), list)
+
+
+class TestRender:
+    def test_text_tree(self):
+        text = render_trace(_sample_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("op")
+        assert lines[1].startswith("  map")
+        assert "us wall" in lines[1]
+        assert "sim [" in lines[2]

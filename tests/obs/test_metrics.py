@@ -1,0 +1,68 @@
+"""Unit tests for the metrics registry."""
+
+import threading
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    inc,
+    reset_metrics,
+    snapshot,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_created_on_first_use(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b")
+        assert c.value == 0
+        assert reg.counter("a.b") is c
+
+    def test_inc(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.inc("x", 4)
+        assert reg.snapshot() == {"x": 5}
+
+    def test_snapshot_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.inc("cache.hits", 2)
+        reg.inc("cache.misses", 1)
+        reg.inc("cachet.other", 9)  # prefix must match on dot boundaries
+        reg.inc("engine.ops", 3)
+        assert reg.snapshot("cache") == {"cache.hits": 2, "cache.misses": 1}
+        assert reg.snapshot("cache.hits") == {"cache.hits": 2}
+
+    def test_reset_prefix(self):
+        reg = MetricsRegistry()
+        reg.inc("a.x")
+        reg.inc("a.y")
+        reg.inc("b.z")
+        reg.reset("a")
+        assert reg.snapshot() == {"b.z": 1}
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_thread_safety(self):
+        reg = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot()["n"] == 4000
+
+
+class TestProcessWideRegistry:
+    def test_module_functions_hit_one_registry(self):
+        reset_metrics("test_obs")
+        inc("test_obs.k", 7)
+        assert snapshot("test_obs") == {"test_obs.k": 7}
+        assert get_registry().counter("test_obs.k").value == 7
+        reset_metrics("test_obs")
+        assert snapshot("test_obs") == {}

@@ -1,0 +1,135 @@
+"""Unit tests for the span/tracer layer."""
+
+import pytest
+
+from repro.obs.span import (
+    Span,
+    Tracer,
+    active_tracer,
+    current_span,
+    open_span,
+    tracked_span,
+)
+
+
+class TestSpan:
+    def test_wall_clock_properties(self):
+        sp = Span("x")
+        assert sp.wall_s == 0.0  # incomplete span has no duration
+        sp.wall_start_s = 1.0
+        assert sp.wall_s == 0.0
+        sp.wall_end_s = 1.5
+        assert sp.wall_s == pytest.approx(0.5)
+        assert sp.wall_us == pytest.approx(5e5)
+
+    def test_sim_clock_properties(self):
+        sp = Span("x")
+        assert sp.sim_s == 0.0
+        sp.sim_start_s, sp.sim_end_s = 2.0, 2.25
+        assert sp.sim_s == pytest.approx(0.25)
+
+    def test_measure_attaches_timed_child(self):
+        root = Span("root")
+        with root.measure("phase", tag=7) as sp:
+            pass
+        assert root.children == [sp]
+        assert sp.attrs == {"tag": 7}
+        assert sp.wall_start_s is not None and sp.wall_end_s is not None
+
+    def test_measure_exception_safe(self):
+        root = Span("root")
+        with pytest.raises(RuntimeError):
+            with root.measure("boom"):
+                raise RuntimeError
+        assert root.children[0].wall_end_s is not None
+
+    def test_record_sets_exact_duration(self):
+        root = Span("root")
+        sp = root.record("phase", 0.125)
+        assert sp.wall_s == pytest.approx(0.125)
+
+    def test_record_sim(self):
+        root = Span("root")
+        sp = root.record_sim("disk", 1.0, 3.0, io_node=2)
+        assert sp.sim_s == pytest.approx(2.0)
+        assert sp.attrs["io_node"] == 2
+
+    def test_walk_and_find(self):
+        root = Span("root")
+        a = root.child("a")
+        b = a.child("b")
+        a2 = root.child("a")
+        assert list(root.walk()) == [root, a, b, a2]
+        assert root.find_all("a") == [a, a2]
+        assert root.find("b") is b
+        assert root.find("missing") is None
+        assert root.phase_names() == ["root", "a", "b"]
+
+    def test_annotate_chains(self):
+        sp = Span("x").annotate(k=1).annotate(j=2)
+        assert sp.attrs == {"k": 1, "j": 2}
+
+
+class TestOpenSpan:
+    def test_standalone_root(self):
+        assert current_span() is None
+        with open_span("op") as sp:
+            assert current_span() is sp
+        assert current_span() is None
+        assert sp.wall_s >= 0.0
+
+    def test_nesting_under_current(self):
+        with open_span("outer") as outer:
+            with open_span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert outer.children == [inner]
+
+    def test_stack_unwinds_on_exception(self):
+        with pytest.raises(ValueError):
+            with open_span("outer"):
+                with open_span("inner"):
+                    raise ValueError
+        assert current_span() is None
+
+
+class TestTrackedSpan:
+    def test_noop_when_nobody_listens(self):
+        with tracked_span("hot") as sp:
+            assert sp is None
+
+    def test_active_under_open_span(self):
+        with open_span("outer") as outer:
+            with tracked_span("hot") as sp:
+                assert sp is not None
+        assert outer.children == [sp]
+
+
+class TestTracer:
+    def test_collects_roots(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            assert active_tracer() is tracer
+            with open_span("first"):
+                with open_span("child"):
+                    pass
+            with open_span("second"):
+                pass
+        assert active_tracer() is None
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+        assert tracer.roots[0].children[0].name == "child"
+
+    def test_tracked_span_roots_under_tracer(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with tracked_span("hot") as sp:
+                assert sp is not None
+        assert tracer.roots == [sp]
+
+    def test_clear(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with open_span("x"):
+                pass
+        tracer.clear()
+        assert tracer.roots == []

@@ -1,5 +1,7 @@
 """Tests for the process-wide plan cache and the reusable executor."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -132,6 +134,68 @@ class TestPlanCache:
         src, _ = _pair()
         assert get_mapper(src, 0) is get_mapper(src, 0)
         assert get_mapper(src, 0) is not get_mapper(src, 1)
+
+    def test_named_cache_mirrors_into_metrics(self):
+        from repro.obs import metrics
+
+        metrics.reset_metrics("plan_cache.test")
+        cache = PlanCache(capacity=1, name="test")
+        p1 = _pair(b="c")
+        p2 = _pair(b="b")
+        cache.get(*p1)
+        cache.get(*p1)
+        cache.get(*p2)  # evicts p1
+        snap = metrics.snapshot("plan_cache.test")
+        assert snap == {
+            "plan_cache.test.hits": 1,
+            "plan_cache.test.misses": 2,
+            "plan_cache.test.evictions": 1,
+        }
+        cache.clear()
+        assert metrics.snapshot("plan_cache.test") == {}
+
+    def test_unnamed_cache_stays_out_of_metrics(self):
+        from repro.obs import metrics
+
+        before = metrics.snapshot("plan_cache")
+        PlanCache(capacity=2).get(*_pair())
+        assert metrics.snapshot("plan_cache") == before
+
+
+class TestCapacityEnvKnob:
+    """REPRO_PLAN_CACHE_CAPACITY is read at import time, so a fresh
+    interpreter is required to observe it (this is also the CI guard
+    against regressions in the env parsing)."""
+
+    def _capacity_under_env(self, value):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.redistribution.plan_cache import plan_cache_stats; "
+            "print(plan_cache_stats()['capacity'])"
+        )
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ, REPRO_PLAN_CACHE_CAPACITY=value)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return int(out.stdout.strip())
+
+    def test_env_sets_capacity(self):
+        assert self._capacity_under_env("7") == 7
+
+    def test_env_zero_disables(self):
+        assert self._capacity_under_env("0") == 0
 
 
 class TestEndpointIndices:

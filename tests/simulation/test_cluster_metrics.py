@@ -72,6 +72,38 @@ class TestStopwatch:
                 raise RuntimeError
         assert "boom" in sw.totals
 
+    def test_empty_phase_list(self):
+        sw = Stopwatch()
+        assert sw.totals == {}
+        assert sw.us("anything") == 0.0
+
+    def test_nested_measure(self):
+        # The outer phase's wall time includes the inner one's; both
+        # accumulate under their own names.
+        sw = Stopwatch()
+        with sw.measure("outer"):
+            with sw.measure("inner"):
+                time.sleep(0.002)
+        assert sw.totals["outer"] >= sw.totals["inner"] > 0.0
+
+    def test_backed_by_span_tree(self):
+        # The stopwatch's phases are spans, so they flow straight into
+        # the obs exporters.
+        from repro.obs.export import trace_to_dict
+
+        sw = Stopwatch("bench")
+        with sw.measure("a"):
+            pass
+        sw.add("a", 0.5)
+        sw.add("b", 0.25)
+        assert [c.name for c in sw.root.children] == ["a", "a", "b"]
+        assert sw.totals["a"] == pytest.approx(
+            0.5 + sw.root.children[0].wall_s
+        )
+        d = trace_to_dict(sw.root)[0]
+        assert d["name"] == "bench"
+        assert len(d["children"]) == 3
+
 
 class TestBreakdowns:
     def test_write_breakdown_addition(self):

@@ -44,6 +44,32 @@ class TestToolsCli:
         with pytest.raises(SystemExit):
             tools.main(["render", "x", "8", "8", "4"])
 
+    def test_trace(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "trace.json"
+        chrome_path = tmp_path / "trace.chrome.json"
+        rc = tools.main(
+            [
+                "trace", "r", "c", "16", "4",
+                "--json", str(json_path),
+                "--chrome", str(chrome_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parallel_write" in out
+        assert "parallel_read" in out
+        assert "engine.write.ops" in out  # metrics snapshot printed
+        roots = json.loads(json_path.read_text())
+        assert "parallel_write" in [r["name"] for r in roots]
+        events = json.loads(chrome_path.read_text())
+        assert {e["pid"] for e in events} == {1, 2}
+
+    def test_trace_without_files(self, capsys):
+        assert tools.main(["trace", "r", "r", "16", "4"]) == 0
+        assert "parallel_write" in capsys.readouterr().out
+
 
 class TestBenchCli:
     def test_checks_small(self, capsys):
