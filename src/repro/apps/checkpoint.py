@@ -37,12 +37,17 @@ def reshard(
     old_partition: Partition,
     new_partition: Partition,
     total_bytes: int | None = None,
+    injector=None,
+    retry_policy=None,
 ) -> List[np.ndarray]:
     """Convert per-rank byte pieces from one decomposition to another.
 
     ``pieces[i]`` holds element ``i``'s bytes under ``old_partition``;
     the result holds the same data under ``new_partition``.  The two
     partitions may have different element counts — that is the point.
+
+    An ``injector`` (a :class:`repro.faults.FaultInjector`) subjects the
+    per-transfer moves to the engine's checksum-verify-retry loop.
     """
     if total_bytes is None:
         total_bytes = old_partition.displacement + sum(p.size for p in pieces)
@@ -50,7 +55,13 @@ def reshard(
     buffers = [np.ascontiguousarray(p, dtype=np.uint8).reshape(-1) for p in pieces]
     # Through the unified engine (no network model: ranks convert their
     # own pieces in memory; traffic is still counted in the metrics).
-    return run_shuffle(plan, buffers, total_bytes).buffers
+    return run_shuffle(
+        plan,
+        buffers,
+        total_bytes,
+        injector=injector,
+        retry_policy=retry_policy,
+    ).buffers
 
 
 @dataclass
@@ -80,8 +91,17 @@ class CheckpointStore:
     requires.
     """
 
-    def __init__(self, config: ClusterConfig | None = None):
-        self.fs = Clusterfile(config or ClusterConfig())
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        fault_injector=None,
+        retry_policy=None,
+    ):
+        self.fs = Clusterfile(
+            config or ClusterConfig(),
+            fault_injector=fault_injector,
+            retry_policy=retry_policy,
+        )
         self._meta: Dict[str, _Meta] = {}
 
     def save(

@@ -14,8 +14,9 @@ span tree.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..faults import FaultInjector, RetryPolicy
 from ..simulation.cluster import Cluster
 from .engine import IOEngine, OperationResult, WriteRequest
 from .file_model import ClusterFile
@@ -28,6 +29,8 @@ def parallel_write(
     cfile: ClusterFile,
     requests: Sequence[WriteRequest],
     to_disk: bool = False,
+    injector: Optional[FaultInjector] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> OperationResult:
     """All compute nodes write their view intervals concurrently.
 
@@ -35,7 +38,9 @@ def parallel_write(
     and per-I/O-node :class:`ScatterBreakdown` (Table 2 columns), both
     derived from the operation's span tree (``result.trace``).
     """
-    return IOEngine(cluster).write(cfile, requests, to_disk=to_disk)
+    return IOEngine(cluster, injector, retry_policy).write(
+        cfile, requests, to_disk=to_disk
+    )
 
 
 def parallel_read(
@@ -43,7 +48,11 @@ def parallel_read(
     cfile: ClusterFile,
     requests: Sequence[WriteRequest],
     from_disk: bool = False,
+    injector: Optional[FaultInjector] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> OperationResult:
     """The reverse-symmetric read operation (§8.1: "the write and read
     are reverse symmetrical").  Request buffers are filled in place."""
-    return IOEngine(cluster).read(cfile, requests, from_disk=from_disk)
+    return IOEngine(cluster, injector, retry_policy).read(
+        cfile, requests, from_disk=from_disk
+    )

@@ -147,7 +147,14 @@ def two_phase_write(
     # node sends its intersections with every aggregator in parallel
     # across nodes, serially on its own NIC — the standard alpha-beta
     # model of an irregular all-to-all.
-    sh = run_shuffle(plan, src_buffers, length, network=fs.cluster.network.model)
+    sh = run_shuffle(
+        plan,
+        src_buffers,
+        length,
+        network=fs.cluster.network.model,
+        injector=fs.fault_injector,
+        retry_policy=fs.retry_policy,
+    )
     agg_buffers = sh.buffers
 
     # Phase 2: aggregators write their contiguous chunks.
@@ -243,7 +250,14 @@ def two_phase_read(
 
     # Phase 2: shuffle from the file domain to the callers' views.
     plan = get_plan(domain, logical)
-    sh = run_shuffle(plan, agg_buffers, length, network=fs.cluster.network.model)
+    sh = run_shuffle(
+        plan,
+        agg_buffers,
+        length,
+        network=fs.cluster.network.model,
+        injector=fs.fault_injector,
+        retry_policy=fs.retry_policy,
+    )
     out_by_element = sh.buffers
 
     # Restore the callers' views.

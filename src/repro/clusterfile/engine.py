@@ -25,10 +25,24 @@ with modelled simulation-clock events (NIC, CPU, disk), and the Table
 1/2 breakdown records are **derived from that tree** by
 :func:`breakdowns_from_trace` — the table numbers and the trace are
 provably the same measurements.
+
+Because every data path crosses this one seam, cross-cutting failure
+handling lives here too (:mod:`repro.faults`): when an engine carries a
+:class:`~repro.faults.FaultInjector`, corrupted payloads are caught by
+CRC32 checksums verified before any scatter (stamped lazily — the
+injector is the simulation's only corruption source, so intact messages
+never pay the hash), lost or corrupt messages
+are retransmitted under a :class:`~repro.faults.RetryPolicy` (timeout +
+capped, jittered exponential backoff, per-message budget), reads fail
+over to replica subfiles when a node is crashed, and writes degrade
+gracefully to the live replicas.  With no injector and replication 1
+the engine runs the exact fault-free code path — not one extra branch
+or checksum on the hot loop.
 """
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
@@ -36,6 +50,15 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.partition import Partition
+from ..faults import (
+    ChecksumError,
+    FaultInjector,
+    NoLiveReplica,
+    RetryBudgetExceeded,
+    RetryPolicy,
+    checksum,
+    replica_nodes,
+)
 from ..obs import metrics as obs_metrics
 from ..obs.span import Span, open_span
 from ..redistribution.executor import execute_plan
@@ -74,6 +97,16 @@ class WriteRequest:
     def __post_init__(self) -> None:
         if self.hi < self.lo:
             raise ValueError(f"bad view interval [{self.lo}, {self.hi}]")
+        if self.buf.dtype != np.uint8:
+            raise ValueError(
+                f"request buffer must be uint8 (the file model is bytes), "
+                f"got dtype {self.buf.dtype}"
+            )
+        if not self.buf.flags.c_contiguous:
+            raise ValueError(
+                "request buffer must be C-contiguous: gather/scatter "
+                "address it by flat byte offset"
+            )
         if self.buf.size != self.hi - self.lo + 1:
             raise ValueError(
                 f"buffer holds {self.buf.size} bytes for interval of "
@@ -96,6 +129,12 @@ class OperationResult:
     payload_bytes: int = 0
     #: The operation's span tree (wall + simulation clocks).
     trace: Optional[Span] = None
+    #: Message attempts beyond the first (sum over ``retry`` spans).
+    retries: int = 0
+    #: Reads served by a non-primary replica (``failover`` span count).
+    failed_over: int = 0
+    #: True when a write reached fewer than ``replication`` replicas.
+    degraded: bool = False
 
 
 @dataclass
@@ -109,6 +148,15 @@ class _Message:
     #: The §8.1 loop gathers per subfile *between* sends, so this cost
     #: sits on the client's critical path inside t_w.
     view_runs: int = 1
+    #: CRC32 of ``payload``, stamped lazily the first time the message
+    #: meets injected corruption; verified by the receiver before any
+    #: scatter (``None`` = never corrupted, nothing to verify).
+    crc: Optional[int] = None
+
+
+#: The fate of every message under an injector with no rules (shared
+#: so the robust loops don't build a tuple per message).
+_FATE_OK: Tuple[str, float] = ("ok", 0.0)
 
 
 # --------------------------------------------------------------------------
@@ -132,6 +180,10 @@ class SimMessage:
     post_lane_s: float = 0.0
     stages: Tuple[Tuple[object, float, Optional[str]], ...] = ()
     ack_s: float = 0.0
+    #: A message lost (or rejected) in flight: the sender still burns
+    #: its lane time, but no destination stage runs and no completion
+    #: is recorded — the retry layer notices via its timeout.
+    dropped: bool = False
 
 
 class SimulatedTransport:
@@ -169,14 +221,22 @@ class SimulatedTransport:
 
             resource.acquire(queue, service_s, after)
 
+        n_dropped = 0
         for msg in messages:
             start = lane_free.get(msg.lane, 0.0)
             lane_end = start + msg.lane_s
             lane_free[msg.lane] = lane_end
+            if msg.dropped:
+                n_dropped += 1
+                continue
             if not msg.stages:
                 continue
             queue.at(lane_end + msg.post_lane_s, lambda msg=msg: chain(msg, 0))
         queue.run()
+        if n_dropped and trace_span is not None:
+            trace_span.annotate(dropped=n_dropped)
+        if n_dropped:
+            obs_metrics.inc("faults.transport.dropped", n_dropped)
         return done
 
 
@@ -228,16 +288,24 @@ def breakdowns_from_trace(
       span (measured at view set);
     * ``t_m`` / ``t_g`` — sums of the ``map`` and ``gather``/``scatter``
       span wall durations;
-    * ``t_w^bc`` / ``t_w^disk`` — the transport span's per-compute
-      completion timelines;
+    * ``t_w^bc`` / ``t_w^disk`` — the transport spans' per-compute
+      completion timelines, max-merged across retry rounds with each
+      round's ``round_start_s`` offset applied (a message acked in a
+      retransmission round completes that much later on the modelled
+      clock);
     * ``t_sc`` — the modelled cache/disk seconds on the ``server.*``
-      spans.
+      spans (every replica write and every retransmission attempt
+      counts — the work was really done).
+
+    The whole tree is walked, so robust-path spans nested under
+    ``retry`` groups contribute exactly like the flat fault-free
+    layout.
     """
     per_compute: Dict[int, WriteBreakdown] = {}
     per_io: Dict[int, ScatterBreakdown] = {}
     done_bc: Dict = {}
     done_disk: Dict = {}
-    for sp in root.children:
+    for sp in root.walk():
         if sp.name == "client.prepare":
             node = sp.attrs["compute"]
             bd = WriteBreakdown(t_i=sp.attrs.get("t_i_us", 0.0))
@@ -250,14 +318,21 @@ def breakdowns_from_trace(
         elif sp.name == "scatter":
             per_compute[sp.attrs["compute"]].t_g += sp.wall_us
         elif sp.name in ("server.write", "server.read"):
+            if "cache_s" not in sp.attrs:
+                continue  # request rejected (checksum) before costing
             sb = per_io.setdefault(sp.attrs["io_node"], ScatterBreakdown())
             cache_s = sp.attrs["cache_s"]
             disk_s = sp.attrs["disk_s"]
             sb.t_sc_bc += cache_s * 1e6
             sb.t_sc_disk += (cache_s + disk_s) * 1e6
         elif sp.name == "transport":
-            done_bc = sp.attrs.get("done_bc", done_bc)
-            done_disk = sp.attrs.get("done_disk", done_disk)
+            offset = float(sp.attrs.get("round_start_s", 0.0))
+            for bucket, total in (
+                ("done_bc", done_bc),
+                ("done_disk", done_disk),
+            ):
+                for key, t in sp.attrs.get(bucket, {}).items():
+                    total[key] = max(total.get(key, 0.0), offset + t)
     for node, bd in per_compute.items():
         bd.t_w_bc = done_bc.get(node, 0.0) * 1e6
         bd.t_w_disk = done_disk.get(node, 0.0) * 1e6
@@ -277,11 +352,25 @@ class IOEngine:
     pipeline between I/O nodes for physical re-layout.  Memory-memory
     shuffles go through the module-level :func:`run_shuffle` (no
     cluster needed).
+
+    With a :class:`~repro.faults.FaultInjector` (and/or a replicated
+    file) the engine takes the **robust** path: payload CRC32s, the
+    retry-round loop under ``retry_policy`` (default
+    :class:`~repro.faults.RetryPolicy`), replica fan-out on writes and
+    failover on reads.  Without either, the original fault-free code
+    runs untouched.
     """
 
-    def __init__(self, cluster: Cluster):
+    def __init__(
+        self,
+        cluster: Cluster,
+        injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.cluster = cluster
         self.transport = SimulatedTransport(cluster)
+        self.injector = injector
+        self.retry_policy = retry_policy or RetryPolicy()
 
     # -- client-side phases --------------------------------------------------
 
@@ -450,6 +539,31 @@ class IOEngine:
         to_disk: bool = False,
     ) -> OperationResult:
         """All compute nodes write their view intervals concurrently."""
+        if self.injector is None and cfile.replication == 1:
+            return self._write_fast(cfile, requests, to_disk)
+        return self._write_robust(cfile, requests, to_disk)
+
+    def read(
+        self,
+        cfile: ClusterFile,
+        requests: Sequence[WriteRequest],
+        from_disk: bool = False,
+    ) -> OperationResult:
+        """The reverse-symmetric read operation (§8.1: "the write and
+        read are reverse symmetrical").  Request buffers are filled in
+        place."""
+        if self.injector is None and cfile.replication == 1:
+            return self._read_fast(cfile, requests, from_disk)
+        return self._read_robust(cfile, requests, from_disk)
+
+    def _write_fast(
+        self,
+        cfile: ClusterFile,
+        requests: Sequence[WriteRequest],
+        to_disk: bool,
+    ) -> OperationResult:
+        """The fault-free write: byte- and timing-identical to the
+        pre-faults engine (no checksum, no replica fan-out)."""
         with open_span("parallel_write", op="write", to_disk=to_disk) as root:
             messages = self._prepare(requests, gather_payload=True)
             servers = self._servers(cfile)
@@ -478,15 +592,13 @@ class IOEngine:
             n_messages, payload_bytes = self._exchange(messages, service_costs)
         return self._finish(root, "write", n_messages, payload_bytes)
 
-    def read(
+    def _read_fast(
         self,
         cfile: ClusterFile,
         requests: Sequence[WriteRequest],
-        from_disk: bool = False,
+        from_disk: bool,
     ) -> OperationResult:
-        """The reverse-symmetric read operation (§8.1: "the write and
-        read are reverse symmetrical").  Request buffers are filled in
-        place."""
+        """The fault-free read path (see :meth:`_write_fast`)."""
         with open_span("parallel_read", op="read", from_disk=from_disk) as root:
             messages = self._prepare(requests, gather_payload=False)
             servers = self._servers(cfile)
@@ -510,27 +622,461 @@ class IOEngine:
                 )
                 msg.payload = payload
                 service_costs.append((cost.cache_s, cost.disk_s))
-
-                # Client-side scatter of the reply into the user buffer,
-                # the mirror of the write-side gather (measured).
-                t0 = time.perf_counter()
-                starts, lengths = link.proj_view.segments_in(req.lo, req.hi)
-                run = link.proj_view.contiguous_run_in(req.lo, req.hi)
-                if run is not None:
-                    req.buf[run[0] - req.lo : run[1] - req.lo + 1] = payload
-                else:
-                    scatter_segments(
-                        req.buf, (starts - req.lo, lengths), payload
-                    )
-                    root.record(
-                        "scatter",
-                        time.perf_counter() - t0,
-                        compute=msg.compute,
-                        subfile=msg.subfile,
-                        bytes=int(payload.size),
-                        runs=int(starts.size),
-                    )
+                self._scatter_reply(root, req, link, msg, payload)
             n_messages, payload_bytes = self._exchange(messages, service_costs)
+        return self._finish(root, "read", n_messages, payload_bytes)
+
+    @staticmethod
+    def _scatter_reply(
+        root: Span, req: WriteRequest, link, msg: _Message, payload: np.ndarray
+    ) -> None:
+        """Client-side scatter of a read reply into the user buffer, the
+        mirror of the write-side gather (measured)."""
+        t0 = time.perf_counter()
+        starts, lengths = link.proj_view.segments_in(req.lo, req.hi)
+        run = link.proj_view.contiguous_run_in(req.lo, req.hi)
+        if run is not None:
+            req.buf[run[0] - req.lo : run[1] - req.lo + 1] = payload
+        else:
+            scatter_segments(req.buf, (starts - req.lo, lengths), payload)
+            root.record(
+                "scatter",
+                time.perf_counter() - t0,
+                compute=msg.compute,
+                subfile=msg.subfile,
+                bytes=int(payload.size),
+                runs=int(starts.size),
+            )
+
+    # -- robust (fault-injected / replicated) paths ---------------------------
+
+    def _live_replicas(
+        self, injector: FaultInjector, subfile: int, k: int, op_id: int
+    ) -> List[Tuple[int, int]]:
+        """``(replica, io_node)`` pairs whose node is up for this op."""
+        nodes = replica_nodes(subfile, k, len(self.cluster.io))
+        crashed = injector.crashed_nodes(op_id)
+        if not crashed:
+            return list(enumerate(nodes))
+        return [(r, n) for r, n in enumerate(nodes) if n not in crashed]
+
+    def _fanout_messages(
+        self,
+        msg: _Message,
+        replicas: Sequence[Tuple[int, int]],
+        costs: Sequence[Tuple[float, float]],
+        fate: str,
+        delay_s: float,
+    ) -> List[SimMessage]:
+        """Price one logical message attempt as :class:`SimMessage` s.
+
+        The sender's NIC serialises one copy per destination replica
+        (the gather prep cost is paid once, on the first copy).  A
+        dropped or corrupted attempt still holds the lane — the bytes
+        travelled — but runs no destination stage and records no
+        completion, so the retry layer's timeout is what ends it.
+        """
+        net = self.cluster.network
+        memory = self.cluster.config.memory
+        header = self.cluster.config.header_bytes
+        prep_s = (
+            memory.copy_time(int(msg.payload.size), msg.view_runs)
+            if msg.view_runs > 1
+            else 0.0
+        )
+        compute_name = f"compute{msg.compute}"
+        lost = fate != "ok"
+        out: List[SimMessage] = []
+        for j, (_r, node_idx) in enumerate(replicas):
+            io_node = self.cluster.io[node_idx]
+            send_s = net.send_time(compute_name, io_node.name, header) + (
+                net.send_time(compute_name, io_node.name, int(msg.payload.size))
+            )
+            lane_s = (prep_s if j == 0 else 0.0) + send_s
+            if lost or j >= len(costs):
+                out.append(
+                    SimMessage(
+                        key=msg.compute,
+                        lane=("nic", msg.compute),
+                        lane_s=lane_s,
+                        post_lane_s=delay_s,
+                        dropped=True,
+                    )
+                )
+                continue
+            cache_s, disk_s = costs[j]
+            ack_s = net.model.latency_s + header / net.model.bandwidth_Bps
+            out.append(
+                SimMessage(
+                    key=msg.compute,
+                    lane=("nic", msg.compute),
+                    lane_s=lane_s,
+                    post_lane_s=delay_s,
+                    stages=(
+                        (io_node.cpu, cache_s, "bc"),
+                        (io_node.disk_queue, disk_s, "disk"),
+                    ),
+                    ack_s=ack_s,
+                )
+            )
+        return out
+
+    def _write_robust(
+        self,
+        cfile: ClusterFile,
+        requests: Sequence[WriteRequest],
+        to_disk: bool,
+    ) -> OperationResult:
+        """Write with checksums, replica fan-out, and retry rounds.
+
+        Round 0 sends every message; a round's drops/corruptions are
+        retransmitted in the next round, which starts ``timeout_s +
+        backoff_s(round)`` later on the modelled clock.  Checksum
+        verification precedes any store scatter, so retransmitting a
+        message is idempotent, and each message fans out to every
+        *live* replica of its subfile (fewer than ``replication``
+        marks the operation degraded).
+        """
+        injector = self.injector or FaultInjector()
+        policy = self.retry_policy
+        op_id = injector.begin_op("write")
+        k = cfile.replication
+        # With zero rules every fate is "ok" and every disk factor is
+        # 1.0 — skip those per-message queries so an armed-but-idle
+        # injector stays cheap.
+        armed = bool(injector.plan.rules)
+        with open_span(
+            "parallel_write", op="write", to_disk=to_disk, op_id=op_id
+        ) as root:
+            messages = self._prepare(requests, gather_payload=True)
+            req_by_view = {req.view.compute_node: req for req in requests}
+            n_messages = 0
+            payload_bytes = 0
+            degraded = False
+            pending = list(range(len(messages)))
+            # Replica liveness and server bindings are functions of
+            # (subfile, op_id) only — constant across messages and retry
+            # rounds of one operation — so resolve each subfile once.
+            live_by_subfile: Dict[int, List[Tuple[int, int]]] = {}
+            servers_by_subfile: Dict[int, List[IOServer]] = {}
+            round_start = 0.0
+            round_idx = 0
+            while pending:
+                if round_idx > policy.max_retries:
+                    raise RetryBudgetExceeded(
+                        f"write op {op_id}: {len(pending)} message(s) still "
+                        f"failing after {policy.max_retries} retries"
+                    )
+                group = (
+                    open_span("retry", round=round_idx, messages=len(pending))
+                    if round_idx
+                    else contextlib.nullcontext()
+                )
+                with group:
+                    if round_idx:
+                        obs_metrics.inc("faults.retry.rounds")
+                        obs_metrics.inc("faults.retry.messages", len(pending))
+                    failed: List[int] = []
+                    sim_msgs: List[SimMessage] = []
+                    for i in pending:
+                        msg = messages[i]
+                        view = req_by_view[msg.compute].view
+                        live = live_by_subfile.get(msg.subfile)
+                        if live is None:
+                            live = live_by_subfile[msg.subfile] = (
+                                self._live_replicas(
+                                    injector, msg.subfile, k, op_id
+                                )
+                            )
+                        if not live:
+                            raise NoLiveReplica(
+                                f"all {k} replica(s) of subfile "
+                                f"{msg.subfile} are down"
+                            )
+                        if len(live) < k:
+                            degraded = True
+                        fate, delay_s = (
+                            injector.message_fate(
+                                op_id,
+                                "write",
+                                msg.compute,
+                                msg.subfile,
+                                round_idx,
+                            )
+                            if armed
+                            else _FATE_OK
+                        )
+                        payload = msg.payload
+                        if fate == "corrupt":
+                            # CRCs are stamped lazily, only once a message
+                            # actually meets corruption: for intact
+                            # payloads the verify is a tautology (the
+                            # injector is the sole corruption source), so
+                            # hashing them would tax every fault-free run.
+                            if msg.crc is None:
+                                msg.crc = checksum(msg.payload)
+                            payload = injector.corrupt_payload(
+                                msg.payload,
+                                op_id,
+                                "write",
+                                msg.compute,
+                                msg.subfile,
+                                round_idx,
+                            )
+                            if checksum(payload) == msg.crc:
+                                fate = "ok"  # empty payload: nothing to flip
+                        costs: List[Tuple[float, float]] = []
+                        servers = servers_by_subfile.get(msg.subfile)
+                        if servers is None:
+                            stores = cfile.replica_stores(msg.subfile)
+                            servers = servers_by_subfile[msg.subfile] = [
+                                IOServer(
+                                    self.cluster.io[node_idx],
+                                    stores[r],
+                                    self.cluster.config,
+                                )
+                                for r, node_idx in live
+                            ]
+                        if fate != "drop":
+                            for (r, node_idx), server in zip(live, servers):
+                                with open_span(
+                                    "server.write",
+                                    subfile=msg.subfile,
+                                    io_node=node_idx,
+                                ) as sp:
+                                    if r or round_idx:
+                                        sp.annotate(
+                                            replica=r, attempt=round_idx
+                                        )
+                                    try:
+                                        cost = server.write(
+                                            msg.l_s,
+                                            msg.r_s,
+                                            payload,
+                                            view.links[msg.subfile].proj_subfile,
+                                            to_disk=to_disk,
+                                            crc=msg.crc,
+                                        )
+                                    except ChecksumError:
+                                        obs_metrics.inc(
+                                            "faults.checksum_failures"
+                                        )
+                                        sp.annotate(error="checksum")
+                                        break
+                                disk_s = (
+                                    cost.disk_s
+                                    * injector.disk_factor(node_idx)
+                                    if armed
+                                    else cost.disk_s
+                                )
+                                sp.annotate(
+                                    bytes=cost.nbytes,
+                                    runs=cost.runs,
+                                    cache_s=cost.cache_s,
+                                    disk_s=disk_s,
+                                )
+                                costs.append((cost.cache_s, disk_s))
+                        if fate != "ok":
+                            failed.append(i)
+                        sim_msgs.extend(
+                            self._fanout_messages(msg, live, costs, fate, delay_s)
+                        )
+                        per_copy = 1 if msg.payload.size == 0 else 2
+                        n_messages += per_copy * len(live)
+                        payload_bytes += int(msg.payload.size) * len(live)
+                    with open_span(
+                        "transport", messages=len(sim_msgs), round=round_idx
+                    ) as tspan:
+                        done = self.transport.run(sim_msgs, trace_span=tspan)
+                    tspan.annotate(
+                        done_bc=done.get("bc", {}),
+                        done_disk=done.get("disk", {}),
+                        round_start_s=round_start,
+                    )
+                if failed:
+                    round_start += policy.timeout_s + policy.backoff_s(
+                        round_idx,
+                        seed=injector.plan.seed,
+                        token=("write", op_id),
+                    )
+                pending = failed
+                round_idx += 1
+            root.annotate(degraded=degraded)
+            if degraded:
+                obs_metrics.inc("faults.degraded.writes")
+        return self._finish(root, "write", n_messages, payload_bytes)
+
+    def _read_robust(
+        self,
+        cfile: ClusterFile,
+        requests: Sequence[WriteRequest],
+        from_disk: bool,
+    ) -> OperationResult:
+        """Read with reply checksums, replica failover, and retries.
+
+        Each message is served by the lowest-index *live* replica of
+        its subfile; when that is not the primary, a ``failover`` span
+        marks the switch.  A reply dropped or corrupted in flight is
+        re-requested next round — reads have no side effects, so the
+        retry is trivially idempotent — and the user buffer is only
+        ever written with a checksum-verified reply.
+        """
+        injector = self.injector or FaultInjector()
+        policy = self.retry_policy
+        op_id = injector.begin_op("read")
+        k = cfile.replication
+        armed = bool(injector.plan.rules)  # see _write_robust
+        with open_span(
+            "parallel_read", op="read", from_disk=from_disk, op_id=op_id
+        ) as root:
+            messages = self._prepare(requests, gather_payload=False)
+            req_by_view = {req.view.compute_node: req for req in requests}
+            n_messages = 0
+            payload_bytes = 0
+            pending = list(range(len(messages)))
+            # As in _write_robust: liveness and the serving replica's
+            # server are per-(subfile, op) invariants, resolved once.
+            live_by_subfile: Dict[int, List[Tuple[int, int]]] = {}
+            server_by_subfile: Dict[int, IOServer] = {}
+            round_start = 0.0
+            round_idx = 0
+            while pending:
+                if round_idx > policy.max_retries:
+                    raise RetryBudgetExceeded(
+                        f"read op {op_id}: {len(pending)} message(s) still "
+                        f"failing after {policy.max_retries} retries"
+                    )
+                group = (
+                    open_span("retry", round=round_idx, messages=len(pending))
+                    if round_idx
+                    else contextlib.nullcontext()
+                )
+                with group:
+                    if round_idx:
+                        obs_metrics.inc("faults.retry.rounds")
+                        obs_metrics.inc("faults.retry.messages", len(pending))
+                    failed: List[int] = []
+                    sim_msgs: List[SimMessage] = []
+                    for i in pending:
+                        msg = messages[i]
+                        req = req_by_view[msg.compute]
+                        link = req.view.links[msg.subfile]
+                        live = live_by_subfile.get(msg.subfile)
+                        if live is None:
+                            live = live_by_subfile[msg.subfile] = (
+                                self._live_replicas(
+                                    injector, msg.subfile, k, op_id
+                                )
+                            )
+                        if not live:
+                            raise NoLiveReplica(
+                                f"all {k} replica(s) of subfile "
+                                f"{msg.subfile} are down"
+                            )
+                        r, node_idx = live[0]
+                        if r != 0 and round_idx == 0:
+                            obs_metrics.inc("faults.failover.reads")
+                            primary = replica_nodes(
+                                msg.subfile, k, len(self.cluster.io)
+                            )[0]
+                            root.child(
+                                "failover",
+                                subfile=msg.subfile,
+                                from_node=primary,
+                                to_node=node_idx,
+                                replica=r,
+                            )
+                        server = server_by_subfile.get(msg.subfile)
+                        if server is None:
+                            server = server_by_subfile[msg.subfile] = IOServer(
+                                self.cluster.io[node_idx],
+                                cfile.replica_stores(msg.subfile)[r],
+                                self.cluster.config,
+                            )
+                        with open_span(
+                            "server.read",
+                            subfile=msg.subfile,
+                            io_node=node_idx,
+                        ) as sp:
+                            if r or round_idx:
+                                sp.annotate(replica=r, attempt=round_idx)
+                            payload, cost = server.read(
+                                msg.l_s,
+                                msg.r_s,
+                                link.proj_subfile,
+                                from_disk=from_disk,
+                            )
+                        disk_s = (
+                            cost.disk_s * injector.disk_factor(node_idx)
+                            if armed
+                            else cost.disk_s
+                        )
+                        sp.annotate(
+                            bytes=cost.nbytes,
+                            runs=cost.runs,
+                            cache_s=cost.cache_s,
+                            disk_s=disk_s,
+                        )
+                        fate, delay_s = (
+                            injector.message_fate(
+                                op_id,
+                                "read",
+                                msg.compute,
+                                msg.subfile,
+                                round_idx,
+                            )
+                            if armed
+                            else _FATE_OK
+                        )
+                        if fate == "corrupt":
+                            # Lazy CRC: only a corrupted reply needs the
+                            # reference checksum (see _write_robust).
+                            crc = checksum(payload)
+                            received = injector.corrupt_payload(
+                                payload,
+                                op_id,
+                                "read",
+                                msg.compute,
+                                msg.subfile,
+                                round_idx,
+                            )
+                            if checksum(received) != crc:
+                                obs_metrics.inc("faults.checksum_failures")
+                                sp.annotate(error="checksum")
+                            else:
+                                fate = "ok"  # empty reply: nothing to flip
+                        msg.payload = payload
+                        if fate == "ok":
+                            self._scatter_reply(root, req, link, msg, payload)
+                        else:
+                            failed.append(i)
+                        costs = (
+                            [(cost.cache_s, disk_s)] if fate == "ok" else []
+                        )
+                        sim_msgs.extend(
+                            self._fanout_messages(
+                                msg, [(r, node_idx)], costs, fate, delay_s
+                            )
+                        )
+                        n_messages += 1 if payload.size == 0 else 2
+                        payload_bytes += int(payload.size)
+                    with open_span(
+                        "transport", messages=len(sim_msgs), round=round_idx
+                    ) as tspan:
+                        done = self.transport.run(sim_msgs, trace_span=tspan)
+                    tspan.annotate(
+                        done_bc=done.get("bc", {}),
+                        done_disk=done.get("disk", {}),
+                        round_start_s=round_start,
+                    )
+                if failed:
+                    round_start += policy.timeout_s + policy.backoff_s(
+                        round_idx,
+                        seed=injector.plan.seed,
+                        token=("read", op_id),
+                    )
+                pending = failed
+                round_idx += 1
         return self._finish(root, "read", n_messages, payload_bytes)
 
     def _servers(self, cfile: ClusterFile) -> Dict[int, IOServer]:
@@ -545,6 +1091,13 @@ class IOEngine:
         self, root: Span, op: str, n_messages: int, payload_bytes: int
     ) -> OperationResult:
         per_compute, per_io = breakdowns_from_trace(root)
+        # Fault-handling outcomes are derived from the span tree, like
+        # the breakdowns — the trace is the single source of truth.
+        retries = sum(
+            int(sp.attrs.get("messages", 0)) for sp in root.find_all("retry")
+        )
+        failed_over = len(root.find_all("failover"))
+        degraded = bool(root.attrs.get("degraded", False))
         obs_metrics.inc(f"engine.{op}.ops")
         obs_metrics.inc(f"engine.{op}.messages", n_messages)
         obs_metrics.inc(f"engine.{op}.payload_bytes", payload_bytes)
@@ -554,6 +1107,9 @@ class IOEngine:
             messages=n_messages,
             payload_bytes=payload_bytes,
             trace=root,
+            retries=retries,
+            failed_over=failed_over,
+            degraded=degraded,
         )
 
     # -- physical re-layout --------------------------------------------------
@@ -566,14 +1122,32 @@ class IOEngine:
         length: int,
         src_stores: Sequence,
         dst_stores: Sequence,
+        src_mirrors: Optional[Sequence[Sequence]] = None,
+        dst_mirrors: Optional[Sequence[Sequence]] = None,
     ) -> Tuple[int, int, float, Span]:
         """The per-transfer loop of a physical re-layout: gather at the
         source subfile, wire between distinct I/O nodes, scatter into
         the destination subfile — data movement real, timing simulated.
 
+        With an injector (or replica mirrors) each transfer reads from
+        the first live source replica, verifies the payload checksum,
+        retries dropped/corrupt transfers under the retry policy, and
+        writes every live destination replica.
+
         Returns ``(bytes_moved, cross_node_messages, makespan_s,
         trace)``.
         """
+        if self.injector is not None or src_mirrors or dst_mirrors:
+            return self._relayout_robust(
+                plan,
+                old,
+                new_physical,
+                length,
+                src_stores,
+                dst_stores,
+                src_mirrors,
+                dst_mirrors,
+            )
         with open_span(
             "relayout", transfers=len(plan.transfers), length=length
         ) as root:
@@ -646,6 +1220,209 @@ class IOEngine:
         obs_metrics.inc("engine.relayout.cross_node_messages", cross)
         return bytes_moved, cross, makespan_s, root
 
+    def _relayout_robust(
+        self,
+        plan: RedistributionPlan,
+        old: Partition,
+        new_physical: Partition,
+        length: int,
+        src_stores: Sequence,
+        dst_stores: Sequence,
+        src_mirrors: Optional[Sequence[Sequence]],
+        dst_mirrors: Optional[Sequence[Sequence]],
+    ) -> Tuple[int, int, float, Span]:
+        """Re-layout under faults: per-transfer checksum + retry, source
+        failover, destination replica fan-out.
+
+        The gather from the chosen live source replica happens once —
+        the source bytes never change mid-relayout, so a retried
+        transfer re-sends the same verified payload; only the *wire*
+        fate is re-drawn per attempt.
+        """
+        injector = self.injector or FaultInjector()
+        policy = self.retry_policy
+        op_id = injector.begin_op("relayout")
+        n_io = len(self.cluster.io)
+        with open_span(
+            "relayout", transfers=len(plan.transfers), length=length, op_id=op_id
+        ) as root:
+            sim_msgs: List[SimMessage] = []
+            bytes_moved = 0
+            cross = 0
+            degraded = False
+            for t in plan.transfers:
+                src_len = old.element_length(t.src_element, length)
+                dst_len = new_physical.element_length(t.dst_element, length)
+                if src_len == 0 or dst_len == 0:
+                    continue
+                src_segs = t.src_projection.segments_in(0, src_len - 1)
+                dst_segs = t.dst_projection.segments_in(0, dst_len - 1)
+                nbytes = int(src_segs[1].sum()) if src_segs[1].size else 0
+                if nbytes == 0:
+                    continue
+
+                # Source side: first live replica serves the gather.
+                src_replicas = [src_stores[t.src_element]]
+                if src_mirrors:
+                    src_replicas += list(src_mirrors[t.src_element])
+                src_nodes = replica_nodes(
+                    t.src_element, len(src_replicas), n_io
+                )
+                src_live = [
+                    (r, n)
+                    for r, n in enumerate(src_nodes)
+                    if not injector.node_crashed(n, op_id)
+                ]
+                if not src_live:
+                    raise NoLiveReplica(
+                        f"all {len(src_replicas)} replica(s) of source "
+                        f"subfile {t.src_element} are down"
+                    )
+                r_src, src_node_idx = src_live[0]
+                if r_src != 0:
+                    obs_metrics.inc("faults.failover.reads")
+                    root.child(
+                        "failover",
+                        subfile=t.src_element,
+                        from_node=src_nodes[0],
+                        to_node=src_node_idx,
+                        replica=r_src,
+                    )
+
+                # Destination side: every live replica gets the bytes.
+                dst_replicas = [dst_stores[t.dst_element]]
+                if dst_mirrors:
+                    dst_replicas += list(dst_mirrors[t.dst_element])
+                dst_nodes = replica_nodes(
+                    t.dst_element, len(dst_replicas), n_io
+                )
+                dst_live = [
+                    (r, n)
+                    for r, n in enumerate(dst_nodes)
+                    if not injector.node_crashed(n, op_id)
+                ]
+                if not dst_live:
+                    raise NoLiveReplica(
+                        f"all {len(dst_replicas)} replica(s) of destination "
+                        f"subfile {t.dst_element} are down"
+                    )
+                if len(dst_live) < len(dst_replicas):
+                    degraded = True
+
+                with open_span(
+                    "move",
+                    src=t.src_element,
+                    dst=t.dst_element,
+                    bytes=nbytes,
+                ) as mv:
+                    payload = gather_segments(
+                        src_replicas[r_src].view(0, src_len - 1), src_segs
+                    )
+                    crc = None  # stamped lazily on first corruption
+                    attempt = 0
+                    extra_s = 0.0
+                    delay_s = 0.0
+                    while True:
+                        fate, delay_s = injector.message_fate(
+                            op_id,
+                            "relayout",
+                            t.src_element,
+                            t.dst_element,
+                            attempt,
+                        )
+                        if fate == "corrupt":
+                            if crc is None:
+                                crc = checksum(payload)
+                            received = injector.corrupt_payload(
+                                payload,
+                                op_id,
+                                "relayout",
+                                t.src_element,
+                                t.dst_element,
+                                attempt,
+                            )
+                            if checksum(received) == crc:
+                                fate = "ok"  # empty: nothing to flip
+                            else:
+                                obs_metrics.inc("faults.checksum_failures")
+                        if fate == "ok":
+                            break
+                        attempt += 1
+                        if attempt > policy.max_retries:
+                            raise RetryBudgetExceeded(
+                                f"relayout transfer {t.src_element}->"
+                                f"{t.dst_element} still failing after "
+                                f"{policy.max_retries} retries"
+                            )
+                        obs_metrics.inc("faults.retry.messages")
+                        extra_s += policy.timeout_s + policy.backoff_s(
+                            attempt - 1,
+                            seed=injector.plan.seed,
+                            token=(
+                                "relayout",
+                                op_id,
+                                t.src_element,
+                                t.dst_element,
+                            ),
+                        )
+                    if attempt:
+                        obs_metrics.inc("faults.retry.rounds", attempt)
+                        mv.child("retry", messages=attempt, rounds=attempt)
+                    for r_dst, _node in dst_live:
+                        scatter_segments(
+                            dst_replicas[r_dst].view(0, dst_len - 1),
+                            dst_segs,
+                            payload,
+                        )
+                bytes_moved += nbytes
+
+                # Simulated timing: read once at the live source, wire
+                # to each live destination replica, write there.
+                src_node = self.cluster.io[src_node_idx]
+                read_s = write_time_for_segments(
+                    src_node.disk,
+                    zip(src_segs[0].tolist(), src_segs[1].tolist()),
+                ) * injector.disk_factor(src_node_idx)
+                first = True
+                for _r_dst, dst_node_idx in dst_live:
+                    dst_node = self.cluster.io[dst_node_idx]
+                    if src_node_idx != dst_node_idx:
+                        wire_s = self.cluster.network.send_time(
+                            src_node.name, dst_node.name, nbytes
+                        )
+                        cross += 1
+                    else:
+                        wire_s = 0.0
+                    write_s = write_time_for_segments(
+                        dst_node.disk,
+                        zip(dst_segs[0].tolist(), dst_segs[1].tolist()),
+                    ) * injector.disk_factor(dst_node_idx)
+                    sim_msgs.append(
+                        SimMessage(
+                            key=t.dst_element,
+                            lane=("disk-read", src_node_idx),
+                            lane_s=read_s if first else 0.0,
+                            post_lane_s=wire_s + delay_s + extra_s,
+                            stages=((dst_node.disk_queue, write_s, "disk"),),
+                        )
+                    )
+                    first = False
+
+            with open_span("transport", messages=cross) as tspan:
+                done = self.transport.run(sim_msgs, trace_span=tspan)
+            makespan_s = max(done.get("disk", {}).values(), default=0.0)
+            root.annotate(
+                bytes_moved=bytes_moved,
+                makespan_s=makespan_s,
+                degraded=degraded,
+            )
+            if degraded:
+                obs_metrics.inc("faults.degraded.writes")
+        obs_metrics.inc("engine.relayout.ops")
+        obs_metrics.inc("engine.relayout.bytes_moved", bytes_moved)
+        obs_metrics.inc("engine.relayout.cross_node_messages", cross)
+        return bytes_moved, cross, makespan_s, root
+
 
 # --------------------------------------------------------------------------
 # Memory-memory shuffle (collective phase 1, checkpoint resharding)
@@ -662,6 +1439,8 @@ class ShuffleResult:
     #: Modelled parallel alpha-beta exchange time (0.0 with no network).
     time_s: float
     trace: Optional[Span] = None
+    #: Transfer retransmissions forced by injected faults.
+    retries: int = 0
 
 
 def run_shuffle(
@@ -670,6 +1449,8 @@ def run_shuffle(
     file_length: int,
     network: Optional[NetworkModel] = None,
     parallel: bool = False,
+    injector: Optional[FaultInjector] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> ShuffleResult:
     """Execute a redistribution plan in memory through the engine.
 
@@ -678,14 +1459,96 @@ def run_shuffle(
     network model is supplied.  Used by two-phase collective I/O
     (phase-1 shuffle) and by checkpoint resharding (no network — ranks
     convert their own pieces).
+
+    With an injector, each transfer's packed payload is checksummed and
+    its wire fate drawn per attempt; dropped/corrupt transfers re-send
+    the same packed bytes (source buffers are never modified by the
+    shuffle, so the re-gather is idempotent) until the retry budget
+    runs out.  Injector ``None`` is the exact pre-faults path.
     """
-    with open_span(
-        "shuffle", transfers=len(plan.transfers), file_length=file_length
-    ) as root:
-        with open_span("move"):
-            buffers = execute_plan(
-                plan, src_buffers, file_length, parallel=parallel
+    if injector is None:
+        with open_span(
+            "shuffle", transfers=len(plan.transfers), file_length=file_length
+        ) as root:
+            with open_span("move"):
+                buffers = execute_plan(
+                    plan, src_buffers, file_length, parallel=parallel
+                )
+            transport = DirectTransport(network)
+            messages, off_node_bytes, time_s = transport.cost(
+                (t.src_element, t.dst_element, t.bytes_in_file(file_length))
+                for t in plan.transfers
             )
+            root.annotate(
+                messages=messages,
+                off_node_bytes=off_node_bytes,
+                time_us=time_s * 1e6,
+            )
+        obs_metrics.inc("engine.shuffle.ops")
+        obs_metrics.inc("engine.shuffle.messages", messages)
+        obs_metrics.inc("engine.shuffle.off_node_bytes", off_node_bytes)
+        return ShuffleResult(buffers, messages, off_node_bytes, time_s, root)
+
+    policy = retry_policy or RetryPolicy()
+    op_id = injector.begin_op("shuffle")
+    retries = 0
+    with open_span(
+        "shuffle",
+        transfers=len(plan.transfers),
+        file_length=file_length,
+        op_id=op_id,
+    ) as root:
+        buffers = [
+            np.zeros(plan.dst.element_length(j, file_length), dtype=np.uint8)
+            for j in range(plan.dst.num_elements)
+        ]
+        with open_span("move"):
+            for t in plan.transfers:
+                src_len = src_buffers[t.src_element].size
+                dst_len = buffers[t.dst_element].size
+                if src_len == 0 or dst_len == 0:
+                    continue
+                src_segs = t.src_projection.segments_in(0, src_len - 1)
+                dst_segs = t.dst_projection.segments_in(0, dst_len - 1)
+                nbytes = int(src_segs[1].sum()) if src_segs[1].size else 0
+                if nbytes == 0:
+                    continue
+                packed = gather_segments(src_buffers[t.src_element], src_segs)
+                crc = None  # stamped lazily on first corruption
+                attempt = 0
+                while True:
+                    fate, _delay_s = injector.message_fate(
+                        op_id, "shuffle", t.src_element, t.dst_element, attempt
+                    )
+                    if fate == "corrupt":
+                        if crc is None:
+                            crc = checksum(packed)
+                        received = injector.corrupt_payload(
+                            packed,
+                            op_id,
+                            "shuffle",
+                            t.src_element,
+                            t.dst_element,
+                            attempt,
+                        )
+                        if checksum(received) == crc:
+                            fate = "ok"  # empty: nothing to flip
+                        else:
+                            obs_metrics.inc("faults.checksum_failures")
+                    if fate == "ok":
+                        break
+                    attempt += 1
+                    if attempt > policy.max_retries:
+                        raise RetryBudgetExceeded(
+                            f"shuffle transfer {t.src_element}->"
+                            f"{t.dst_element} still failing after "
+                            f"{policy.max_retries} retries"
+                        )
+                    obs_metrics.inc("faults.retry.messages")
+                scatter_segments(buffers[t.dst_element], dst_segs, packed)
+                if attempt:
+                    retries += attempt
+                    root.child("retry", messages=attempt)
         transport = DirectTransport(network)
         messages, off_node_bytes, time_s = transport.cost(
             (t.src_element, t.dst_element, t.bytes_in_file(file_length))
@@ -695,8 +1558,11 @@ def run_shuffle(
             messages=messages,
             off_node_bytes=off_node_bytes,
             time_us=time_s * 1e6,
+            retries=retries,
         )
     obs_metrics.inc("engine.shuffle.ops")
     obs_metrics.inc("engine.shuffle.messages", messages)
     obs_metrics.inc("engine.shuffle.off_node_bytes", off_node_bytes)
-    return ShuffleResult(buffers, messages, off_node_bytes, time_s, root)
+    return ShuffleResult(
+        buffers, messages, off_node_bytes, time_s, root, retries
+    )

@@ -57,21 +57,52 @@ class SubfileStore:
     def data(self) -> np.ndarray:
         return self._data[: self.length]
 
+    def flush(self, sync: bool = False) -> None:
+        """Persist buffered contents (no-op for the in-memory store)."""
+
+    def close(self) -> None:
+        """Release backing resources (no-op for the in-memory store)."""
+
 
 @dataclass
 class ClusterFile:
     """An open Clusterfile file: displacement + physical partition +
-    per-subfile stores."""
+    per-subfile stores.
+
+    With ``replication > 1`` each subfile additionally keeps
+    ``replication - 1`` mirror stores (``mirrors[s]``), placed on
+    distinct I/O nodes by :func:`repro.faults.replica.replica_nodes`;
+    ``stores[s]`` remains the primary replica, so every consumer of the
+    unreplicated model keeps working unchanged.
+    """
 
     name: str
     physical: Partition
     stores: List[SubfileStore] = field(default_factory=list)
+    replication: int = 1
+    #: ``mirrors[s]`` holds subfile ``s``'s non-primary replica stores.
+    mirrors: List[List[SubfileStore]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.stores:
             self.stores = [
                 SubfileStore(s) for s in range(self.physical.num_elements)
             ]
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication}"
+            )
+        if self.replication > 1 and not self.mirrors:
+            self.mirrors = [
+                [SubfileStore(s) for _ in range(self.replication - 1)]
+                for s in range(self.physical.num_elements)
+            ]
+
+    def replica_stores(self, subfile: int) -> List[SubfileStore]:
+        """All stores holding a subfile, primary first."""
+        if self.replication == 1:
+            return [self.stores[subfile]]
+        return [self.stores[subfile], *self.mirrors[subfile]]
 
     @property
     def displacement(self) -> int:

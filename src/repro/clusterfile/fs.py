@@ -16,6 +16,7 @@ examples (write a matrix through views, read it back linearly).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
@@ -38,10 +39,18 @@ class Clusterfile:
     default) or in real files via
     :class:`repro.clusterfile.storage.FileStorage`; timings always come
     from the era device models either way.
+
+    ``fault_injector`` / ``retry_policy`` switch every data operation
+    onto the engine's robust path (checksums, retries, failover); both
+    ``None`` — the default — runs the exact fault-free code.
     """
 
     config: ClusterConfig = field(default_factory=ClusterConfig)
     storage: object = None
+    #: A :class:`repro.faults.FaultInjector`, or ``None`` (no faults).
+    fault_injector: object = None
+    #: A :class:`repro.faults.RetryPolicy`, or ``None`` (defaults).
+    retry_policy: object = None
 
     def __post_init__(self) -> None:
         self.cluster = Cluster(self.config)
@@ -54,17 +63,43 @@ class Clusterfile:
 
     # -- namespace -----------------------------------------------------------
 
-    def create(self, name: str, physical: Partition) -> ClusterFile:
-        """Create a file physically partitioned by ``physical``."""
+    def create(
+        self, name: str, physical: Partition, replication: int = 1
+    ) -> ClusterFile:
+        """Create a file physically partitioned by ``physical``.
+
+        ``replication`` keeps that many copies of every subfile on
+        distinct I/O nodes (see :mod:`repro.faults.replica`): reads
+        fail over when the primary's node is down, writes degrade
+        gracefully.
+        """
         if name in self.files:
             raise FileExistsError(name)
         if physical.num_elements > self.config.io_nodes * 64:
             raise ValueError("too many subfiles for this cluster")
+        if not 1 <= replication <= self.config.io_nodes:
+            raise ValueError(
+                f"replication {replication} needs 1 <= k <= io_nodes "
+                f"({self.config.io_nodes})"
+            )
         stores = [
             self.storage.make_store(name, s)
             for s in range(physical.num_elements)
         ]
-        f = ClusterFile(name=name, physical=physical, stores=stores)
+        mirrors = [
+            [
+                self.storage.make_store(f"{name}.r{r}", s)
+                for r in range(1, replication)
+            ]
+            for s in range(physical.num_elements)
+        ]
+        f = ClusterFile(
+            name=name,
+            physical=physical,
+            stores=stores,
+            replication=replication,
+            mirrors=mirrors,
+        )
         self.files[name] = f
         return f
 
@@ -73,8 +108,21 @@ class Clusterfile:
         return self.files[name]
 
     def unlink(self, name: str) -> None:
-        """Remove a file and its subfile stores."""
-        del self.files[name]
+        """Remove a file and its subfile stores.
+
+        File-backed stores are durably flushed, closed, and their
+        backing files deleted; the in-memory backend's flush/close are
+        no-ops.
+        """
+        f = self.files.pop(name)
+        for store in [
+            st for st in f.stores
+        ] + [st for group in f.mirrors for st in group]:
+            store.flush(sync=True)
+            store.close()
+            path = getattr(store, "path", None)
+            if path is not None and os.path.exists(path):
+                os.remove(path)
 
     # -- views ---------------------------------------------------------------
 
@@ -119,7 +167,14 @@ class Clusterfile:
             )
             for node, off, data in accesses
         ]
-        return parallel_write(self.cluster, f, requests, to_disk=to_disk)
+        return parallel_write(
+            self.cluster,
+            f,
+            requests,
+            to_disk=to_disk,
+            injector=self.fault_injector,
+            retry_policy=self.retry_policy,
+        )
 
     def read(
         self,
@@ -140,7 +195,14 @@ class Clusterfile:
             )
             for (node, off, length), buf in zip(accesses, buffers)
         ]
-        parallel_read(self.cluster, f, requests, from_disk=from_disk)
+        parallel_read(
+            self.cluster,
+            f,
+            requests,
+            from_disk=from_disk,
+            injector=self.fault_injector,
+            retry_policy=self.retry_policy,
+        )
         return buffers
 
     def read_with_result(
@@ -162,7 +224,14 @@ class Clusterfile:
             )
             for (node, off, length), buf in zip(accesses, buffers)
         ]
-        result = parallel_read(self.cluster, f, requests, from_disk=from_disk)
+        result = parallel_read(
+            self.cluster,
+            f,
+            requests,
+            from_disk=from_disk,
+            injector=self.fault_injector,
+            retry_policy=self.retry_policy,
+        )
         return buffers, result
 
     # -- verification helpers --------------------------------------------

@@ -47,6 +47,10 @@ class RelayoutResult:
     was_identity: bool
     #: Span tree of the re-layout (see :mod:`repro.obs`).
     trace: object = None
+    #: Transfer retransmissions forced by injected faults.
+    retries: int = 0
+    #: Source reads served by a non-primary replica.
+    failed_over: int = 0
 
 
 def relayout(
@@ -65,28 +69,49 @@ def relayout(
 
     # New stores come from the deployment's storage backend, under a
     # scratch name first (on-disk backends must not clobber the old
-    # subfiles while they are still being read).
+    # subfiles while they are still being read).  A replicated file gets
+    # a full set of new mirror stores too.
     new_stores = [
         fs.storage.make_store(f"{name}.relayout", s)
+        for s in range(new_physical.num_elements)
+    ]
+    new_mirrors = [
+        [
+            fs.storage.make_store(f"{name}.relayout.r{r}", s)
+            for r in range(1, cfile.replication)
+        ]
         for s in range(new_physical.num_elements)
     ]
 
     cluster: Cluster = fs.cluster
     bytes_moved, cross, makespan_s, trace = IOEngine(
-        cluster
-    ).relayout_transfers(plan, old, new_physical, length, cfile.stores, new_stores)
+        cluster, fs.fault_injector, fs.retry_policy
+    ).relayout_transfers(
+        plan,
+        old,
+        new_physical,
+        length,
+        cfile.stores,
+        new_stores,
+        src_mirrors=cfile.mirrors if cfile.replication > 1 else None,
+        dst_mirrors=new_mirrors if cfile.replication > 1 else None,
+    )
 
-    # Swap in the new layout; file-backed old subfiles are deleted from
-    # disk (their bytes now live in the new stores).
-    for store in cfile.stores:
+    # Swap in the new layout; file-backed old subfiles (and their
+    # mirrors) are deleted from disk — their bytes now live in the new
+    # stores.
+    import os
+
+    for store in list(cfile.stores) + [
+        st for group in cfile.mirrors for st in group
+    ]:
+        store.close()
         path = getattr(store, "path", None)
-        if path is not None:
-            import os
-
-            if os.path.exists(path):
-                os.unlink(path)
+        if path is not None and os.path.exists(path):
+            os.unlink(path)
     cfile.physical = new_physical
     cfile.stores = new_stores
+    cfile.mirrors = new_mirrors
     # Invalidate every view on this file.
     for key in [k for k in fs.views if k[0] == name]:
         del fs.views[key]
@@ -99,4 +124,9 @@ def relayout(
         disk_busy_s={n.index: n.disk_queue.busy_time for n in cluster.io},
         was_identity=plan.is_identity,
         trace=trace,
+        retries=sum(
+            int(sp.attrs.get("messages", 0))
+            for sp in trace.find_all("retry")
+        ),
+        failed_over=len(trace.find_all("failover")),
     )

@@ -23,6 +23,7 @@ from typing import Tuple
 import numpy as np
 
 from ..core.periodic import PeriodicFallsSet
+from ..faults import ChecksumError, checksum
 from ..redistribution.gather_scatter import gather_segments, scatter_segments
 from ..simulation.cluster import ClusterConfig, IONode
 from ..simulation.disk import write_time_for_segments
@@ -58,8 +59,17 @@ class IOServer:
         payload: np.ndarray,
         proj_subfile: PeriodicFallsSet,
         to_disk: bool,
+        crc: int | None = None,
     ) -> RequestCost:
-        """Handle one write request (§8.1, second pseudocode fragment)."""
+        """Handle one write request (§8.1, second pseudocode fragment).
+
+        When the message carries a checksum (``crc``, the CRC32 the
+        sender computed at gather time) it is verified here, *before*
+        the scatter: a corrupt payload raises
+        :class:`~repro.faults.errors.ChecksumError` and leaves the
+        subfile store untouched, so the engine's retransmit is
+        idempotent.
+        """
         if r_s < l_s:
             raise ValueError(f"bad subfile window [{l_s}, {r_s}]")
         segs = proj_subfile.segments_in(l_s, r_s)
@@ -69,6 +79,11 @@ class IOServer:
             raise ValueError(
                 f"payload holds {payload.size} bytes but the projection "
                 f"selects {nbytes} in [{l_s}, {r_s}]"
+            )
+        if crc is not None and checksum(payload) != crc:
+            raise ChecksumError(
+                f"subfile {self.store.subfile}: payload checksum mismatch "
+                f"in [{l_s}, {r_s}]"
             )
         if nbytes == 0:
             return RequestCost(0.0, 0.0, 0, 0)

@@ -60,7 +60,22 @@ class FileBackedStore(SubfileStore):
     def _capacity(self) -> int:
         return 0 if self._map is None else int(self._map.size)
 
+    def _reopen(self) -> None:
+        """Re-map the backing file after :meth:`close`.
+
+        Without this, a closed store reports capacity 0 and the next
+        growth would truncate an existing larger file — silently losing
+        whatever was persisted.  Re-mapping first makes close/reopen
+        (and reopen-after-crash) round-trip losslessly.
+        """
+        if self._map is None and os.path.exists(self.path):
+            size = os.path.getsize(self.path)
+            if size:
+                self._map = np.memmap(self.path, dtype=np.uint8, mode="r+")
+                self.length = max(self.length, size)
+
     def _ensure(self, length: int) -> None:
+        self._reopen()
         if length > self._capacity():
             new_cap = max(
                 length,
@@ -87,6 +102,7 @@ class FileBackedStore(SubfileStore):
     def read(self, lo: int, hi: int) -> np.ndarray:
         if lo < 0 or hi < lo:
             raise ValueError(f"bad subfile window [{lo}, {hi}]")
+        self._reopen()
         out = np.zeros(hi - lo + 1, dtype=np.uint8)
         avail = min(self.length, hi + 1)
         if self._map is not None and avail > lo:
@@ -95,13 +111,34 @@ class FileBackedStore(SubfileStore):
 
     @property
     def data(self) -> np.ndarray:
+        self._reopen()
         if self._map is None:
             return np.zeros(0, dtype=np.uint8)
         return np.asarray(self._map[: self.length])
 
-    def flush(self) -> None:
+    def flush(self, sync: bool = False) -> None:
+        """Write dirty pages back; with ``sync=True`` also ``fsync`` the
+        backing file so the bytes survive a machine crash, not just a
+        process crash."""
         if self._map is not None:
             self._map.flush()
+        if sync and os.path.exists(self.path):
+            fd = os.open(self.path, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+    def close(self) -> None:
+        """Flush and release the memmap.
+
+        The store stays usable: the next access re-maps the backing
+        file (see :meth:`_reopen`), which is exactly the
+        reopen-after-crash path a recovering I/O node takes.
+        """
+        if self._map is not None:
+            self._map.flush()
+            self._map = None
 
 
 class FileStorage:

@@ -1,0 +1,40 @@
+"""Failure-handling exception hierarchy.
+
+Every error the robustness layer can surface derives from
+:class:`FaultError`, so callers that want "any injected-fault outcome"
+catch one type.  The distinction that matters operationally:
+
+* :class:`ChecksumError` — a payload arrived but its CRC32 does not
+  match; the receiver must *not* apply it (raised before any store or
+  user buffer is touched, so retries are idempotent);
+* :class:`RetryBudgetExceeded` — the retry policy gave up; the
+  operation made no partial progress visible to the caller;
+* :class:`NoLiveReplica` — every I/O node holding a replica of the
+  required subfile is crashed; with replication k=1 this is any crash
+  of the owning node.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "ChecksumError",
+    "RetryBudgetExceeded",
+    "NoLiveReplica",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for failures surfaced by the fault-handling layer."""
+
+
+class ChecksumError(FaultError):
+    """A payload's CRC32 does not match the checksum it was sent with."""
+
+
+class RetryBudgetExceeded(FaultError):
+    """The retry policy's attempt budget ran out before success."""
+
+
+class NoLiveReplica(FaultError):
+    """No live I/O node holds a replica of the required subfile."""

@@ -1,0 +1,65 @@
+"""Replica subfile placement.
+
+A replicated Clusterfile file keeps ``k`` copies of every subfile on
+``k`` distinct I/O nodes.  Placement composes the existing subfile→node
+MAP (round-robin, ``subfile % io_nodes``, the same function
+:meth:`repro.simulation.cluster.Cluster.io_node_for` applies) with a
+rotation: replica ``r`` of subfile ``s`` lives on node ``(s + r) %
+io_nodes``.  Rotating rather than mirroring pairs spreads each node's
+replica load over its successors, so losing one node degrades every
+subfile it carried to ``k-1`` live copies instead of concentrating the
+loss.
+
+Reads are served by the lowest-index *live* replica (the primary,
+``r=0``, unless its node is crashed — then the read **fails over**);
+writes go to every live replica and are **degraded** when fewer than
+``k`` are live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..core.partition import Partition
+
+__all__ = ["ReplicatedPartition", "replica_nodes"]
+
+
+def replica_nodes(subfile: int, k: int, io_nodes: int) -> Tuple[int, ...]:
+    """The I/O-node indices holding replicas 0..k-1 of a subfile."""
+    if not 1 <= k <= io_nodes:
+        raise ValueError(
+            f"replication {k} needs 1 <= k <= io_nodes ({io_nodes})"
+        )
+    primary = subfile % io_nodes
+    if k == 1:  # the unreplicated common case, on the engine's hot path
+        return (primary,)
+    return tuple((primary + r) % io_nodes for r in range(k))
+
+
+@dataclass(frozen=True)
+class ReplicatedPartition:
+    """A physical partition plus its replication degree.
+
+    Thin and declarative: the byte layout is entirely the base
+    partition's; this type only adds how many copies of each subfile
+    exist and where they live.
+    """
+
+    base: Partition
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"replication must be >= 1, got {self.k}")
+
+    @property
+    def num_subfiles(self) -> int:
+        return self.base.num_elements
+
+    def nodes_for(self, subfile: int, io_nodes: int) -> Tuple[int, ...]:
+        """Replica placement for one subfile on a cluster of given size."""
+        if not 0 <= subfile < self.base.num_elements:
+            raise ValueError(f"no subfile {subfile}")
+        return replica_nodes(subfile, self.k, io_nodes)

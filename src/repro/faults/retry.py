@@ -1,0 +1,69 @@
+"""Retry policy: timeout, capped exponential backoff, retry budget.
+
+The engine drives retries round by round: every message whose attempt
+failed (dropped, checksum-rejected) is retransmitted after the sender's
+timeout plus a backoff that grows exponentially per round, capped, and
+jittered *deterministically* — the jitter draw hashes the fault-plan
+seed and the operation id, so a chaos run's simulated timeline is as
+reproducible as its fault schedule.
+
+The budget is per message: :attr:`RetryPolicy.max_retries` retransmits
+after the initial attempt.  Exhausting it raises
+:class:`~repro.faults.errors.RetryBudgetExceeded` — no partial result
+escapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .injector import _unit
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout and backoff parameters for engine-driven retries."""
+
+    #: Sender-side wait before declaring an attempt lost, seconds.
+    timeout_s: float = 0.005
+    #: Backoff before the first retransmit, seconds.
+    base_backoff_s: float = 0.001
+    #: Growth factor per retry round.
+    backoff_factor: float = 2.0
+    #: Backoff ceiling, seconds.
+    max_backoff_s: float = 0.050
+    #: Retransmits allowed per message after the initial attempt.
+    max_retries: int = 5
+    #: Jitter amplitude as a fraction of the backoff (0 disables).
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.timeout_s < 0 or self.base_backoff_s < 0:
+            raise ValueError("timeout_s and base_backoff_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ValueError("max_backoff_s must be >= base_backoff_s")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, round_index: int, seed: int = 0, token=()) -> float:
+        """Backoff before retry round ``round_index`` (0-based).
+
+        Capped exponential with deterministic jitter: the same seed and
+        token always produce the same wait.
+        """
+        raw = min(
+            self.base_backoff_s * self.backoff_factor**round_index,
+            self.max_backoff_s,
+        )
+        if self.jitter:
+            spread = 2.0 * _unit(seed, "backoff", round_index, *token) - 1.0
+            raw *= 1.0 + self.jitter * spread
+        return raw

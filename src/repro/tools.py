@@ -120,6 +120,60 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from .faults.chaos import run_sweep
+
+    seeds = (
+        [args.seed]
+        if args.seed is not None
+        else list(range(args.seeds))
+    )
+    reports, all_ok = run_sweep(
+        seeds,
+        n_bytes=args.n,
+        nprocs=args.nprocs,
+        replication=args.replication,
+        drop=args.drop,
+        corrupt=args.corrupt,
+        delay_s=args.delay,
+        crash_node=args.crash_node,
+        crash_after=args.crash_after,
+        slow_node=args.slow_node,
+        slow_factor=args.slow_factor,
+    )
+    for report in reports:
+        verdict = "OK " if report["ok"] else "FAIL"
+        print(f"[{verdict}] seed {report['seed']}:")
+        for name, p in report["paths"].items():
+            print(
+                f"    {name:<11} ok={str(p['ok']):<5} "
+                f"retries={p['retries']} failed_over={p['failed_over']} "
+                f"degraded={p['degraded']}"
+            )
+        print(
+            "    recovery-latency overhead "
+            f"{report['recovery_latency_overhead'] * 100:+.1f}%"
+        )
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(reports, f, indent=2)
+        print(f"\nreports -> {args.json}")
+    if not all_ok:
+        failing = [r for r in reports if not r["ok"]]
+        with open(args.fail_plan, "w") as f:
+            f.write(failing[0]["plan"])
+        print(
+            f"FAILED: byte mismatch under seed(s) "
+            f"{[r['seed'] for r in failing]}; "
+            f"first failing FaultPlan -> {args.fail_plan}"
+        )
+        return 1
+    print(f"\nall {len(reports)} seed(s): four data paths byte-identical")
+    return 0
+
+
 def _cmd_figure3(_args) -> int:
     p = Partition(
         [Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)],
@@ -168,6 +222,33 @@ def main(argv=None) -> int:
         "--chrome", help="write a chrome://tracing / Perfetto file here"
     )
     pt.set_defaults(fn=_cmd_trace)
+
+    pc = sub.add_parser(
+        "chaos", help="seeded fault-injection sweep over all data paths"
+    )
+    pc.add_argument(
+        "--seeds", type=int, default=3, help="sweep seeds 0..N-1 (default 3)"
+    )
+    pc.add_argument(
+        "--seed", type=int, default=None, help="run one specific seed"
+    )
+    pc.add_argument("--n", type=int, default=4096, help="file bytes")
+    pc.add_argument("--nprocs", type=int, default=4)
+    pc.add_argument("--replication", type=int, default=2)
+    pc.add_argument("--drop", type=float, default=0.05)
+    pc.add_argument("--corrupt", type=float, default=0.05)
+    pc.add_argument("--delay", type=float, default=0.0)
+    pc.add_argument("--crash-node", type=int, default=None)
+    pc.add_argument("--crash-after", type=int, default=0)
+    pc.add_argument("--slow-node", type=int, default=None)
+    pc.add_argument("--slow-factor", type=float, default=1.0)
+    pc.add_argument("--json", help="write the per-seed reports here")
+    pc.add_argument(
+        "--fail-plan",
+        default="chaos-failing-plan.json",
+        help="where to save the failing FaultPlan JSON (on mismatch)",
+    )
+    pc.set_defaults(fn=_cmd_chaos)
 
     pf = sub.add_parser("figure3", help="draw the paper's figure 3")
     pf.set_defaults(fn=_cmd_figure3)

@@ -1,0 +1,53 @@
+"""Replica placement: rotation, distinctness, validation."""
+
+import pytest
+
+from repro import round_robin
+from repro.faults import ReplicatedPartition, replica_nodes
+
+
+class TestReplicaNodes:
+    def test_primary_matches_round_robin_map(self):
+        for subfile in range(8):
+            assert replica_nodes(subfile, 1, 4) == (subfile % 4,)
+
+    def test_rotation_spreads_replicas(self):
+        assert replica_nodes(0, 3, 4) == (0, 1, 2)
+        assert replica_nodes(3, 3, 4) == (3, 0, 1)
+        assert replica_nodes(5, 2, 4) == (1, 2)
+
+    def test_replicas_land_on_distinct_nodes(self):
+        for subfile in range(16):
+            for k in range(1, 5):
+                nodes = replica_nodes(subfile, k, 4)
+                assert len(set(nodes)) == k
+
+    def test_k_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            replica_nodes(0, 0, 4)
+        with pytest.raises(ValueError):
+            replica_nodes(0, 5, 4)
+
+    def test_node_loss_degrades_every_subfile_by_at_most_one(self):
+        # Rotation guarantees a crashed node holds at most one replica
+        # of any subfile, so k=2 always leaves a live copy.
+        down = 2
+        for subfile in range(16):
+            nodes = replica_nodes(subfile, 2, 4)
+            assert sum(1 for n in nodes if n == down) <= 1
+
+
+class TestReplicatedPartition:
+    def test_wraps_base_partition(self):
+        rp = ReplicatedPartition(round_robin(4, 8), k=2)
+        assert rp.num_subfiles == 4
+        assert rp.nodes_for(1, 4) == (1, 2)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedPartition(round_robin(4, 8), k=0)
+
+    def test_unknown_subfile_rejected(self):
+        rp = ReplicatedPartition(round_robin(4, 8), k=2)
+        with pytest.raises(ValueError):
+            rp.nodes_for(4, 4)

@@ -1,0 +1,62 @@
+"""RetryPolicy: backoff growth, capping, deterministic jitter."""
+
+import pytest
+
+from repro.faults import RetryPolicy
+
+
+class TestValidation:
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=-1.0)
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_s=0.1, max_backoff_s=0.01)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        p = RetryPolicy(
+            base_backoff_s=0.001,
+            backoff_factor=2.0,
+            max_backoff_s=1.0,
+            jitter=0.0,
+        )
+        assert p.backoff_s(0) == pytest.approx(0.001)
+        assert p.backoff_s(1) == pytest.approx(0.002)
+        assert p.backoff_s(3) == pytest.approx(0.008)
+
+    def test_cap_applies(self):
+        p = RetryPolicy(
+            base_backoff_s=0.001,
+            backoff_factor=2.0,
+            max_backoff_s=0.004,
+            jitter=0.0,
+        )
+        assert p.backoff_s(10) == pytest.approx(0.004)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        p = RetryPolicy(base_backoff_s=0.010, max_backoff_s=0.010, jitter=0.25)
+        for round_index in range(6):
+            a = p.backoff_s(round_index, seed=42, token=("w", 3))
+            b = p.backoff_s(round_index, seed=42, token=("w", 3))
+            assert a == b  # same seed+token -> same wait
+            assert 0.0075 <= a <= 0.0125  # within +/- jitter of the base
+
+    def test_jitter_varies_with_seed(self):
+        p = RetryPolicy(jitter=0.25)
+        waits = {p.backoff_s(0, seed=s, token=("w",)) for s in range(8)}
+        assert len(waits) > 1

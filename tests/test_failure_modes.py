@@ -25,7 +25,25 @@ from repro import (
     unmap_offset,
 )
 from repro.clusterfile import Clusterfile, WriteRequest
+from repro.clusterfile.storage import FileBackedStore, FileStorage
 from repro.simulation import ClusterConfig
+from repro.simulation.events import EventQueue
+
+
+@pytest.fixture(params=["memory", "file"])
+def make_fs(request, tmp_path):
+    """A Clusterfile factory over both storage backends — every edge
+    behaviour must hold whether subfiles live in memory or on disk."""
+
+    def _make(config=None):
+        storage = (
+            FileStorage(str(tmp_path / "subfiles"))
+            if request.param == "file"
+            else None
+        )
+        return Clusterfile(config or ClusterConfig(), storage=storage)
+
+    return _make
 
 
 class TestDegenerateStructures:
@@ -91,22 +109,36 @@ class TestMappingBoundaries:
 
 
 class TestClusterfileEdges:
-    def test_zero_byte_interval_rejected(self):
-        fs = Clusterfile(ClusterConfig())
+    def test_zero_byte_interval_rejected(self, make_fs):
+        fs = make_fs()
         fs.create("f", round_robin(4, 4))
         fs.set_view("f", 0, round_robin(4, 4))
         with pytest.raises(ValueError):
             WriteRequest(fs.view_of("f", 0), 5, 4, np.zeros(0, np.uint8))
 
-    def test_buffer_interval_mismatch_rejected(self):
-        fs = Clusterfile(ClusterConfig())
+    def test_buffer_interval_mismatch_rejected(self, make_fs):
+        fs = make_fs()
         fs.create("f", round_robin(4, 4))
         v = fs.set_view("f", 0, round_robin(4, 4))
         with pytest.raises(ValueError):
             WriteRequest(v, 0, 9, np.zeros(5, np.uint8))
 
-    def test_single_byte_write(self):
-        fs = Clusterfile(ClusterConfig())
+    def test_non_uint8_buffer_rejected(self, make_fs):
+        fs = make_fs()
+        fs.create("f", round_robin(4, 4))
+        v = fs.set_view("f", 0, round_robin(4, 4))
+        with pytest.raises(ValueError, match="uint8"):
+            WriteRequest(v, 0, 4, np.zeros(4, np.float32))
+
+    def test_non_contiguous_buffer_rejected(self, make_fs):
+        fs = make_fs()
+        fs.create("f", round_robin(4, 4))
+        v = fs.set_view("f", 0, round_robin(4, 4))
+        with pytest.raises(ValueError, match="contiguous"):
+            WriteRequest(v, 0, 4, np.zeros(8, np.uint8)[::2])
+
+    def test_single_byte_write(self, make_fs):
+        fs = make_fs()
         fs.create("f", round_robin(4, 4))
         fs.set_view("f", 1, round_robin(4, 4))
         fs.write("f", [(1, 7, np.array([99], dtype=np.uint8))])
@@ -115,25 +147,25 @@ class TestClusterfileEdges:
         got = fs.read("f", [(1, 7, 1)])[0]
         assert got.tolist() == [99]
 
-    def test_write_far_beyond_current_length(self):
-        fs = Clusterfile(ClusterConfig())
+    def test_write_far_beyond_current_length(self, make_fs):
+        fs = make_fs()
         fs.create("f", round_robin(4, 4))
         fs.set_view("f", 0, round_robin(4, 4))
         fs.write("f", [(0, 10_000, np.array([1], dtype=np.uint8))])
         got = fs.read("f", [(0, 10_000, 1)])[0]
         assert got.tolist() == [1]
 
-    def test_read_of_never_written_region_is_zero(self):
-        fs = Clusterfile(ClusterConfig())
+    def test_read_of_never_written_region_is_zero(self, make_fs):
+        fs = make_fs()
         fs.create("f", round_robin(4, 4))
         fs.set_view("f", 2, round_robin(4, 4))
         got = fs.read("f", [(2, 0, 64)])[0]
         assert not got.any()
 
-    def test_concurrent_disjoint_writes_to_same_subfile(self):
+    def test_concurrent_disjoint_writes_to_same_subfile(self, make_fs):
         # Two compute nodes write different periods of the same element
         # via distinct views - must not corrupt each other.
-        fs = Clusterfile(ClusterConfig(compute_nodes=2, io_nodes=1))
+        fs = make_fs(ClusterConfig(compute_nodes=2, io_nodes=1))
         fs.create("f", Partition([Falls(0, 7, 8, 1)]))
         whole = Partition([Falls(0, 7, 8, 1)])
         fs.set_view("f", 0, whole, element=0)
@@ -148,6 +180,87 @@ class TestClusterfileEdges:
         got = fs.linear_contents("f", 16)
         assert got[:8].tolist() == [1] * 8
         assert got[8:].tolist() == [2] * 8
+
+
+class TestFileBackedDurability:
+    """Crash/restart behaviour of the on-disk subfile backend."""
+
+    def test_reopen_after_crash_preserves_bytes(self, tmp_path):
+        path = str(tmp_path / "sub0")
+        store = FileBackedStore(0, path)
+        payload = np.arange(16, dtype=np.uint8)
+        store.view(3, 18)[:] = payload
+        store.flush(sync=True)
+        store.close()
+        # A "restarted" process maps the same file and sees the bytes.
+        reopened = FileBackedStore(0, path)
+        np.testing.assert_array_equal(reopened.read(3, 18), payload)
+
+    def test_closed_store_stays_usable(self, tmp_path):
+        # close() releases the memmap; the next access re-maps the
+        # backing file instead of treating the store as empty.
+        store = FileBackedStore(0, str(tmp_path / "sub0"))
+        store.view(0, 15)[:] = np.arange(16, dtype=np.uint8)
+        store.close()
+        np.testing.assert_array_equal(
+            store.read(0, 15), np.arange(16, dtype=np.uint8)
+        )
+
+    def test_small_write_after_reopen_does_not_truncate(self, tmp_path):
+        store = FileBackedStore(0, str(tmp_path / "sub0"))
+        store.view(0, 15)[:] = np.full(16, 7, np.uint8)
+        store.close()
+        reopened = FileBackedStore(0, str(tmp_path / "sub0"))
+        reopened.view(0, 0)[:] = 1  # tiny write must not shrink the file
+        got = reopened.read(0, 15)
+        assert got[0] == 1
+        assert got[1:].tolist() == [7] * 15
+
+    def test_flush_sync_is_idempotent(self, tmp_path):
+        store = FileBackedStore(0, str(tmp_path / "sub0"))
+        store.flush(sync=True)  # nothing mapped yet: must not raise
+        store.view(0, 3)[:] = 9
+        store.flush(sync=True)
+        store.flush(sync=True)
+        store.close()
+        store.close()
+
+    def test_unlink_removes_backing_files_and_mirrors(self, tmp_path):
+        root = tmp_path / "subfiles"
+        fs = Clusterfile(ClusterConfig(), storage=FileStorage(str(root)))
+        fs.create("f", round_robin(4, 4), replication=2)
+        fs.set_view("f", 0, round_robin(4, 4))
+        fs.write("f", [(0, 0, np.ones(4, np.uint8))], to_disk=True)
+        assert any(root.iterdir())
+        fs.unlink("f")
+        assert not any(root.iterdir())
+
+
+class TestEventQueueResumption:
+    """run(until=...) pauses the clock without losing pending events —
+    the property the engine's per-round retry timeline relies on."""
+
+    def test_run_until_pauses_and_resumes(self):
+        q = EventQueue()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            q.at(t, lambda t=t: fired.append(t))
+        assert q.run(until=1.5) == 1.5
+        assert fired == [1.0]
+        assert q.pending == 2
+        assert q.run() == 3.0
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_retransmit_scheduled_after_pause_lands_relative_to_now(self):
+        q = EventQueue()
+        fired = []
+        q.at(1.0, lambda: fired.append("attempt"))
+        q.at(3.0, lambda: fired.append("timeout"))
+        assert q.run(until=2.0) == 2.0  # paused with the timeout pending
+        # A retry scheduled mid-timeline is relative to the paused clock.
+        q.schedule(0.5, lambda: fired.append("retry"))
+        assert q.run() == pytest.approx(3.0)
+        assert fired == ["attempt", "retry", "timeout"]
 
 
 class TestPeriodicEdges:
