@@ -61,7 +61,7 @@ from ..faults import (
 )
 from ..obs import metrics as obs_metrics
 from ..obs.span import Span, open_span
-from ..redistribution.executor import execute_plan
+from ..redistribution.executor import execute_plan, execute_plan_windowed
 from ..redistribution.gather_scatter import gather_segments, scatter_segments
 from ..redistribution.schedule import RedistributionPlan
 from ..simulation.cluster import Cluster
@@ -1443,6 +1443,68 @@ class ShuffleResult:
     retries: int = 0
 
 
+def _shuffle_fate_accounting(
+    plan: RedistributionPlan,
+    src_buffers: Sequence[np.ndarray],
+    injector: FaultInjector,
+    policy: RetryPolicy,
+    op_id: int,
+    root,
+) -> int:
+    """Draw each transfer's wire fates without moving any bytes.
+
+    Fates are a pure function of ``(seed, op_id, transfer, attempt)``,
+    so retry counts and budget failures are identical whichever executor
+    variant later moves the data; the packed payload is gathered only to
+    answer the corrupt-checksum question exactly as the serial robust
+    loop would."""
+    retries = 0
+    for t in plan.transfers:
+        src_len = src_buffers[t.src_element].size
+        if src_len == 0:
+            continue
+        src_segs = t.src_projection.segments_in(0, src_len - 1)
+        nbytes = int(src_segs[1].sum()) if src_segs[1].size else 0
+        if nbytes == 0:
+            continue
+        packed = gather_segments(src_buffers[t.src_element], src_segs)
+        crc = None
+        attempt = 0
+        while True:
+            fate, _delay_s = injector.message_fate(
+                op_id, "shuffle", t.src_element, t.dst_element, attempt
+            )
+            if fate == "corrupt":
+                if crc is None:
+                    crc = checksum(packed)
+                received = injector.corrupt_payload(
+                    packed,
+                    op_id,
+                    "shuffle",
+                    t.src_element,
+                    t.dst_element,
+                    attempt,
+                )
+                if checksum(received) == crc:
+                    fate = "ok"  # empty: nothing to flip
+                else:
+                    obs_metrics.inc("faults.checksum_failures")
+            if fate == "ok":
+                break
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise RetryBudgetExceeded(
+                    f"shuffle transfer {t.src_element}->"
+                    f"{t.dst_element} still failing after "
+                    f"{policy.max_retries} retries"
+                )
+            obs_metrics.inc("faults.retry.messages")
+        if attempt:
+            retries += attempt
+            root.child("retry", messages=attempt)
+    return retries
+
+
 def run_shuffle(
     plan: RedistributionPlan,
     src_buffers: Sequence[np.ndarray],
@@ -1451,6 +1513,7 @@ def run_shuffle(
     parallel: bool = False,
     injector: Optional[FaultInjector] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    window_bytes: Optional[int] = None,
 ) -> ShuffleResult:
     """Execute a redistribution plan in memory through the engine.
 
@@ -1458,22 +1521,35 @@ def run_shuffle(
     all); the :class:`DirectTransport` prices the exchange when a
     network model is supplied.  Used by two-phase collective I/O
     (phase-1 shuffle) and by checkpoint resharding (no network — ranks
-    convert their own pieces).
+    convert their own pieces).  ``window_bytes`` selects the out-of-core
+    executor (fixed file windows, bounded temporary memory);
+    ``parallel`` the thread-pool executor — both are byte-identical to
+    the serial path, with or without faults.
 
     With an injector, each transfer's packed payload is checksummed and
     its wire fate drawn per attempt; dropped/corrupt transfers re-send
     the same packed bytes (source buffers are never modified by the
     shuffle, so the re-gather is idempotent) until the retry budget
-    runs out.  Injector ``None`` is the exact pre-faults path.
+    runs out.  Fate draws depend only on the plan seed, the operation
+    id and the transfer identity — never on the executor variant — so
+    retry counts are reproducible across variants.  Injector ``None``
+    is the exact pre-faults path.
     """
+    if window_bytes is not None and parallel:
+        raise ValueError("window_bytes and parallel are mutually exclusive")
     if injector is None:
         with open_span(
             "shuffle", transfers=len(plan.transfers), file_length=file_length
         ) as root:
             with open_span("move"):
-                buffers = execute_plan(
-                    plan, src_buffers, file_length, parallel=parallel
-                )
+                if window_bytes is not None:
+                    buffers = execute_plan_windowed(
+                        plan, src_buffers, file_length, window_bytes
+                    )
+                else:
+                    buffers = execute_plan(
+                        plan, src_buffers, file_length, parallel=parallel
+                    )
             transport = DirectTransport(network)
             messages, off_node_bytes, time_s = transport.cost(
                 (t.src_element, t.dst_element, t.bytes_in_file(file_length))
@@ -1498,6 +1574,40 @@ def run_shuffle(
         file_length=file_length,
         op_id=op_id,
     ) as root:
+        if parallel or window_bytes is not None:
+            # Variant executors: settle every transfer's wire fate first
+            # (same draws, retries and budget failures as the serial
+            # loop), then move the bytes with the requested executor —
+            # the movement itself is byte-identical by construction.
+            with open_span("move"):
+                retries = _shuffle_fate_accounting(
+                    plan, src_buffers, injector, policy, op_id, root
+                )
+                if window_bytes is not None:
+                    buffers = execute_plan_windowed(
+                        plan, src_buffers, file_length, window_bytes
+                    )
+                else:
+                    buffers = execute_plan(
+                        plan, src_buffers, file_length, parallel=True
+                    )
+            transport = DirectTransport(network)
+            messages, off_node_bytes, time_s = transport.cost(
+                (t.src_element, t.dst_element, t.bytes_in_file(file_length))
+                for t in plan.transfers
+            )
+            root.annotate(
+                messages=messages,
+                off_node_bytes=off_node_bytes,
+                time_us=time_s * 1e6,
+                retries=retries,
+            )
+            obs_metrics.inc("engine.shuffle.ops")
+            obs_metrics.inc("engine.shuffle.messages", messages)
+            obs_metrics.inc("engine.shuffle.off_node_bytes", off_node_bytes)
+            return ShuffleResult(
+                buffers, messages, off_node_bytes, time_s, root, retries
+            )
         buffers = [
             np.zeros(plan.dst.element_length(j, file_length), dtype=np.uint8)
             for j in range(plan.dst.num_elements)

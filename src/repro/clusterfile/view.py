@@ -27,6 +27,7 @@ reuses the cached schedule and pays only the per-element slicing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -68,8 +69,11 @@ class View:
     view_mapper: ElementMapper
     set_time_s: float  # the paper's t_i for this view set
     #: Reusable per-subfile gather buffers for the client-side GATHER of
-    #: repeated accesses (grown on demand, owned by this view alone).
-    gather_buffers: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: repeated accesses.  Grown on demand and held per *thread*: views
+    #: are long-lived shared objects, and the service layer lets several
+    #: concurrent readers use one view at once — each thread sees its
+    #: own scratch, so repeated accesses on one thread still amortise.
+    _gather_tls: threading.local = field(default_factory=threading.local)
     #: The ``view.set`` span this view's ``set_time_s`` was read from.
     trace: Optional[Span] = None
 
@@ -82,11 +86,17 @@ class View:
 
     def gather_buffer(self, subfile: int, nbytes: int) -> np.ndarray:
         """A scratch buffer of at least ``nbytes`` for gathering this
-        view's payload toward one subfile, reused across accesses."""
-        buf = self.gather_buffers.get(subfile)
+        view's payload toward one subfile, reused across accesses on
+        the calling thread."""
+        buffers: Dict[int, np.ndarray] | None = getattr(
+            self._gather_tls, "buffers", None
+        )
+        if buffers is None:
+            buffers = self._gather_tls.buffers = {}
+        buf = buffers.get(subfile)
         if buf is None or buf.size < nbytes:
             buf = np.empty(nbytes, dtype=np.uint8)
-            self.gather_buffers[subfile] = buf
+            buffers[subfile] = buf
         return buf
 
 

@@ -21,6 +21,7 @@ registry under ``faults.injected.*``.
 from __future__ import annotations
 
 import hashlib
+import threading
 import zlib
 
 import numpy as np
@@ -51,16 +52,23 @@ class FaultInjector:
     operation calls :meth:`begin_op` once and threads the returned id
     through its fate queries, so decisions depend on *when* in the
     run an operation happens (crash rules key off it) but never on
-    wall-clock time or call interleaving.
+    wall-clock time.  Operations may *interleave* (the service layer
+    runs many concurrently): id assignment is lock-guarded, and once an
+    operation holds its id every fate it draws is a pure function of
+    that id — interleaved operations each replay their own schedule
+    deterministically.
     """
 
     def __init__(self, plan: FaultPlan | None = None):
         self.plan = plan or FaultPlan()
         self._ops = 0
+        self._op_lock = threading.Lock()
         # The plan is frozen, so its derived node state is memoised:
         # these queries run once per message per replica on the engine's
-        # hot loop and must not re-scan the rule list every time.
-        self._crash_cache: tuple | None = None
+        # hot loop and must not re-scan the rule list every time.  The
+        # crash memo is keyed by op id (not a single slot) so
+        # interleaved operations never evict each other's entry.
+        self._crash_cache: dict = {}
         self._disk_factors: dict = {}
         self._message_rules = tuple(
             (i, r) for i, r in enumerate(self.plan.rules)
@@ -71,8 +79,9 @@ class FaultInjector:
 
     def begin_op(self, op: str) -> int:
         """Register the start of one engine operation; returns its id."""
-        op_id = self._ops
-        self._ops += 1
+        with self._op_lock:
+            op_id = self._ops
+            self._ops += 1
         return op_id
 
     @property
@@ -83,9 +92,12 @@ class FaultInjector:
 
     def crashed_nodes(self, op_id: int):
         """The set of I/O nodes down for one op (memoised per op)."""
-        if self._crash_cache is None or self._crash_cache[0] != op_id:
-            self._crash_cache = (op_id, self.plan.crashed_nodes(op_id))
-        return self._crash_cache[1]
+        nodes = self._crash_cache.get(op_id)
+        if nodes is None:
+            # Pure function of the frozen plan + op_id: a racing double
+            # compute stores the same value, so no lock is needed.
+            nodes = self._crash_cache[op_id] = self.plan.crashed_nodes(op_id)
+        return nodes
 
     def node_crashed(self, io_node: int, op_id: int | None = None) -> bool:
         """Whether an I/O node is down for the given (or latest) op."""

@@ -22,10 +22,13 @@ from .export import (
 )
 from .metrics import (
     Counter,
+    Gauge,
     MetricsRegistry,
     counter,
+    gauge,
     get_registry,
     inc,
+    observe,
     reset_metrics,
     snapshot,
 )
@@ -40,6 +43,7 @@ from .span import (
 
 __all__ = [
     "Counter",
+    "Gauge",
     "MetricsRegistry",
     "Span",
     "Tracer",
@@ -47,8 +51,10 @@ __all__ = [
     "chrome_to_json",
     "counter",
     "current_span",
+    "gauge",
     "get_registry",
     "inc",
+    "observe",
     "open_span",
     "render_trace",
     "reset_metrics",

@@ -17,10 +17,13 @@ from typing import Dict, Optional
 
 __all__ = [
     "Counter",
+    "Gauge",
     "MetricsRegistry",
     "get_registry",
     "counter",
+    "gauge",
     "inc",
+    "observe",
     "snapshot",
     "reset_metrics",
 ]
@@ -48,6 +51,53 @@ class Counter:
         return f"Counter({self.name}={self._value})"
 
 
+class Gauge:
+    """A sampled value: tracks last/max/sum/count under one name.
+
+    Where a :class:`Counter` answers "how many so far", a gauge answers
+    "how big was it when sampled" — queue depth at admission, batch
+    size at dispatch, per-request wait time.  ``sum``/``count`` give
+    the mean without storing samples; ``max`` gives the high-water
+    mark.  All updates are lock-guarded (gauges live on contended
+    paths by design).
+    """
+
+    __slots__ = ("name", "last", "max", "sum", "count", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.last = 0.0
+        self.max = 0.0
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.last = value
+            if value > self.max:
+                self.max = value
+            self.sum += value
+            self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "last": self.last,
+                "max": self.max,
+                "sum": self.sum,
+                "count": self.count,
+                "mean": self.sum / self.count if self.count else 0.0,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name} last={self.last} max={self.max})"
+
+
 class MetricsRegistry:
     """A name -> :class:`Counter` map with dotted-prefix conventions.
 
@@ -59,6 +109,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -72,8 +123,19 @@ class MetricsRegistry:
     def inc(self, name: str, n: int = 1) -> None:
         self.counter(name).inc(n)
 
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
+        return g
+
+    def observe(self, name: str, value: float) -> None:
+        self.gauge(name).observe(value)
+
     def snapshot(self, prefix: Optional[str] = None) -> Dict[str, int]:
-        """Current values, optionally restricted to a dotted prefix."""
+        """Current counter values, optionally restricted to a prefix."""
         with self._lock:
             items = list(self._counters.items())
         if prefix is not None:
@@ -83,19 +145,30 @@ class MetricsRegistry:
             ]
         return {k: c.value for k, c in sorted(items)}
 
+    def gauges(self, prefix: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+        """Current gauge summaries, optionally restricted to a prefix."""
+        with self._lock:
+            items = list(self._gauges.items())
+        if prefix is not None:
+            dotted = prefix if prefix.endswith(".") else prefix + "."
+            items = [
+                (k, g) for k, g in items if k.startswith(dotted) or k == prefix
+            ]
+        return {k: g.as_dict() for k, g in sorted(items)}
+
     def reset(self, prefix: Optional[str] = None) -> None:
-        """Drop counters (all, or those under a dotted prefix)."""
+        """Drop counters and gauges (all, or under a dotted prefix)."""
         with self._lock:
             if prefix is None:
                 self._counters.clear()
+                self._gauges.clear()
                 return
             dotted = prefix if prefix.endswith(".") else prefix + "."
-            for k in [
-                k
-                for k in self._counters
-                if k.startswith(dotted) or k == prefix
-            ]:
-                del self._counters[k]
+            for store in (self._counters, self._gauges):
+                for k in [
+                    k for k in store if k.startswith(dotted) or k == prefix
+                ]:
+                    del store[k]
 
 
 _REGISTRY = MetricsRegistry()
@@ -114,6 +187,16 @@ def counter(name: str) -> Counter:
 def inc(name: str, n: int = 1) -> None:
     """Increment a process-wide counter."""
     _REGISTRY.inc(name, n)
+
+
+def gauge(name: str) -> Gauge:
+    """A process-wide gauge by name."""
+    return _REGISTRY.gauge(name)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one sample on a process-wide gauge."""
+    _REGISTRY.observe(name, value)
 
 
 def snapshot(prefix: Optional[str] = None) -> Dict[str, int]:

@@ -16,6 +16,7 @@ bytes.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -103,22 +104,32 @@ class PlanExecutor:
     * one preallocated gather scratch buffer per transfer, so the packed
       intermediate is not re-allocated on every access.
 
-    Scratch buffers are per transfer, so the parallel path (which runs
-    each transfer exactly once per execution, grouped by destination) is
-    as safe as before.  Obtain a process-shared instance via
+    Scratch buffers are **per transfer per thread**.  Cached plans are
+    process-wide shared objects, and the executor rides on the plan, so
+    two threads executing the same cached plan concurrently would
+    otherwise gather into *one* scratch buffer and scatter each other's
+    bytes.  A ``threading.local`` keeps the reuse win (the amortisation
+    workload is a loop on one thread) while making concurrent execution
+    race-free; the parallel path's pool workers likewise each see their
+    own scratch.  Obtain a process-shared instance via
     :meth:`RedistributionPlan` + :func:`execute_plan`, or hold one
     explicitly for a long-lived pipeline.
     """
 
     def __init__(self, plan: RedistributionPlan):
         self.plan = plan
-        self._scratch: Dict[Tuple[int, int], np.ndarray] = {}
+        self._tls = threading.local()
 
     def _gather_scratch(self, key: Tuple[int, int], nbytes: int) -> np.ndarray:
-        buf = self._scratch.get(key)
+        scratch: Dict[Tuple[int, int], np.ndarray] | None = getattr(
+            self._tls, "scratch", None
+        )
+        if scratch is None:
+            scratch = self._tls.scratch = {}
+        buf = scratch.get(key)
         if buf is None or buf.size < nbytes:
             buf = np.empty(nbytes, dtype=np.uint8)
-            self._scratch[key] = buf
+            scratch[key] = buf
         return buf
 
     def _run_transfer(

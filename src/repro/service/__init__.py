@@ -1,0 +1,35 @@
+"""Concurrent file-service layer over the Clusterfile deployment.
+
+The paper's system is a multi-client file system: many compute nodes
+issue operations against shared files at once.  This package is the
+front end that accepts those concurrent operations and keeps serial
+semantics:
+
+* :mod:`repro.service.service` — :class:`FileService`: bounded
+  admission queue with reject/park backpressure, a dispatcher that
+  fixes per-file ordering in admission order, a batching window that
+  coalesces adjacent same-file writes into one engine call, and a
+  worker pool that executes independent files concurrently;
+* :mod:`repro.service.locks` — the fair FIFO reader-writer lock the
+  ordering guarantee rests on;
+* :mod:`repro.service.tickets` — the client's future-like handle.
+
+Determinism contract: with ``workers=1``, ``max_batch=1`` and no
+faults, the service byte-for-byte reproduces serial engine execution;
+with any worker count, same-file writes still apply in admission order,
+so final file bytes equal a serial replay of the admitted sequence.
+"""
+
+from .locks import FairRWLock, LockTicket
+from .service import FileService
+from .tickets import ServiceClosed, ServiceError, ServiceOverloaded, Ticket
+
+__all__ = [
+    "FairRWLock",
+    "FileService",
+    "LockTicket",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
+    "Ticket",
+]

@@ -1,0 +1,116 @@
+"""Fair FIFO reader-writer locks for per-file operation ordering.
+
+The service layer promises that operations on one file execute in
+*admission order*: writers strictly one at a time in the order they
+were accepted, adjacent readers sharing.  A plain ``threading.Lock``
+cannot promise that (wakeup order is unspecified), so this lock splits
+acquisition in two phases:
+
+1. :meth:`FairRWLock.register` — non-blocking; called by the single
+   dispatcher thread in admission order.  The returned ticket's place
+   in line is fixed at this point.
+2. :meth:`FairRWLock.wait` — called by whichever worker thread ends up
+   executing the operation; blocks until every earlier ticket that
+   conflicts has been released.
+
+Grant policy is strict FIFO over registration order: the head of the
+queue is granted when no conflicting holder is active; a run of
+consecutive readers at the head is granted together (shared mode); a
+writer waits for all active holders and then holds exclusively.
+Readers arriving behind a waiting writer queue behind it — no
+starvation in either direction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List
+
+__all__ = ["LockTicket", "FairRWLock"]
+
+
+class LockTicket:
+    """One place in a :class:`FairRWLock`'s line."""
+
+    __slots__ = ("mode", "_event")
+
+    def __init__(self, mode: str):
+        if mode not in ("r", "w"):
+            raise ValueError(f"mode must be 'r' or 'w', got {mode!r}")
+        self.mode = mode
+        self._event = threading.Event()
+
+    @property
+    def granted(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "granted" if self.granted else "waiting"
+        return f"LockTicket({self.mode}, {state})"
+
+
+class FairRWLock:
+    """A reader-writer lock with explicit FIFO registration."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._waiting: Deque[LockTicket] = deque()
+        self._active: List[LockTicket] = []
+
+    def register(self, mode: str) -> LockTicket:
+        """Take a place in line (non-blocking).  ``mode`` is ``"r"`` or
+        ``"w"``; the caller serialises registration order."""
+        ticket = LockTicket(mode)
+        with self._lock:
+            self._waiting.append(ticket)
+            self._grant_locked()
+        return ticket
+
+    def wait(self, ticket: LockTicket, timeout: float | None = None) -> bool:
+        """Block until the ticket is granted; returns False on timeout."""
+        return ticket._event.wait(timeout)
+
+    def acquire(self, mode: str) -> LockTicket:
+        """Register and wait in one step (for callers outside the
+        dispatcher's ordered stream)."""
+        ticket = self.register(mode)
+        self.wait(ticket)
+        return ticket
+
+    def release(self, ticket: LockTicket) -> None:
+        """Release a granted ticket, waking whatever is next in line."""
+        with self._lock:
+            if not ticket.granted:  # pragma: no cover - misuse guard
+                raise RuntimeError("releasing a ticket that was never granted")
+            self._active.remove(ticket)
+            self._grant_locked()
+
+    def _grant_locked(self) -> None:
+        """Grant the longest eligible prefix of the wait queue (caller
+        holds the internal lock)."""
+        if any(t.mode == "w" for t in self._active):
+            return
+        while self._waiting:
+            head = self._waiting[0]
+            if head.mode == "w":
+                if self._active:
+                    return  # writer waits for all current holders
+                self._active.append(self._waiting.popleft())
+                head._event.set()
+                return  # writer holds exclusively
+            # A reader at the head joins the active (shared) set.
+            self._active.append(self._waiting.popleft())
+            head._event.set()
+
+    # -- introspection (tests, metrics) --------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._active)
+
+    @property
+    def waiting_count(self) -> int:
+        with self._lock:
+            return len(self._waiting)

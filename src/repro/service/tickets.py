@@ -1,0 +1,130 @@
+"""Tickets: the client's handle on one admitted service operation.
+
+A ticket is a single-assignment future.  The service resolves it from a
+worker thread exactly once — with the operation's result or with the
+exception that killed it — and every waiter unblocks.  Tickets also
+carry the per-operation service facts the stress tests reconcile
+against the metrics registry: the admission sequence number, the wait
+time from admission to execution start, and the size of the batch the
+operation rode in.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+__all__ = ["ServiceError", "ServiceClosed", "ServiceOverloaded", "Ticket"]
+
+
+class ServiceError(RuntimeError):
+    """Base class for service-layer failures."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is shut down and accepts no new operations."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control rejected the operation (queue full)."""
+
+
+# Guards lazy creation of per-ticket wait events.  One process-wide
+# lock suffices: it is only taken on the slow path (a client actually
+# blocking on an unresolved ticket), never during admission or resolve.
+_EVENT_GUARD = threading.Lock()
+
+
+class Ticket:
+    """A single-assignment future for one admitted operation."""
+
+    __slots__ = (
+        "seq",
+        "kind",
+        "file",
+        "wait_s",
+        "batched_with",
+        "_done",
+        "_event",
+        "_value",
+        "_error",
+    )
+
+    def __init__(self, seq: int, kind: str, file: str):
+        #: Admission sequence number — the service-wide total order.
+        self.seq = seq
+        #: Operation kind: ``"write"``, ``"read"`` or ``"relayout"``.
+        self.kind = kind
+        #: File the operation targets.
+        self.file = file
+        #: Seconds from admission to execution start (set on resolve).
+        self.wait_s = 0.0
+        #: Number of requests in the engine call this operation rode in
+        #: (1 for reads/relayouts, >= 1 for coalesced writes).
+        self.batched_with = 1
+        self._done = False
+        # Allocated lazily by the first blocking waiter: most tickets
+        # in a bulk workload are never individually waited on (clients
+        # drain() instead), and an Event per admission is measurable on
+        # the hot path.
+        self._event: Optional[threading.Event] = None
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    # -- client side ---------------------------------------------------------
+
+    def done(self) -> bool:
+        return self._done
+
+    def _wait(self, timeout: float | None) -> None:
+        if self._done:
+            return
+        with _EVENT_GUARD:
+            if self._event is None:
+                self._event = threading.Event()
+        # Publish-then-recheck pairs with resolve's set-then-read: under
+        # the interpreter's total bytecode order at least one side sees
+        # the other's write, so a resolved ticket can never be missed.
+        if self._done:
+            return
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"operation {self.kind}#{self.seq} on {self.file!r} "
+                f"not done after {timeout}s"
+            )
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block until resolved; re-raises the operation's failure."""
+        self._wait(timeout)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: float | None = None) -> Optional[BaseException]:
+        """Block until resolved; the failure, or None on success."""
+        self._wait(timeout)
+        return self._error
+
+    # -- service side --------------------------------------------------------
+
+    def _finish(self) -> None:
+        self._done = True
+        event = self._event
+        if event is not None:
+            event.set()
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._finish()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "pending"
+            if not self.done()
+            else ("failed" if self._error is not None else "done")
+        )
+        return f"Ticket({self.kind}#{self.seq} {self.file!r} {state})"

@@ -15,6 +15,7 @@ would issue them).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -38,37 +39,46 @@ class MemoryModel:
 
 
 class BufferCache:
-    """Dirty-range tracking plus memory-cost accounting for one node."""
+    """Dirty-range tracking plus memory-cost accounting for one node.
+
+    Mutations are lock-guarded: the service layer runs concurrent
+    operations against one node's cache, and dirty-range bookkeeping
+    must not lose entries under that interleaving.
+    """
 
     def __init__(self, model: MemoryModel | None = None) -> None:
         self.model = model or MemoryModel()
         self._dirty: Dict[str, List[Tuple[int, int]]] = {}
         self.bytes_cached = 0
+        self._lock = threading.Lock()
 
     def write(self, key: str, offset: int, nbytes: int) -> float:
         """Record a dirty range; returns the buffer-cache copy time."""
         if nbytes <= 0:
             return 0.0
-        self._dirty.setdefault(key, []).append((offset, nbytes))
-        self.bytes_cached += nbytes
+        with self._lock:
+            self._dirty.setdefault(key, []).append((offset, nbytes))
+            self.bytes_cached += nbytes
         return self.model.copy_time(nbytes, runs=1)
 
     def write_runs(self, key: str, runs: List[Tuple[int, int]]) -> float:
         """Record several dirty runs (a scattered write); returns the
         copy time including the per-run penalty."""
         total = 0
-        for off, ln in runs:
-            if ln <= 0:
-                continue
-            self._dirty.setdefault(key, []).append((off, ln))
-            total += ln
-        self.bytes_cached += total
+        with self._lock:
+            for off, ln in runs:
+                if ln <= 0:
+                    continue
+                self._dirty.setdefault(key, []).append((off, ln))
+                total += ln
+            self.bytes_cached += total
         return self.model.copy_time(total, runs=max(1, len(runs)))
 
     def dirty_runs(self, key: str) -> List[Tuple[int, int]]:
         """Dirty ranges coalesced and sorted by offset — the order the
         writeback would issue them to the disk."""
-        runs = sorted(self._dirty.get(key, ()))
+        with self._lock:
+            runs = sorted(self._dirty.get(key, ()))
         merged: List[Tuple[int, int]] = []
         for off, ln in runs:
             if merged and off <= merged[-1][0] + merged[-1][1]:
@@ -80,4 +90,5 @@ class BufferCache:
 
     def clear(self, key: str) -> None:
         """Drop the dirty ranges of one file (post-flush)."""
-        self._dirty.pop(key, None)
+        with self._lock:
+            self._dirty.pop(key, None)

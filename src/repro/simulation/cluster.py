@@ -113,13 +113,13 @@ class Cluster:
     def new_operation(self) -> EventQueue:
         """Start a fresh operation timeline.
 
-        Resource schedule clocks reset (the new timeline starts at 0);
-        physical device state — disk head positions, cache dirtiness,
-        traffic statistics — persists, like on a real cluster.
+        The returned queue *is* the operation context: it owns the
+        resource schedule clocks (every timeline starts at 0 with all
+        resources free), so concurrent operations on separate queues
+        are fully re-entrant.  Physical device state — disk head
+        positions, cache dirtiness, traffic statistics — persists
+        across operations, like on a real cluster.
         """
-        for node in self.io:
-            node.cpu.reset_clock()
-            node.disk_queue.reset_clock()
         return EventQueue()
 
     def io_node_for(self, subfile: int) -> IONode:

@@ -19,6 +19,7 @@ Default constants describe a 5400-rpm IDE drive of the era:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Tuple
 
@@ -68,7 +69,13 @@ class DiskModel:
 
 
 class DiskHead:
-    """A disk with head-position state and accumulated statistics."""
+    """A disk with head-position state and accumulated statistics.
+
+    Head position and counters are updated under a lock: concurrent
+    operations (the service layer runs many at once) interleave their
+    accesses on one head like concurrent processes on a real disk —
+    the *costs* depend on the interleaving, the state never corrupts.
+    """
 
     def __init__(self, model: DiskModel | None = None) -> None:
         self.model = model or DiskModel()
@@ -76,6 +83,7 @@ class DiskHead:
         self.requests = 0
         self.sequential_requests = 0
         self.bytes_written = 0
+        self._lock = threading.Lock()
 
     def access_time(self, offset: int, nbytes: int) -> float:
         """Time to write (or read) ``nbytes`` at ``offset``, advancing
@@ -83,14 +91,14 @@ class DiskHead:
         if nbytes < 0 or offset < 0:
             raise ValueError("need offset >= 0 and nbytes >= 0")
         m = self.model
-        distance = offset - self.position
-        t = m.per_request_s + m.positioning_time(distance) + m.transfer_time(nbytes)
-        if distance == 0:
-            self.sequential_requests += 1
-        self.position = offset + nbytes
-        self.requests += 1
-        self.bytes_written += nbytes
-        return t
+        with self._lock:
+            distance = offset - self.position
+            if distance == 0:
+                self.sequential_requests += 1
+            self.position = offset + nbytes
+            self.requests += 1
+            self.bytes_written += nbytes
+        return m.per_request_s + m.positioning_time(distance) + m.transfer_time(nbytes)
 
 
 def write_time_for_segments(

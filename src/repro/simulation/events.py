@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = ["EventQueue", "Resource"]
 
@@ -36,6 +37,12 @@ class EventQueue:
         self._seq = itertools.count()
         self.now: float = 0.0
         self._processed = 0
+        #: Per-operation resource schedule: when each :class:`Resource`
+        #: next frees up *on this timeline*.  Keeping the reservation
+        #: high-water mark here (rather than on the shared Resource)
+        #: makes operations re-entrant — concurrent operations each run
+        #: on their own queue and never see each other's reservations.
+        self._resource_free: Dict["Resource", float] = {}
         #: When set to a :class:`repro.obs.span.Span` (duck-typed: only
         #: ``record_sim`` is called), every resource acquisition on this
         #: queue records a simulation-clock child span — the hook that
@@ -88,23 +95,19 @@ class Resource:
     at the release instant.  This models queueing at I/O nodes — the
     contention effect the paper lists among the costs of poorly matched
     distributions.
+
+    The reservation high-water mark lives on the :class:`EventQueue`
+    (one queue per operation), so a Resource object is a pure identity
+    plus cumulative statistics: concurrent operations on separate
+    queues are re-entrant and never corrupt each other's schedules.
+    The cumulative counters are lock-guarded for the same reason.
     """
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self._free_at = 0.0
         self.busy_time = 0.0
         self.requests = 0
-
-    def reset_clock(self) -> None:
-        """Forget the reservation high-water mark.
-
-        Each simulated operation runs on a fresh :class:`EventQueue`
-        starting at time 0, so schedule state must not leak between
-        operations; cumulative statistics (``busy_time``, ``requests``)
-        are preserved.
-        """
-        self._free_at = 0.0
+        self._stats_lock = threading.Lock()
 
     def acquire(
         self,
@@ -115,16 +118,17 @@ class Resource:
         """Schedule a service slot; returns ``(start, end)`` times."""
         if service_time < 0:
             raise ValueError(f"negative service time {service_time}")
-        start = max(queue.now, self._free_at)
+        start = max(queue.now, queue._resource_free.get(self, 0.0))
         end = start + service_time
-        self._free_at = end
-        self.busy_time += service_time
-        self.requests += 1
+        queue._resource_free[self] = end
+        with self._stats_lock:
+            self.busy_time += service_time
+            self.requests += 1
         if queue.trace_span is not None:
             queue.trace_span.record_sim(self.name or "resource", start, end)
         queue.at(end, lambda: done(start, end))
         return start, end
 
-    @property
-    def free_at(self) -> float:
-        return self._free_at
+    def free_at(self, queue: EventQueue) -> float:
+        """When this resource next frees up on one operation's timeline."""
+        return queue._resource_free.get(self, 0.0)

@@ -174,6 +174,81 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Load driver for the concurrent file service: a mixed workload of
+    threaded clients against one deployment, reported as JSON."""
+    import json
+    import threading
+    import time
+
+    import numpy as np
+
+    from .clusterfile.fs import Clusterfile
+    from .distributions import round_robin
+    from .obs import metrics
+    from .service import FileService
+
+    metrics.reset_metrics("service")
+    nprocs = args.nprocs
+    fs = Clusterfile()
+    fs.create("load", round_robin(nprocs, args.chunk))
+    for node in range(nprocs):
+        fs.set_view("load", node, round_robin(nprocs, args.chunk))
+
+    def client(i, svc):
+        rng = np.random.default_rng(args.seed + i)
+        for _ in range(args.ops):
+            node = int(rng.integers(nprocs))
+            off = int(rng.integers(0, 4 * args.chunk))
+            if rng.random() < args.write_fraction:
+                data = rng.integers(
+                    0, 256, int(rng.integers(1, args.chunk + 1)), np.uint8
+                )
+                svc.submit_write("load", node, off, data)
+            else:
+                svc.submit_read(
+                    "load", node, off, int(rng.integers(1, args.chunk + 1))
+                )
+
+    started = time.perf_counter()
+    with FileService(
+        fs,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        admission="park",
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window,
+    ) as svc:
+        threads = [
+            threading.Thread(target=client, args=(i, svc))
+            for i in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        svc.drain()
+    elapsed = time.perf_counter() - started
+
+    total = args.clients * args.ops
+    report = {
+        "clients": args.clients,
+        "workers": args.workers,
+        "max_batch": args.max_batch,
+        "operations": total,
+        "elapsed_s": elapsed,
+        "ops_per_s": total / elapsed if elapsed else None,
+        "counters": metrics.snapshot("service"),
+        "gauges": metrics.get_registry().gauges("service"),
+    }
+    print(json.dumps(report, indent=2))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"report -> {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_figure3(_args) -> int:
     p = Partition(
         [Falls(0, 1, 6, 1), Falls(2, 3, 6, 1), Falls(4, 5, 6, 1)],
@@ -249,6 +324,28 @@ def main(argv=None) -> int:
         help="where to save the failing FaultPlan JSON (on mismatch)",
     )
     pc.set_defaults(fn=_cmd_chaos)
+
+    ps = sub.add_parser(
+        "serve", help="drive the concurrent file service with load"
+    )
+    ps.add_argument("--clients", type=int, default=8, help="client threads")
+    ps.add_argument("--workers", type=int, default=4, help="service workers")
+    ps.add_argument("--ops", type=int, default=50, help="operations/client")
+    ps.add_argument("--nprocs", type=int, default=4)
+    ps.add_argument("--chunk", type=int, default=64, help="striping unit")
+    ps.add_argument("--max-queue", type=int, default=64)
+    ps.add_argument("--max-batch", type=int, default=8)
+    ps.add_argument(
+        "--batch-window", type=float, default=0.0,
+        help="seconds to linger for batch stragglers",
+    )
+    ps.add_argument(
+        "--write-fraction", type=float, default=0.7,
+        help="fraction of operations that are writes",
+    )
+    ps.add_argument("--seed", type=int, default=0)
+    ps.add_argument("--json", help="also write the report here")
+    ps.set_defaults(fn=_cmd_serve)
 
     pf = sub.add_parser("figure3", help="draw the paper's figure 3")
     pf.set_defaults(fn=_cmd_figure3)

@@ -5,8 +5,9 @@ modes (budget exhaustion, no live replica)."""
 import numpy as np
 import pytest
 
-from repro import round_robin
+from repro import build_plan, distribute, round_robin
 from repro.clusterfile import Clusterfile
+from repro.clusterfile.engine import run_shuffle
 from repro.faults import (
     FaultInjector,
     FaultPlan,
@@ -106,6 +107,92 @@ class TestHardFailureModes:
         got, rres = fs.read_with_result("f", [(0, 0, 16)], from_disk=True)
         assert got[0].tolist() == [9] * 16
         assert rres.failed_over > 0
+
+
+class TestExecutorVariantsUnderChaos:
+    """The parallel and windowed (out-of-core) executors under fault
+    injection: same bytes, same deterministic retry schedule, same
+    budget failures as the serial robust path."""
+
+    @staticmethod
+    def _case(seed=3):
+        src = round_robin(4, 8)
+        dst = round_robin(2, 16)
+        length = 320
+        data = np.random.default_rng(seed).integers(
+            0, 256, length, dtype=np.uint8
+        )
+        return build_plan(src, dst), distribute(data, src), length
+
+    FAULTS = FaultPlan(
+        seed=7,
+        rules=(
+            FaultRule(kind="drop", rate=0.25, op="shuffle"),
+            FaultRule(kind="corrupt", rate=0.25, op="shuffle"),
+        ),
+    )
+
+    def test_variants_byte_identical_under_drop_and_corrupt(self):
+        plan, src_buffers, length = self._case()
+        # Fresh injector per call: every run is operation id 0 of the
+        # same fault plan, so all three draw identical fates.
+        serial = run_shuffle(
+            plan, src_buffers, length, injector=FaultInjector(self.FAULTS)
+        )
+        assert serial.retries > 0  # the plan actually bites
+        threaded = run_shuffle(
+            plan,
+            src_buffers,
+            length,
+            parallel=True,
+            injector=FaultInjector(self.FAULTS),
+        )
+        windowed = run_shuffle(
+            plan,
+            src_buffers,
+            length,
+            injector=FaultInjector(self.FAULTS),
+            window_bytes=13,
+        )
+        for variant in (threaded, windowed):
+            assert variant.retries == serial.retries
+            for a, b in zip(serial.buffers, variant.buffers):
+                np.testing.assert_array_equal(a, b)
+
+    def test_budget_exhaustion_hits_every_variant(self):
+        plan, src_buffers, length = self._case()
+        certain = FaultPlan(
+            seed=0, rules=(FaultRule(kind="drop", rate=1.0),)
+        )
+        policy = RetryPolicy(max_retries=2)
+        for kwargs in (
+            {},
+            {"parallel": True},
+            {"window_bytes": 17},
+        ):
+            with pytest.raises(RetryBudgetExceeded):
+                run_shuffle(
+                    plan,
+                    src_buffers,
+                    length,
+                    injector=FaultInjector(certain),
+                    retry_policy=policy,
+                    **kwargs,
+                )
+
+    def test_fault_free_windowed_path_matches_plain(self):
+        plan, src_buffers, length = self._case()
+        plain = run_shuffle(plan, src_buffers, length)
+        windowed = run_shuffle(plan, src_buffers, length, window_bytes=11)
+        for a, b in zip(plain.buffers, windowed.buffers):
+            np.testing.assert_array_equal(a, b)
+
+    def test_parallel_and_windowed_are_mutually_exclusive(self):
+        plan, src_buffers, length = self._case()
+        with pytest.raises(ValueError):
+            run_shuffle(
+                plan, src_buffers, length, parallel=True, window_bytes=8
+            )
 
 
 class TestResultAccounting:

@@ -1,0 +1,171 @@
+"""Naive per-byte reference implementations of the paper's machinery.
+
+Everything here is written for obviousness, not speed: FALLS membership
+by recursive enumeration, MAP/MAP^-1 by linear scan over the enumerated
+offsets, redistribution by moving one byte at a time.  The oracle tests
+check the real implementations — segment algebra, binary-search MAP,
+vectorised mappers, redistribution plans, the I/O engine — against
+these on randomized partitions.  If the two ever disagree, the naive
+side is the specification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.partition import Partition
+
+
+def falls_offsets(f) -> List[int]:
+    """Every pattern-relative offset selected by one (nested) FALLS,
+    by direct enumeration of blocks and inner structures."""
+    out: List[int] = []
+    block = f.r - f.l + 1
+    for k in range(f.n):
+        base = f.l + k * f.s
+        if f.is_leaf:
+            out.extend(range(base, base + block))
+        else:
+            for g in f.inner:
+                out.extend(base + o for o in falls_offsets(g))
+    return out
+
+
+class NaiveElement:
+    """Linear-scan MAP / MAP^-1 for one partition element."""
+
+    def __init__(self, partition: Partition, element: int):
+        offsets: List[int] = []
+        for f in partition.elements[element].falls:
+            offsets.extend(falls_offsets(f))
+        self.partition = partition
+        self.element = element
+        self.offsets = sorted(offsets)
+        self.rank_of: Dict[int, int] = {
+            o: i for i, o in enumerate(self.offsets)
+        }
+        self.size = len(self.offsets)
+
+    def map(self, x: int) -> Optional[int]:
+        """MAP_S(x): file offset -> element rank, None when ``x`` does
+        not belong to the element."""
+        p = self.partition
+        if x < p.displacement:
+            return None
+        q, rem = divmod(x - p.displacement, p.size)
+        i = self.rank_of.get(rem)
+        if i is None:
+            return None
+        return q * self.size + i
+
+    def map_next(self, x: int) -> int:
+        """Rank of the first element byte at file offset >= x."""
+        x = max(x, self.partition.displacement)
+        while True:
+            r = self.map(x)
+            if r is not None:
+                return r
+            x += 1
+
+    def map_prev(self, x: int) -> Optional[int]:
+        """Rank of the last element byte at file offset <= x, or None
+        when the element owns no byte that early."""
+        while x >= self.partition.displacement:
+            r = self.map(x)
+            if r is not None:
+                return r
+            x -= 1
+        return None
+
+    def unmap(self, y: int) -> int:
+        """MAP_S^{-1}(y): element rank -> file offset."""
+        q, rem = divmod(y, self.size)
+        return (
+            self.partition.displacement
+            + q * self.partition.size
+            + self.offsets[rem]
+        )
+
+    def length_for(self, file_length: int) -> int:
+        """Bytes of a ``file_length``-byte file owned by this element,
+        counted one by one."""
+        return sum(
+            1 for x in range(file_length) if self.map(x) is not None
+        )
+
+
+def naive_elements(partition: Partition) -> List[NaiveElement]:
+    return [
+        NaiveElement(partition, e) for e in range(partition.num_elements)
+    ]
+
+
+def naive_owner(
+    elements: Sequence[NaiveElement], x: int
+) -> Optional[Tuple[int, int]]:
+    """The ``(element, rank)`` pair owning file byte ``x``, or None for
+    bytes before the displacement."""
+    for e, el in enumerate(elements):
+        r = el.map(x)
+        if r is not None:
+            return e, r
+    return None
+
+
+def naive_distribute(
+    data: np.ndarray, partition: Partition
+) -> List[np.ndarray]:
+    """Split a linear file into per-element buffers, one byte at a time."""
+    elements = naive_elements(partition)
+    out = [
+        np.zeros(el.length_for(data.size), dtype=np.uint8) for el in elements
+    ]
+    for x in range(data.size):
+        owner = naive_owner(elements, x)
+        if owner is not None:
+            e, r = owner
+            out[e][r] = data[x]
+    return out
+
+
+def naive_collect(
+    buffers: Sequence[np.ndarray], partition: Partition, file_length: int
+) -> np.ndarray:
+    """Reassemble the linear file from per-element buffers, byte-wise."""
+    elements = naive_elements(partition)
+    data = np.zeros(file_length, dtype=np.uint8)
+    for x in range(file_length):
+        owner = naive_owner(elements, x)
+        if owner is not None:
+            e, r = owner
+            data[x] = buffers[e][r]
+    return data
+
+
+def naive_redistribute(
+    src: Partition,
+    dst: Partition,
+    src_buffers: Sequence[np.ndarray],
+    file_length: int,
+) -> List[np.ndarray]:
+    """Move a file between two partitions one byte at a time.
+
+    A byte moves when *both* partitions own it; bytes the destination
+    owns but the source does not (displacement mismatch) stay zero,
+    matching the plan executor's zero-initialised destination buffers.
+    """
+    src_elements = naive_elements(src)
+    dst_elements = naive_elements(dst)
+    out = [
+        np.zeros(el.length_for(file_length), dtype=np.uint8)
+        for el in dst_elements
+    ]
+    for x in range(file_length):
+        s = naive_owner(src_elements, x)
+        d = naive_owner(dst_elements, x)
+        if s is None or d is None:
+            continue
+        out[d[0]][d[1]] = src_buffers[s[0]][s[1]]
+    return out

@@ -1,0 +1,114 @@
+"""Differential oracle: real MAP/MAP^-1 vs the naive linear scan.
+
+The real implementations locate offsets by binary search over FALLS
+prefix sums and vectorise over per-period segment tables; the oracle
+enumerates every selected byte and scans.  On randomized partitions
+(contiguous, striped, and nested-FALLS shapes) the two must agree on
+every offset, every rank, and every next/prev rounding — including the
+"does not belong" cases, where the real side must raise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import (
+    ElementMapper,
+    MappingError,
+    map_offset,
+    unmap_offset,
+)
+
+from ..properties.strategies import any_partition
+from .naive import NaiveElement, naive_elements, naive_owner
+
+ORACLE_SETTINGS = settings(max_examples=200, deadline=None)
+
+
+@given(partition=any_partition(), data=st.data())
+@ORACLE_SETTINGS
+def test_map_matches_linear_scan(partition, data):
+    element = data.draw(
+        st.integers(0, partition.num_elements - 1), label="element"
+    )
+    naive = NaiveElement(partition, element)
+    span = partition.displacement + 2 * partition.size + 3
+    for x in range(span):
+        want = naive.map(x)
+        if want is None:
+            with pytest.raises(MappingError):
+                map_offset(partition, element, x)
+        else:
+            assert map_offset(partition, element, x) == want
+
+
+@given(partition=any_partition(), data=st.data())
+@ORACLE_SETTINGS
+def test_map_next_prev_match_linear_scan(partition, data):
+    element = data.draw(
+        st.integers(0, partition.num_elements - 1), label="element"
+    )
+    naive = NaiveElement(partition, element)
+    span = partition.displacement + 2 * partition.size + 3
+    for x in range(span):
+        assert map_offset(partition, element, x, mode="next") == naive.map_next(x)
+        want_prev = naive.map_prev(x)
+        if want_prev is None:
+            with pytest.raises(MappingError):
+                map_offset(partition, element, x, mode="prev")
+        else:
+            assert (
+                map_offset(partition, element, x, mode="prev") == want_prev
+            )
+
+
+@given(partition=any_partition(), data=st.data())
+@ORACLE_SETTINGS
+def test_unmap_matches_linear_scan(partition, data):
+    element = data.draw(
+        st.integers(0, partition.num_elements - 1), label="element"
+    )
+    naive = NaiveElement(partition, element)
+    for y in range(2 * naive.size + 1):
+        want = naive.unmap(y)
+        assert unmap_offset(partition, element, y) == want
+        # Round trip through the real MAP.
+        assert map_offset(partition, element, want) == y
+
+
+@given(partition=any_partition(), data=st.data())
+@ORACLE_SETTINGS
+def test_vectorised_mapper_matches_linear_scan(partition, data):
+    element = data.draw(
+        st.integers(0, partition.num_elements - 1), label="element"
+    )
+    naive = NaiveElement(partition, element)
+    mapper = ElementMapper(partition, element)
+    owned = [
+        x
+        for x in range(partition.displacement + 2 * partition.size)
+        if naive.map(x) is not None
+    ]
+    if owned:
+        xs = np.array(owned, dtype=np.int64)
+        want = np.array([naive.map(x) for x in owned], dtype=np.int64)
+        np.testing.assert_array_equal(mapper.map_many(xs), want)
+        np.testing.assert_array_equal(mapper.unmap_many(want), xs)
+
+
+@given(partition=any_partition())
+@ORACLE_SETTINGS
+def test_ownership_partitions_the_file(partition):
+    """Every byte past the displacement is owned by exactly one element,
+    and element_length agrees with the per-byte count."""
+    elements = naive_elements(partition)
+    file_length = partition.displacement + partition.size + 3
+    for x in range(partition.displacement, file_length):
+        owners = [e for e, el in enumerate(elements) if el.map(x) is not None]
+        assert len(owners) == 1, f"byte {x} owned by {owners}"
+        assert naive_owner(elements, x) is not None
+    for e, el in enumerate(elements):
+        assert partition.element_length(e, file_length) == el.length_for(
+            file_length
+        )

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.core.algebra import partition_from_elements
 from repro.core.falls import Falls, FallsSet
 from repro.core.partition import Partition
 
@@ -108,5 +109,17 @@ def striped_partitions(draw, max_unit=6, max_elements=4, max_displacement=8):
     return Partition(elements, displacement=disp)
 
 
+@st.composite
+def nested_partitions(draw, max_displacement=8):
+    """A partition whose first element is a random (possibly nested)
+    FallsSet and whose second element owns the complement of the
+    pattern — "this view, and everything else"."""
+    element = draw(falls_sets())
+    disp = draw(st.integers(0, max_displacement))
+    return partition_from_elements([element], displacement=disp, fill_last=True)
+
+
 def any_partition():
-    return st.one_of(contiguous_partitions(), striped_partitions())
+    return st.one_of(
+        contiguous_partitions(), striped_partitions(), nested_partitions()
+    )

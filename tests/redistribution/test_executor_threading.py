@@ -1,0 +1,94 @@
+"""Regression test: cached plans share one executor process-wide, and
+its gather scratch must not be shared between threads.
+
+Before the fix, ``PlanExecutor._scratch`` was a plain dict on the
+executor attached to the (process-wide cached) plan: two threads
+executing the same plan concurrently gathered into the *same* scratch
+buffer and scattered each other's bytes.  The scratch is now
+``threading.local``; this test drives the exact racing shape and checks
+every thread's output against the serial result.
+"""
+
+import threading
+
+import numpy as np
+
+from repro import matrix_partition
+from repro.redistribution import distribute
+from repro.redistribution.executor import execute_plan
+from repro.redistribution.plan_cache import clear_plan_cache, get_plan
+
+
+def _case(seed):
+    n = 48
+    data = np.random.default_rng(seed).integers(0, 256, n * n, dtype=np.uint8)
+    src_p = matrix_partition("c", n, n, 4)
+    dst_p = matrix_partition("b", n, n, 4)
+    return data, src_p, dst_p
+
+
+class TestSharedPlanScratchRace:
+    def test_concurrent_execute_on_one_cached_plan(self):
+        clear_plan_cache()
+        data, src_p, dst_p = _case(11)
+        plan = get_plan(src_p, dst_p)
+        assert get_plan(src_p, dst_p) is plan  # genuinely shared object
+
+        # Per-thread distinct payloads: if any thread's gather scratch is
+        # overwritten by a neighbour, its scattered bytes come from the
+        # wrong payload and the comparison below fails.
+        n_threads = 8
+        reps = 20
+        payloads = [
+            np.random.default_rng(100 + i).integers(
+                0, 256, data.size, dtype=np.uint8
+            )
+            for i in range(n_threads)
+        ]
+        sources = [distribute(p, src_p) for p in payloads]
+        expected = [execute_plan(plan, s, data.size) for s in sources]
+
+        barrier = threading.Barrier(n_threads)
+        failures = []
+
+        def worker(i):
+            src = sources[i]
+            want = expected[i]
+            barrier.wait()
+            for _ in range(reps):
+                got = execute_plan(plan, src, data.size)
+                for a, b in zip(want, got):
+                    if not np.array_equal(a, b):
+                        failures.append(i)
+                        return
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, f"threads {sorted(set(failures))} saw corrupt bytes"
+
+    def test_scratch_is_thread_local(self):
+        """The executor hands different threads different scratch buffers
+        for the same transfer key."""
+        data, src_p, dst_p = _case(12)
+        plan = get_plan(src_p, dst_p)
+        from repro.redistribution.executor import _executor_for
+
+        ex = _executor_for(plan)
+        main_buf = ex._gather_scratch((0, 0), 64)
+        seen = {}
+
+        def other():
+            seen["buf"] = ex._gather_scratch((0, 0), 64)
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert seen["buf"] is not main_buf
+        # Same thread, same key: the buffer is reused (the amortisation win).
+        assert ex._gather_scratch((0, 0), 32) is main_buf

@@ -245,10 +245,10 @@ class TestPlanExecutor:
         ex = PlanExecutor(plan)
         data = np.arange(n, dtype=np.uint8)
         ex.execute(distribute(data, src), n)
-        scratch_ids = {k: id(v) for k, v in ex._scratch.items()}
+        scratch_ids = {k: id(v) for k, v in ex._tls.scratch.items()}
         assert scratch_ids  # the b layout fragments: scratch is in play
         ex.execute(distribute(data, src), n)
-        assert {k: id(v) for k, v in ex._scratch.items()} == scratch_ids
+        assert {k: id(v) for k, v in ex._tls.scratch.items()} == scratch_ids
 
 
 class TestRedistributeStructural:

@@ -1,0 +1,130 @@
+"""FairRWLock semantics: FIFO order, shared readers, exclusive writers."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import FairRWLock
+
+
+class TestGrantPolicy:
+    def test_single_writer_grants_immediately(self):
+        lock = FairRWLock()
+        t = lock.register("w")
+        assert t.granted
+        lock.release(t)
+
+    def test_readers_share(self):
+        lock = FairRWLock()
+        r1 = lock.register("r")
+        r2 = lock.register("r")
+        assert r1.granted and r2.granted
+        assert lock.active_count == 2
+        lock.release(r1)
+        lock.release(r2)
+
+    def test_writer_waits_for_readers(self):
+        lock = FairRWLock()
+        r1 = lock.register("r")
+        r2 = lock.register("r")
+        w = lock.register("w")
+        assert not w.granted
+        lock.release(r1)
+        assert not w.granted  # one reader still active
+        lock.release(r2)
+        assert w.granted
+        lock.release(w)
+
+    def test_writers_serialize_fifo(self):
+        lock = FairRWLock()
+        w1 = lock.register("w")
+        w2 = lock.register("w")
+        w3 = lock.register("w")
+        assert w1.granted and not w2.granted and not w3.granted
+        lock.release(w1)
+        assert w2.granted and not w3.granted
+        lock.release(w2)
+        assert w3.granted
+        lock.release(w3)
+
+    def test_readers_queue_behind_waiting_writer(self):
+        """A reader arriving after a waiting writer must not jump it
+        (no writer starvation)."""
+        lock = FairRWLock()
+        r1 = lock.register("r")
+        w = lock.register("w")
+        r2 = lock.register("r")
+        assert r1.granted and not w.granted and not r2.granted
+        lock.release(r1)
+        assert w.granted and not r2.granted
+        lock.release(w)
+        assert r2.granted
+        lock.release(r2)
+
+    def test_reader_run_grants_together_after_writer(self):
+        lock = FairRWLock()
+        w = lock.register("w")
+        r1 = lock.register("r")
+        r2 = lock.register("r")
+        lock.release(w)
+        assert r1.granted and r2.granted
+
+    def test_bad_mode_rejected(self):
+        lock = FairRWLock()
+        with pytest.raises(ValueError):
+            lock.register("x")
+
+
+class TestThreaded:
+    def test_exclusive_section_never_overlaps(self):
+        lock = FairRWLock()
+        active = []
+        overlaps = []
+        guard = threading.Lock()
+
+        def writer(i):
+            t = lock.acquire("w")
+            with guard:
+                if active:
+                    overlaps.append(i)
+                active.append(i)
+            time.sleep(0.001)
+            with guard:
+                active.remove(i)
+            lock.release(t)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not overlaps
+
+    def test_registration_order_is_execution_order(self):
+        """Tickets registered from one thread execute in that order even
+        when waited on by racing threads."""
+        lock = FairRWLock()
+        tickets = [lock.register("w") for _ in range(12)]
+        order = []
+        guard = threading.Lock()
+
+        def run(i, ticket):
+            lock.wait(ticket)
+            with guard:
+                order.append(i)
+            lock.release(ticket)
+
+        threads = [
+            threading.Thread(target=run, args=(i, t))
+            for i, t in enumerate(tickets)
+        ]
+        # Start in reverse to make out-of-order wakeup likely if the
+        # lock were unfair.
+        for t in reversed(threads):
+            t.start()
+        for t in threads:
+            t.join()
+        assert order == list(range(12))

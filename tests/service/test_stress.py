@@ -1,0 +1,182 @@
+"""Concurrency stress: many client threads against one deployment.
+
+The service's contract is that concurrency never changes *what* is
+computed, only *when*: operations on one file execute in admission
+order, so the final file bytes — and every individual read result —
+must equal a serial replay of the admitted sequence on a fresh
+deployment.  This test drives >= 8 client threads issuing a mixed
+write/read/relayout workload through an 8-worker service, records the
+admission order from the tickets, replays it serially, and compares
+byte-for-byte.  It also reconciles the ``service.*`` metrics totals
+against per-operation sums from the tickets.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.clusterfile.fs import Clusterfile
+from repro.clusterfile.relayout import relayout
+from repro.distributions import round_robin
+from repro.obs import metrics as obs_metrics
+from repro.service import FileService
+
+NPROCS = 4
+CHUNK = 16
+FILES = ("alpha", "beta")
+LAYOUTS = (round_robin(NPROCS, CHUNK), round_robin(2, 2 * CHUNK))
+
+
+def _deployment():
+    fs = Clusterfile()
+    for name in FILES:
+        fs.create(name, LAYOUTS[0])
+        for node in range(NPROCS):
+            fs.set_view(name, node, round_robin(NPROCS, CHUNK))
+    return fs
+
+
+def _client_ops(seed, n_ops):
+    """One client's operation stream (generated, not yet submitted)."""
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(n_ops):
+        name = FILES[int(rng.integers(len(FILES)))]
+        node = int(rng.integers(NPROCS))
+        roll = rng.random()
+        if roll < 0.62:
+            off = int(rng.integers(0, 160))
+            data = rng.integers(0, 256, int(rng.integers(1, 48)), dtype=np.uint8)
+            ops.append(("write", name, node, off, data))
+        elif roll < 0.92:
+            off = int(rng.integers(0, 160))
+            length = int(rng.integers(1, 48))
+            ops.append(("read", name, node, off, length))
+        else:
+            layout = LAYOUTS[int(rng.integers(len(LAYOUTS)))]
+            ops.append(("relayout", name, layout))
+    return ops
+
+
+def _replay_serially(records):
+    """Apply the admitted sequence on a fresh deployment, mimicking the
+    service's relayout view re-establishment."""
+    fs = _deployment()
+    read_results = {}
+    for seq, op in sorted(records.items()):
+        kind = op[0]
+        if kind == "write":
+            _, name, node, off, data = op
+            fs.write(name, [(node, off, data)])
+        elif kind == "read":
+            _, name, node, off, length = op
+            [buf] = fs.read(name, [(node, off, length)])
+            read_results[seq] = buf
+        else:
+            _, name, layout = op
+            saved = [
+                (node, v.logical, v.element)
+                for (n, node), v in list(fs.views.items())
+                if n == name
+            ]
+            relayout(fs, name, layout)
+            for node, logical, element in saved:
+                fs.set_view(name, node, logical, element)
+    return fs, read_results
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_stress_mixed_workload_equals_serial_replay(seed):
+    obs_metrics.reset_metrics("service")
+    n_threads = 8
+    ops_per_thread = 20
+    fs = _deployment()
+
+    records = {}  # admission seq -> op tuple
+    tickets = {}
+    guard = threading.Lock()
+    start = threading.Barrier(n_threads)
+
+    with FileService(
+        fs, workers=8, max_queue=32, admission="park", max_batch=8
+    ) as svc:
+
+        def client(i):
+            start.wait()
+            for op in _client_ops(1000 * seed + i, ops_per_thread):
+                if op[0] == "write":
+                    _, name, node, off, data = op
+                    t = svc.submit_write(name, node, off, data)
+                elif op[0] == "read":
+                    _, name, node, off, length = op
+                    t = svc.submit_read(name, node, off, length)
+                else:
+                    _, name, layout = op
+                    t = svc.submit_relayout(name, layout)
+                with guard:
+                    records[t.seq] = op
+                    tickets[t.seq] = t
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert svc.drain(timeout=120)
+
+    total = n_threads * ops_per_thread
+    assert len(records) == total
+    # Admission sequence numbers are the service-wide total order and
+    # must be exactly 0..total-1 with no gaps or duplicates.
+    assert sorted(records) == list(range(total))
+
+    failures = {
+        seq: t.exception(timeout=5)
+        for seq, t in tickets.items()
+        if t.exception(timeout=5) is not None
+    }
+    assert not failures, f"operations failed: {failures}"
+
+    # -- byte equivalence against the serial replay ----------------------
+    replay_fs, replay_reads = _replay_serially(records)
+    for name in FILES:
+        np.testing.assert_array_equal(
+            fs.linear_contents(name),
+            replay_fs.linear_contents(name),
+            err_msg=f"final bytes of {name!r} diverge from serial replay",
+        )
+    for seq, want in replay_reads.items():
+        got = tickets[seq].result(timeout=5)
+        np.testing.assert_array_equal(
+            got, want, err_msg=f"read #{seq} diverges from serial replay"
+        )
+
+    # -- metrics integrity under contention ------------------------------
+    counts = obs_metrics.snapshot("service")
+    gauges = obs_metrics.get_registry().gauges("service")
+    n_writes = sum(1 for op in records.values() if op[0] == "write")
+    assert counts["service.enqueued"] == total
+    assert counts["service.completed"] == total
+    assert counts.get("service.failed", 0) == 0
+    assert counts.get("service.rejected", 0) == 0
+    # Every write rode in exactly one engine batch.
+    assert gauges["service.batch_size"]["sum"] == n_writes
+    assert counts["service.batches"] == gauges["service.batch_size"]["count"]
+    # Wait time and queue depth were sampled once per operation.
+    assert gauges["service.wait_s"]["count"] == total
+    assert gauges["service.queue_depth"]["count"] == total
+    assert gauges["service.queue_depth"]["max"] <= 32
+    # Ticket-side per-op facts agree with the registry aggregates.
+    write_tickets = [
+        tickets[seq] for seq, op in records.items() if op[0] == "write"
+    ]
+    assert sum(1.0 / t.batched_with for t in write_tickets) == pytest.approx(
+        counts["service.batches"]
+    )
+    assert sum(t.wait_s for t in tickets.values()) == pytest.approx(
+        gauges["service.wait_s"]["sum"]
+    )
