@@ -216,11 +216,12 @@ def measure_recovery(drop_rates=(0.0, 0.05, 0.10, 0.20), seed=0) -> list:
     return rows
 
 
-def measure(repeats: int = 9) -> dict:
+def measure(repeats: int = 9, budget: float = 0.05) -> dict:
     fault_free = measure_fault_free(repeats)
     # The headline number: armed-but-idle hooks must cost under 5%
-    # across the whole PR-1 workload.
-    assert fault_free["overhead"] < 0.05, fault_free
+    # across the whole PR-1 workload (the regression gate re-runs this
+    # on noisy CI and raises the budget).
+    assert fault_free["overhead"] < budget, fault_free
     recovery = measure_recovery()
     # Recovery latency must be monotone non-decreasing in intent: more
     # drops never make the modelled run *faster* than fault-free.

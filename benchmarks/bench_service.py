@@ -97,7 +97,9 @@ def run_service(ops, workers: int):
     return fs, wall
 
 
-def measure(n_ops: int = OPS, repeats: int = 5) -> dict:
+def measure(
+    n_ops: int = OPS, repeats: int = 5, min_speedup: float = 1.5
+) -> dict:
     ops = _op_stream(0, n_ops)
     serial_fs, _ = run_serial(ops)  # warm-up + byte reference
     want = serial_fs.linear_contents("bench")
@@ -150,8 +152,9 @@ def measure(n_ops: int = OPS, repeats: int = 5) -> dict:
         "speedup_at_4_workers": at4["speedup_vs_serial"],
     }
     # The acceptance bar: batched concurrent writes at 4 workers beat
-    # the serial engine by >= 1.5x on the same stream.
-    assert at4["speedup_vs_serial"] >= 1.5, result
+    # the serial engine by >= 1.5x on the same stream (the regression
+    # gate re-runs this on noisy CI and lowers min_speedup).
+    assert at4["speedup_vs_serial"] >= min_speedup, result
     return result
 
 

@@ -1,0 +1,142 @@
+"""Telemetry-overhead benchmark: what the histograms cost when nobody
+is looking.
+
+The engine records per-stage latency histograms and an op-level
+histogram (with slow-op exemplars) on every operation; the service adds
+queue/lock span records and three histograms of its own.  This
+benchmark prices the *toggleable* part — the engine's per-stage
+histograms (:func:`repro.obs.metrics.set_stage_histograms`) — on the
+unfaulted single-worker write path, the path with the least work to
+hide instrumentation behind.
+
+Estimator: the same drift-robust **median of adjacent-window ratios**
+as ``bench_faults`` — each repetition times one instrumented and one
+bare window back-to-back (``inner`` runs each, order alternating), so
+both sides of a ratio see the same machine state; the median discards
+preempted windows.  The acceptance bar is < 5% overhead.
+
+Run as a module to (re)generate the committed results file::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py
+
+which writes ``BENCH_telemetry.json`` at the repository root.
+"""
+
+import gc
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_service import _make_fs, _op_stream  # noqa: E402
+
+from repro.obs import metrics as obs_metrics  # noqa: E402
+from repro.service import FileService  # noqa: E402
+
+N_OPS = 96
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_telemetry.json",
+)
+
+
+def _run_once(ops) -> float:
+    """One single-worker, unbatched pass of the write stream through
+    the service; returns wall seconds."""
+    fs = _make_fs()
+    t0 = time.perf_counter()
+    with FileService(
+        fs, workers=1, max_queue=len(ops), admission="park", max_batch=1
+    ) as svc:
+        for node, off, data in ops:
+            svc.submit_write("bench", node, off, data)
+        assert svc.drain(timeout=300)
+    return time.perf_counter() - t0
+
+
+def measure(
+    n_ops: int = N_OPS,
+    repeats: int = 9,
+    inner: int = 4,
+    budget: float = 0.05,
+) -> dict:
+    ops = _op_stream(0, n_ops)
+    _run_once(ops)  # warm-up (plan cache, allocator, thread pools)
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        ratios, bare_walls = [], []
+        for rep in range(repeats):
+            gc.collect()
+            window = {}
+            order = [True, False] if rep % 2 == 0 else [False, True]
+            for enabled in order:
+                obs_metrics.set_stage_histograms(enabled)
+                wall = 0.0
+                for _ in range(inner):
+                    wall += _run_once(ops)
+                window[enabled] = wall / inner
+            ratios.append(window[True] / window[False])
+            bare_walls.append(window[False])
+    finally:
+        obs_metrics.set_stage_histograms(True)
+        if gc_was_enabled:
+            gc.enable()
+
+    ratio = statistics.median(ratios)
+    bare_s = min(bare_walls)
+    result = {
+        "benchmark": "telemetry",
+        "n_ops": n_ops,
+        "repeats": repeats,
+        "inner": inner,
+        "bare_wall_us": bare_s * 1e6,
+        "instrumented_wall_us": bare_s * ratio * 1e6,
+        "overhead": ratio - 1.0,
+    }
+    # The acceptance bar: stage histograms cost under 5% on the
+    # single-worker unfaulted write path (the regression gate re-runs
+    # this on noisy CI and raises the budget).
+    assert result["overhead"] < budget, result
+    return result
+
+
+class TestTelemetryBench:
+    def test_overhead_is_small(self):
+        # Lenient CI bound (noisy shared runners); the <5% headline is
+        # asserted by measure() on a quiet machine and recorded in
+        # BENCH_telemetry.json.
+        result = measure(n_ops=32, repeats=3, inner=2, budget=0.5)
+        assert result["bare_wall_us"] > 0
+
+    def test_toggle_restored_after_measure(self):
+        measure(n_ops=16, repeats=1, inner=1, budget=10.0)
+        assert obs_metrics.stage_histograms_enabled()
+
+    def test_disabled_records_no_stage_histograms(self):
+        obs_metrics.reset_metrics("engine")
+        obs_metrics.set_stage_histograms(False)
+        try:
+            _run_once(_op_stream(5, 8))
+            assert not obs_metrics.get_registry().histograms("engine")
+        finally:
+            obs_metrics.set_stage_histograms(True)
+        _run_once(_op_stream(6, 8))
+        assert obs_metrics.get_registry().histograms("engine")
+
+
+if __name__ == "__main__":
+    result = measure()
+    with open(RESULT_PATH, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(
+        f"bare {result['bare_wall_us']:10.0f} us, instrumented "
+        f"{result['instrumented_wall_us']:10.0f} us "
+        f"({result['overhead'] * 100:+.2f}%)"
+    )
+    print(f"results -> {RESULT_PATH}")

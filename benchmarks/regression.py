@@ -1,0 +1,278 @@
+"""Perf-regression gate: fresh benchmark runs vs committed baselines.
+
+The repository commits headline benchmark results (``BENCH_*.json`` at
+the root) produced on a quiet machine.  This tool re-runs a benchmark
+and compares the fresh numbers against the committed baseline so a PR
+that quietly slows a hot path fails CI instead of shipping:
+
+* every timing metric in the pair of result files is reduced to a
+  ratio ``fresh / baseline`` (lower is better for all of them);
+* the verdict is the **median of ratios** — robust to one preempted
+  metric on a shared runner — with two thresholds: above ``1 + warn``
+  (default +10%) the gate *warns* (exit 0, loud message), above
+  ``1 + tolerance`` it *fails* (exit 1);
+* absolute numbers are never compared across machines — only the
+  within-run structure (cold vs warm, fast vs robust, serial vs
+  service) and the run-over-run ratios, which is what a gate can
+  honestly assert on heterogeneous hardware.
+
+Usage::
+
+    python benchmarks/regression.py run service --out fresh.json
+    python benchmarks/regression.py compare BENCH_service.json fresh.json
+    python benchmarks/regression.py gate service --tolerance 1.5
+
+``gate`` = run + compare against the committed baseline in one step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+from typing import Callable, Dict, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Committed baseline file per benchmark name.
+BASELINES = {
+    "plan_cache": os.path.join(REPO_ROOT, "BENCH_plan_cache.json"),
+    "faults": os.path.join(REPO_ROOT, "BENCH_faults.json"),
+    "service": os.path.join(REPO_ROOT, "BENCH_service.json"),
+    "telemetry": os.path.join(REPO_ROOT, "BENCH_telemetry.json"),
+}
+
+
+# -- metric extraction -------------------------------------------------------
+
+
+def _metrics_plan_cache(result: dict) -> List[Tuple[str, float]]:
+    out = []
+    for row in result["rows"]:
+        key = f"{row['size']}:{row['physical']}"
+        out.append((f"cold_us:{key}", float(row["cold_us"])))
+        out.append((f"warm_us:{key}", float(row["warm_us"])))
+    return out
+
+
+def _metrics_faults(result: dict) -> List[Tuple[str, float]]:
+    out = []
+    for row in result["fault_free"]["rows"]:
+        key = f"{row['size']}:{row['physical']}"
+        out.append((f"fast_wall_us:{key}", float(row["fast_wall_us"])))
+        out.append((f"robust_wall_us:{key}", float(row["robust_wall_us"])))
+    for row in result["recovery_vs_drop_rate"]:
+        out.append(
+            (f"t_disk_us:drop={row['drop_rate']}", float(row["t_disk_us"]))
+        )
+    return out
+
+
+def _metrics_service(result: dict) -> List[Tuple[str, float]]:
+    out = [("serial_wall_s", float(result["serial"]["wall_s"]))]
+    for row in result["service"]:
+        out.append((f"service_wall_s:x{row['workers']}", float(row["wall_s"])))
+    return out
+
+
+def _metrics_telemetry(result: dict) -> List[Tuple[str, float]]:
+    return [
+        ("instrumented_wall_us", float(result["instrumented_wall_us"])),
+        ("bare_wall_us", float(result["bare_wall_us"])),
+    ]
+
+
+EXTRACTORS: Dict[str, Callable[[dict], List[Tuple[str, float]]]] = {
+    "plan_cache": _metrics_plan_cache,
+    "faults": _metrics_faults,
+    "service": _metrics_service,
+    "telemetry": _metrics_telemetry,
+}
+
+
+def extract_metrics(result: dict) -> List[Tuple[str, float]]:
+    """The ``(label, seconds-like value)`` timing metrics of a result
+    file (dispatched on its ``benchmark`` field)."""
+    name = result.get("benchmark")
+    if name not in EXTRACTORS:
+        raise ValueError(f"no metric extractor for benchmark {name!r}")
+    return EXTRACTORS[name](result)
+
+
+# -- fresh runs --------------------------------------------------------------
+
+
+def run_benchmark(name: str) -> dict:
+    """Re-run one benchmark with gate-friendly parameters: fewer
+    repeats than the committed run, and the bench's *internal*
+    acceptance assertions relaxed — this tool's ratio thresholds are
+    the gate, not the quiet-machine headline bars."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    if name == "plan_cache":
+        import bench_plan_cache
+
+        return bench_plan_cache.measure(repeats=3)
+    if name == "faults":
+        import bench_faults
+
+        return bench_faults.measure(repeats=3, budget=1.0)
+    if name == "service":
+        import bench_service
+
+        return bench_service.measure(n_ops=160, repeats=3, min_speedup=0.0)
+    if name == "telemetry":
+        import bench_telemetry
+
+        return bench_telemetry.measure(budget=1.0)
+    raise ValueError(f"unknown benchmark {name!r}")
+
+
+# -- comparison --------------------------------------------------------------
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float = 0.25,
+    warn: float = 0.10,
+) -> dict:
+    """Compare two result dicts of the same benchmark.
+
+    Returns ``{"verdict": "ok" | "warn" | "fail", "median_ratio": ...,
+    "metrics": [{"label", "baseline", "fresh", "ratio"}, ...],
+    "regressions": [...labels over the warn threshold...]}``.
+    """
+    if baseline.get("benchmark") != fresh.get("benchmark"):
+        raise ValueError(
+            f"benchmark mismatch: baseline {baseline.get('benchmark')!r} "
+            f"vs fresh {fresh.get('benchmark')!r}"
+        )
+    if warn > tolerance:
+        raise ValueError(f"warn ({warn}) must be <= tolerance ({tolerance})")
+    base = dict(extract_metrics(baseline))
+    new = dict(extract_metrics(fresh))
+    shared = sorted(set(base) & set(new))
+    if not shared:
+        raise ValueError("no shared metrics between baseline and fresh run")
+    rows = []
+    ratios = []
+    for label in shared:
+        b, f = base[label], new[label]
+        ratio = f / b if b > 0 else (1.0 if f == 0 else float("inf"))
+        ratios.append(ratio)
+        rows.append(
+            {"label": label, "baseline": b, "fresh": f, "ratio": ratio}
+        )
+    median_ratio = statistics.median(ratios)
+    verdict = "ok"
+    if median_ratio > 1.0 + tolerance:
+        verdict = "fail"
+    elif median_ratio > 1.0 + warn:
+        verdict = "warn"
+    return {
+        "benchmark": baseline["benchmark"],
+        "verdict": verdict,
+        "median_ratio": median_ratio,
+        "tolerance": tolerance,
+        "warn": warn,
+        "metrics": rows,
+        "regressions": [
+            r["label"] for r in rows if r["ratio"] > 1.0 + warn
+        ],
+    }
+
+
+def _print_report(report: dict) -> None:
+    print(
+        f"[{report['verdict'].upper():4}] {report['benchmark']}: "
+        f"median ratio {report['median_ratio']:.3f} "
+        f"(warn > {1 + report['warn']:.2f}, "
+        f"fail > {1 + report['tolerance']:.2f})"
+    )
+    for row in report["metrics"]:
+        mark = " *" if row["label"] in report["regressions"] else ""
+        print(
+            f"  {row['label']:<28} {row['baseline']:12.2f} -> "
+            f"{row['fresh']:12.2f}  x{row['ratio']:.3f}{mark}"
+        )
+    if report["verdict"] == "warn":
+        print(
+            f"WARNING: {report['benchmark']} slowed by "
+            f"{(report['median_ratio'] - 1) * 100:+.1f}% (median) — "
+            f"under the failure tolerance, but look at it."
+        )
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _load(path: str) -> dict:
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python benchmarks/regression.py")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    pr = sub.add_parser("run", help="run one benchmark, print/write JSON")
+    pr.add_argument("name", choices=sorted(BASELINES))
+    pr.add_argument("--out", help="write the fresh result here")
+
+    pc = sub.add_parser("compare", help="compare two result files")
+    pc.add_argument("baseline")
+    pc.add_argument("fresh")
+    pc.add_argument("--tolerance", type=float, default=0.25)
+    pc.add_argument("--warn", type=float, default=0.10)
+
+    pg = sub.add_parser(
+        "gate", help="run fresh + compare against the committed baseline"
+    )
+    pg.add_argument("name", choices=sorted(BASELINES))
+    pg.add_argument("--baseline", help="override the baseline file")
+    pg.add_argument("--tolerance", type=float, default=0.25)
+    pg.add_argument("--warn", type=float, default=0.10)
+    pg.add_argument("--out", help="write the fresh result here")
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "run":
+        fresh = run_benchmark(args.name)
+        text = json.dumps(fresh, indent=2)
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write(text + "\n")
+            print(f"fresh {args.name} result -> {args.out}")
+        else:
+            print(text)
+        return 0
+
+    if args.cmd == "compare":
+        report = compare(
+            _load(args.baseline),
+            _load(args.fresh),
+            tolerance=args.tolerance,
+            warn=args.warn,
+        )
+        _print_report(report)
+        return 1 if report["verdict"] == "fail" else 0
+
+    # gate
+    baseline_path = args.baseline or BASELINES[args.name]
+    baseline = _load(baseline_path)
+    fresh = run_benchmark(args.name)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(fresh, f, indent=2)
+            f.write("\n")
+    report = compare(
+        baseline, fresh, tolerance=args.tolerance, warn=args.warn
+    )
+    _print_report(report)
+    return 1 if report["verdict"] == "fail" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ from ..faults import (
     replica_nodes,
 )
 from ..obs import metrics as obs_metrics
+from ..obs.context import current_trace_id, new_trace_id
 from ..obs.span import Span, open_span
 from ..redistribution.executor import execute_plan, execute_plan_windowed
 from ..redistribution.gather_scatter import gather_segments, scatter_segments
@@ -157,6 +158,57 @@ class _Message:
 #: The fate of every message under an injector with no rules (shared
 #: so the robust loops don't build a tuple per message).
 _FATE_OK: Tuple[str, float] = ("ok", 0.0)
+
+
+def _op_trace_id() -> str:
+    """The trace id for an operation root span: the caller's bound id
+    (a service worker executing a batch binds the head ticket's) or a
+    fresh one for direct engine use."""
+    return current_trace_id() or new_trace_id()
+
+
+#: Histogram handles per op, cached because the registry lookup (name
+#: f-string + dict probe, five per operation) is measurable on the
+#: telemetry-overhead benchmark.  Keyed by op; invalidated whenever the
+#: registry generation changes (a reset replaced the instruments).
+_HIST_CACHE: Dict[str, Tuple] = {}
+_HIST_CACHE_GEN = -1
+
+
+def _stage_hists(op: str) -> Tuple:
+    """``(map_s, gather_s, scatter_s, transport_s, op_s)`` histogram
+    handles for one operation kind, cached across calls."""
+    global _HIST_CACHE_GEN
+    gen = obs_metrics.get_registry().generation
+    if gen != _HIST_CACHE_GEN:
+        _HIST_CACHE.clear()
+        _HIST_CACHE_GEN = gen
+    hists = _HIST_CACHE.get(op)
+    if hists is None:
+        hists = tuple(
+            obs_metrics.histogram(f"engine.{op}.{stage}")
+            for stage in ("map_s", "gather_s", "scatter_s", "transport_s", "op_s")
+        )
+        _HIST_CACHE[op] = hists
+    return hists
+
+
+def _observe_op(root: Span, op: str, nbytes: int) -> None:
+    """Record an operation's wall time on its ``engine.<op>.op_s``
+    histogram, with the trace id and byte count as the exemplar.
+
+    A root still open (a return from inside its ``with`` block) is
+    measured up to now — the close happens microseconds later."""
+    if not obs_metrics.stage_histograms_enabled():
+        return
+    if root.wall_start_s is None:
+        return
+    end = root.wall_end_s if root.wall_end_s is not None else time.perf_counter()
+    _stage_hists(op)[4].observe(
+        end - root.wall_start_s,
+        trace_id=root.attrs.get("trace_id"),
+        bytes=nbytes,
+    )
 
 
 # --------------------------------------------------------------------------
@@ -564,7 +616,10 @@ class IOEngine:
     ) -> OperationResult:
         """The fault-free write: byte- and timing-identical to the
         pre-faults engine (no checksum, no replica fan-out)."""
-        with open_span("parallel_write", op="write", to_disk=to_disk) as root:
+        with open_span(
+            "parallel_write", op="write", to_disk=to_disk,
+            trace_id=_op_trace_id(),
+        ) as root:
             messages = self._prepare(requests, gather_payload=True)
             servers = self._servers(cfile)
             req_by_view = {req.view.compute_node: req for req in requests}
@@ -599,7 +654,10 @@ class IOEngine:
         from_disk: bool,
     ) -> OperationResult:
         """The fault-free read path (see :meth:`_write_fast`)."""
-        with open_span("parallel_read", op="read", from_disk=from_disk) as root:
+        with open_span(
+            "parallel_read", op="read", from_disk=from_disk,
+            trace_id=_op_trace_id(),
+        ) as root:
             messages = self._prepare(requests, gather_payload=False)
             servers = self._servers(cfile)
             req_by_view = {req.view.compute_node: req for req in requests}
@@ -746,7 +804,8 @@ class IOEngine:
         # injector stays cheap.
         armed = bool(injector.plan.rules)
         with open_span(
-            "parallel_write", op="write", to_disk=to_disk, op_id=op_id
+            "parallel_write", op="write", to_disk=to_disk, op_id=op_id,
+            trace_id=_op_trace_id(),
         ) as root:
             messages = self._prepare(requests, gather_payload=True)
             req_by_view = {req.view.compute_node: req for req in requests}
@@ -927,7 +986,8 @@ class IOEngine:
         k = cfile.replication
         armed = bool(injector.plan.rules)  # see _write_robust
         with open_span(
-            "parallel_read", op="read", from_disk=from_disk, op_id=op_id
+            "parallel_read", op="read", from_disk=from_disk, op_id=op_id,
+            trace_id=_op_trace_id(),
         ) as root:
             messages = self._prepare(requests, gather_payload=False)
             req_by_view = {req.view.compute_node: req for req in requests}
@@ -1091,16 +1151,37 @@ class IOEngine:
         self, root: Span, op: str, n_messages: int, payload_bytes: int
     ) -> OperationResult:
         per_compute, per_io = breakdowns_from_trace(root)
-        # Fault-handling outcomes are derived from the span tree, like
-        # the breakdowns — the trace is the single source of truth.
-        retries = sum(
-            int(sp.attrs.get("messages", 0)) for sp in root.find_all("retry")
-        )
-        failed_over = len(root.find_all("failover"))
+        # Fault-handling outcomes and per-stage latencies are derived
+        # from the span tree in one walk, like the breakdowns — the
+        # trace is the single source of truth.
+        retries = 0
+        failed_over = 0
+        map_s = gather_s = scatter_s = transport_s = 0.0
+        for sp in root.walk():
+            name = sp.name
+            if name == "map":
+                map_s += sp.wall_end_s - sp.wall_start_s
+            elif name == "gather":
+                gather_s += sp.wall_end_s - sp.wall_start_s
+            elif name == "scatter":
+                scatter_s += sp.wall_end_s - sp.wall_start_s
+            elif name == "transport":
+                transport_s += sp.wall_end_s - sp.wall_start_s
+            elif name == "retry":
+                retries += int(sp.attrs.get("messages", 0))
+            elif name == "failover":
+                failed_over += 1
         degraded = bool(root.attrs.get("degraded", False))
         obs_metrics.inc(f"engine.{op}.ops")
         obs_metrics.inc(f"engine.{op}.messages", n_messages)
         obs_metrics.inc(f"engine.{op}.payload_bytes", payload_bytes)
+        if obs_metrics.stage_histograms_enabled():
+            h_map, h_gather, h_scatter, h_transport, _ = _stage_hists(op)
+            h_map.observe(map_s)
+            h_gather.observe(gather_s)
+            h_scatter.observe(scatter_s)
+            h_transport.observe(transport_s)
+            _observe_op(root, op, payload_bytes)
         return OperationResult(
             per_compute=per_compute,
             per_io=per_io,
@@ -1149,7 +1230,8 @@ class IOEngine:
                 dst_mirrors,
             )
         with open_span(
-            "relayout", transfers=len(plan.transfers), length=length
+            "relayout", transfers=len(plan.transfers), length=length,
+            trace_id=_op_trace_id(),
         ) as root:
             sim_msgs: List[SimMessage] = []
             bytes_moved = 0
@@ -1218,6 +1300,7 @@ class IOEngine:
         obs_metrics.inc("engine.relayout.ops")
         obs_metrics.inc("engine.relayout.bytes_moved", bytes_moved)
         obs_metrics.inc("engine.relayout.cross_node_messages", cross)
+        _observe_op(root, "relayout", bytes_moved)
         return bytes_moved, cross, makespan_s, root
 
     def _relayout_robust(
@@ -1244,7 +1327,8 @@ class IOEngine:
         op_id = injector.begin_op("relayout")
         n_io = len(self.cluster.io)
         with open_span(
-            "relayout", transfers=len(plan.transfers), length=length, op_id=op_id
+            "relayout", transfers=len(plan.transfers), length=length,
+            op_id=op_id, trace_id=_op_trace_id(),
         ) as root:
             sim_msgs: List[SimMessage] = []
             bytes_moved = 0
@@ -1421,6 +1505,7 @@ class IOEngine:
         obs_metrics.inc("engine.relayout.ops")
         obs_metrics.inc("engine.relayout.bytes_moved", bytes_moved)
         obs_metrics.inc("engine.relayout.cross_node_messages", cross)
+        _observe_op(root, "relayout", bytes_moved)
         return bytes_moved, cross, makespan_s, root
 
 
@@ -1539,7 +1624,8 @@ def run_shuffle(
         raise ValueError("window_bytes and parallel are mutually exclusive")
     if injector is None:
         with open_span(
-            "shuffle", transfers=len(plan.transfers), file_length=file_length
+            "shuffle", transfers=len(plan.transfers),
+            file_length=file_length, trace_id=_op_trace_id(),
         ) as root:
             with open_span("move"):
                 if window_bytes is not None:
@@ -1563,6 +1649,7 @@ def run_shuffle(
         obs_metrics.inc("engine.shuffle.ops")
         obs_metrics.inc("engine.shuffle.messages", messages)
         obs_metrics.inc("engine.shuffle.off_node_bytes", off_node_bytes)
+        _observe_op(root, "shuffle", off_node_bytes)
         return ShuffleResult(buffers, messages, off_node_bytes, time_s, root)
 
     policy = retry_policy or RetryPolicy()
@@ -1573,6 +1660,7 @@ def run_shuffle(
         transfers=len(plan.transfers),
         file_length=file_length,
         op_id=op_id,
+        trace_id=_op_trace_id(),
     ) as root:
         if parallel or window_bytes is not None:
             # Variant executors: settle every transfer's wire fate first
@@ -1605,6 +1693,7 @@ def run_shuffle(
             obs_metrics.inc("engine.shuffle.ops")
             obs_metrics.inc("engine.shuffle.messages", messages)
             obs_metrics.inc("engine.shuffle.off_node_bytes", off_node_bytes)
+            _observe_op(root, "shuffle", off_node_bytes)
             return ShuffleResult(
                 buffers, messages, off_node_bytes, time_s, root, retries
             )
@@ -1673,6 +1762,7 @@ def run_shuffle(
     obs_metrics.inc("engine.shuffle.ops")
     obs_metrics.inc("engine.shuffle.messages", messages)
     obs_metrics.inc("engine.shuffle.off_node_bytes", off_node_bytes)
+    _observe_op(root, "shuffle", off_node_bytes)
     return ShuffleResult(
         buffers, messages, off_node_bytes, time_s, root, retries
     )

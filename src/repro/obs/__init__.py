@@ -1,4 +1,4 @@
-"""Observability: hierarchical traces and process-wide metrics.
+"""Observability: hierarchical traces, bounded metrics, and live export.
 
 The evaluation of the paper is a *phase-timing breakdown* (§8, Tables
 1–2); this package makes every phase a first-class span so the table
@@ -7,12 +7,20 @@ instrument:
 
 * :mod:`repro.obs.span` — spans over two clocks (measured wall time and
   modelled simulation time), implicit thread-local nesting, tracers;
-* :mod:`repro.obs.metrics` — the process-wide counter registry (plan
-  cache hits, pruning effectiveness, engine traffic);
+* :mod:`repro.obs.context` — process-unique trace ids that link a
+  service ticket to the spans its request produced on other threads;
+* :mod:`repro.obs.metrics` — the process-wide registry (counters plus
+  fixed-footprint log-bucket histograms with quantiles and exemplars);
+* :mod:`repro.obs.histogram` — the HDR-style histogram itself;
 * :mod:`repro.obs.export` — JSON, Chrome ``chrome://tracing`` and text
-  exporters.
+  exporters;
+* :mod:`repro.obs.prometheus` — Prometheus text exposition (and its
+  strict parser, used by the tests);
+* :mod:`repro.obs.live` — an HTTP ``/metrics`` + ``/stats`` endpoint
+  and a periodic ring-buffer sampler for ``repro.tools serve``.
 """
 
+from .context import current_trace_id, new_trace_id, trace_context
 from .export import (
     chrome_to_json,
     render_trace,
@@ -20,6 +28,8 @@ from .export import (
     trace_to_dict,
     trace_to_json,
 )
+from .histogram import Histogram
+from .live import StatsServer, TelemetrySampler, stats_payload
 from .metrics import (
     Counter,
     Gauge,
@@ -27,11 +37,15 @@ from .metrics import (
     counter,
     gauge,
     get_registry,
+    histogram,
     inc,
     observe,
     reset_metrics,
+    set_stage_histograms,
     snapshot,
+    stage_histograms_enabled,
 )
+from .prometheus import parse_prometheus_text, prometheus_name, render_prometheus
 from .span import (
     Span,
     Tracer,
@@ -44,21 +58,34 @@ from .span import (
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "Span",
+    "StatsServer",
+    "TelemetrySampler",
     "Tracer",
     "active_tracer",
     "chrome_to_json",
     "counter",
     "current_span",
+    "current_trace_id",
     "gauge",
     "get_registry",
+    "histogram",
     "inc",
+    "new_trace_id",
     "observe",
     "open_span",
+    "parse_prometheus_text",
+    "prometheus_name",
+    "render_prometheus",
     "render_trace",
     "reset_metrics",
+    "set_stage_histograms",
     "snapshot",
+    "stage_histograms_enabled",
+    "stats_payload",
+    "trace_context",
     "trace_to_chrome",
     "trace_to_dict",
     "trace_to_json",

@@ -1,0 +1,60 @@
+"""Trace context: process-unique operation ids that link spans across threads.
+
+A request admitted to the :class:`~repro.service.FileService` lives on
+three threads — the client's (admission), the dispatcher's (lock
+registration, batching) and a worker's (engine execution) — so its
+story cannot be told by thread-local span nesting alone.  The trace
+context closes that gap with two tiny pieces:
+
+* :func:`new_trace_id` — a process-unique id (``op-00000042``), stamped
+  on every service :class:`~repro.service.Ticket` at admission and on
+  every engine operation root span;
+* :func:`trace_context` — a thread-local binding that lets a layer
+  executing *on behalf of* a request (a worker running a batch) tag the
+  spans it produces with that request's id without threading the id
+  through every call signature.
+
+The id is deliberately dumb: monotonic, cheap, unique within the
+process.  Exporters and the ``/stats`` endpoint treat it as an opaque
+string, so swapping in W3C trace ids later costs nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["new_trace_id", "current_trace_id", "trace_context"]
+
+_COUNTER = itertools.count(1)
+
+
+class _Context(threading.local):
+    trace_id: Optional[str] = None
+
+
+_CTX = _Context()
+
+
+def new_trace_id(prefix: str = "op") -> str:
+    """A fresh process-unique trace id (``op-00000001``, ...)."""
+    return f"{prefix}-{next(_COUNTER):08d}"
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound to this thread, or ``None``."""
+    return _CTX.trace_id
+
+
+@contextmanager
+def trace_context(trace_id: Optional[str]) -> Iterator[Optional[str]]:
+    """Bind ``trace_id`` as this thread's current trace id for the
+    duration (restores the previous binding on exit)."""
+    prev = _CTX.trace_id
+    _CTX.trace_id = trace_id
+    try:
+        yield trace_id
+    finally:
+        _CTX.trace_id = prev

@@ -101,6 +101,15 @@ def trace_to_chrome(trace: Union[Span, Sequence[Span]]) -> List[dict]:
         for s in r.walk()
         if s.wall_start_s is not None
     ]
+    has_sim = any(
+        sp.sim_start_s is not None and sp.sim_end_s is not None
+        for r in roots
+        for sp in r.walk()
+    )
+    if not starts and not has_sim:
+        # No timed spans -> a valid, genuinely empty trace file, not a
+        # pair of orphan process-metadata records.
+        return []
     origin = min(starts) if starts else 0.0
 
     events: List[dict] = []

@@ -1,0 +1,241 @@
+"""Fixed-footprint HDR-style latency histograms with slow-op exemplars.
+
+A :class:`Histogram` buckets observations on a logarithmic grid, so it
+answers quantile queries (p50/p90/p99) with a *bounded relative error*
+while storing a fixed number of integers — no matter how many samples a
+long-running ``serve`` process feeds it.  This replaces the temptation
+to keep raw sample lists (unbounded memory) and the lossy
+last/max/sum/count summary of a plain gauge (no quantiles at all).
+
+Design, following HdrHistogram and Prometheus native histograms:
+
+* bucket ``i`` covers ``[lowest * growth**i, lowest * growth**(i+1))``;
+  with the default ``growth = 2**(1/8)`` a bucket is ~9% wide and the
+  geometric-midpoint representative is at most ``sqrt(growth) - 1``
+  (~4.4%) away from any value in the bucket — that is the quantile
+  error bound (:attr:`error_bound`);
+* ``sum``/``count``/``max``/``min``/``last`` are tracked exactly, so
+  totals reconcile to the sample (tests assert this across threads);
+* values ``<= 0`` land in a dedicated zero bucket; values outside
+  ``[lowest, highest)`` clamp into the first/last bucket (the range
+  covers 0.1 microseconds to ~115 days of seconds by default);
+* the top-``exemplar_k`` largest observations are retained as
+  **exemplars** — value plus whatever identifying attributes the caller
+  supplies (a trace id, a byte count) — so "p99 is high" comes with
+  the trace ids of the operations that made it high.
+
+All updates take the instance lock; histograms are built for contended
+paths (service admission, engine completion).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Histogram"]
+
+#: Default bucket growth factor: 8 buckets per octave (~9% wide).
+DEFAULT_GROWTH = 2.0 ** (1.0 / 8.0)
+#: Default smallest resolvable value (0.1 us when observing seconds).
+DEFAULT_LOWEST = 1e-7
+#: Default largest resolvable value (~115 days in seconds).
+DEFAULT_HIGHEST = 1e7
+#: Default number of slow-op exemplars retained.
+DEFAULT_EXEMPLARS = 5
+
+
+class Histogram:
+    """A bounded log-bucket histogram with exact totals and exemplars."""
+
+    __slots__ = (
+        "name",
+        "growth",
+        "lowest",
+        "highest",
+        "exemplar_k",
+        "_log_growth",
+        "_log_lowest",
+        "_counts",
+        "_zero_count",
+        "count",
+        "sum",
+        "max",
+        "min",
+        "last",
+        "_exemplars",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        growth: float = DEFAULT_GROWTH,
+        lowest: float = DEFAULT_LOWEST,
+        highest: float = DEFAULT_HIGHEST,
+        exemplar_k: int = DEFAULT_EXEMPLARS,
+    ):
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        if not 0 < lowest < highest:
+            raise ValueError(f"need 0 < lowest < highest, got {lowest}, {highest}")
+        self.name = name
+        self.growth = growth
+        self.lowest = lowest
+        self.highest = highest
+        self.exemplar_k = exemplar_k
+        self._log_growth = math.log(growth)
+        self._log_lowest = math.log(lowest)
+        n_buckets = int(math.ceil((math.log(highest) - self._log_lowest) / self._log_growth))
+        self._counts = [0] * n_buckets
+        self._zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+        self.min = math.inf
+        self.last = 0.0
+        #: ``(value, attrs)`` pairs, ascending by value, at most ``exemplar_k``.
+        self._exemplars: List[Tuple[float, Dict[str, object]]] = []
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        i = int((math.log(value) - self._log_lowest) / self._log_growth)
+        if i < 0:
+            return 0
+        if i >= len(self._counts):
+            return len(self._counts) - 1
+        return i
+
+    def observe(self, value: float, **exemplar: object) -> None:
+        """Record one sample.  Keyword arguments (``trace_id=...``,
+        ``bytes=...``) make the sample an exemplar *candidate*: it is
+        retained if it ranks among the ``exemplar_k`` largest seen."""
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.last = value
+            if value > self.max:
+                self.max = value
+            if value < self.min:
+                self.min = value
+            if value <= 0.0:
+                self._zero_count += 1
+            else:
+                # _index(), inlined: observe() sits on the engine's
+                # per-operation path and the call overhead is measurable
+                # in the telemetry-overhead benchmark.
+                counts = self._counts
+                i = int((math.log(value) - self._log_lowest) / self._log_growth)
+                if i < 0:
+                    i = 0
+                elif i >= len(counts):
+                    i = len(counts) - 1
+                counts[i] += 1
+            if exemplar:
+                ex = self._exemplars
+                if len(ex) < self.exemplar_k:
+                    ex.append((value, dict(exemplar)))
+                    ex.sort(key=lambda p: p[0])
+                elif ex and value > ex[0][0]:
+                    ex[0] = (value, dict(exemplar))
+                    ex.sort(key=lambda p: p[0])
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def error_bound(self) -> float:
+        """Worst-case relative error of a quantile estimate (the
+        geometric midpoint of a bucket vs its edges)."""
+        return math.sqrt(self.growth) - 1.0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _bucket_bounds(self, i: int) -> Tuple[float, float]:
+        lo = math.exp(self._log_lowest + i * self._log_growth)
+        return lo, lo * self.growth
+
+    def _quantile_locked(self, q: float) -> float:
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        seen = self._zero_count
+        if target <= seen:
+            return 0.0
+        for i, c in enumerate(self._counts):
+            if not c:
+                continue
+            seen += c
+            if seen >= target:
+                lo, hi = self._bucket_bounds(i)
+                rep = math.sqrt(lo * hi)
+                # Exact extrema tighten the edge quantiles.
+                return min(max(rep, self.min), self.max)
+        return self.max  # pragma: no cover - counts always reconcile
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` in (0, 1], within
+        :attr:`error_bound` relative error."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary with the legacy gauge keys (``last``/``max``/``sum``/
+        ``count``/``mean``) plus quantiles — drop-in for consumers of
+        :meth:`Gauge.as_dict`."""
+        with self._lock:
+            d = {
+                "last": self.last,
+                "max": self.max if self.count else 0.0,
+                "sum": self.sum,
+                "count": self.count,
+                "mean": self.sum / self.count if self.count else 0.0,
+                "p50": self._quantile_locked(0.50) if self.count else 0.0,
+                "p90": self._quantile_locked(0.90) if self.count else 0.0,
+                "p99": self._quantile_locked(0.99) if self.count else 0.0,
+            }
+        return d
+
+    def exemplars(self) -> List[Dict[str, object]]:
+        """The retained slowest observations, slowest first, each a dict
+        of ``{"value": v, **attrs}``."""
+        with self._lock:
+            pairs = list(self._exemplars)
+        return [
+            {"value": v, **attrs} for v, attrs in sorted(pairs, reverse=True, key=lambda p: p[0])
+        ]
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs over the non-empty
+        buckets, ending with ``(inf, count)`` — the Prometheus
+        histogram shape."""
+        out: List[Tuple[float, int]] = []
+        with self._lock:
+            cum = self._zero_count
+            if cum:
+                out.append((self.lowest, cum))
+            for i, c in enumerate(self._counts):
+                if c:
+                    cum += c
+                    out.append((self._bucket_bounds(i)[1], cum))
+            out.append((math.inf, self.count))
+        return out
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of allocated buckets — fixed at construction, the
+        memory-boundedness guarantee."""
+        return len(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Histogram({self.name} count={self.count} "
+            f"p50={self.quantile(0.5):.3g} max={self.max:.3g})"
+        )

@@ -1,0 +1,251 @@
+"""Live telemetry: an HTTP stats endpoint and a periodic registry sampler.
+
+Two pieces that turn the in-process registry into something an operator
+can watch while ``repro.tools serve`` is running:
+
+* :class:`StatsServer` — a stdlib ``ThreadingHTTPServer`` on localhost
+  serving ``GET /metrics`` (Prometheus text exposition, scrapable) and
+  ``GET /stats`` (a JSON snapshot: counters, distribution summaries
+  with quantiles, slow-op exemplars, derived cache hit rates, uptime,
+  and the sampler's recent time series).  Bind port 0 for an ephemeral
+  port — tests do — and read the actual address from :attr:`url`.
+* :class:`TelemetrySampler` — a daemon thread that snapshots the
+  registry every ``interval_s`` into a bounded ring buffer
+  (``deque(maxlen=...)``), so a post-mortem or the ``/stats`` endpoint
+  can show *trends* (queue depth climbing, hit rate decaying) rather
+  than a single end-of-run total.
+
+Both are deliberately dependency-free and safe to run alongside the
+service's own worker threads: the registry is internally locked, and
+neither piece ever blocks a request path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Deque, Dict, List, Optional
+
+from .metrics import MetricsRegistry, get_registry
+from .prometheus import render_prometheus
+
+__all__ = ["StatsServer", "TelemetrySampler", "stats_payload"]
+
+
+def _derived_hit_rates(counters: Dict[str, int]) -> Dict[str, float]:
+    """``<stem>.hit_rate`` for every ``<stem>.hits``/``<stem>.misses``
+    counter pair with at least one event (``plan_cache.global.hits`` ->
+    ``plan_cache.global.hit_rate``)."""
+    out: Dict[str, float] = {}
+    for key, hits in counters.items():
+        if not key.endswith(".hits"):
+            continue
+        stem = key[: -len(".hits")]
+        total = hits + counters.get(stem + ".misses", 0)
+        if total:
+            out[stem + ".hit_rate"] = hits / total
+    return out
+
+
+def stats_payload(
+    registry: Optional[MetricsRegistry] = None,
+    sampler: Optional["TelemetrySampler"] = None,
+    started_at: Optional[float] = None,
+) -> dict:
+    """The JSON-ready ``/stats`` document for a registry."""
+    reg = registry if registry is not None else get_registry()
+    counters = reg.snapshot()
+    payload: dict = {
+        "counters": counters,
+        "distributions": reg.gauges(),
+        "exemplars": {
+            name: hist.exemplars()
+            for name, hist in reg.histograms().items()
+            if hist.exemplars()
+        },
+    }
+    derived = _derived_hit_rates(counters)
+    if derived:
+        payload["derived"] = derived
+    if started_at is not None:
+        payload["uptime_s"] = max(0.0, time.time() - started_at)
+    if sampler is not None:
+        payload["series"] = sampler.series(limit=32)
+    return payload
+
+
+class TelemetrySampler:
+    """Periodic registry snapshots in a bounded ring buffer.
+
+    Each sample is ``{"t": monotonic-ish seconds since start,
+    "counters": {...}, "distributions": {...}}``.  ``capacity`` bounds
+    memory: a 1 s interval and the default capacity retain the last
+    ~8.5 minutes of history.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        interval_s: float = 1.0,
+        capacity: int = 512,
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.registry = registry if registry is not None else get_registry()
+        self.interval_s = float(interval_s)
+        self._ring: Deque[dict] = deque(maxlen=capacity)
+        self._stop = threading.Event()
+        self._started_at = time.monotonic()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+
+    def sample(self) -> dict:
+        """Take one snapshot now and append it to the ring."""
+        s = {
+            "t": time.monotonic() - self._started_at,
+            "counters": self.registry.snapshot(),
+            "distributions": self.registry.gauges(),
+        }
+        with self._lock:
+            self._ring.append(s)
+        return s
+
+    def series(self, limit: Optional[int] = None) -> List[dict]:
+        """The retained samples, oldest first (optionally the last
+        ``limit`` of them)."""
+        with self._lock:
+            out = list(self._ring)
+        if limit is not None:
+            out = out[-limit:]
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+    def start(self) -> "TelemetrySampler":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="telemetry-sampler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> List[dict]:
+        """Stop the thread (prompt — the sleep is an ``Event.wait``),
+        optionally take one last sample, and return the series."""
+        self._stop.set()
+        t = self._thread
+        if t is not None:
+            t.join(timeout=5.0)
+            self._thread = None
+        if final_sample:
+            self.sample()
+        return self.series()
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class _StatsHandler(BaseHTTPRequestHandler):
+    server: "_StatsHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        owner = self.server.owner
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(owner.registry).encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/stats":
+            body = json.dumps(
+                stats_payload(owner.registry, owner.sampler, owner.started_at),
+                indent=1,
+                sort_keys=True,
+            ).encode("utf-8")
+            ctype = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics or /stats)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # silence per-request stderr noise
+        pass
+
+
+class _StatsHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    owner: "StatsServer"
+
+
+class StatsServer:
+    """``/metrics`` + ``/stats`` over HTTP for a metrics registry.
+
+    Binds ``127.0.0.1`` only — this is an operator's local peek-hole,
+    not a public API.  ``port=0`` asks the OS for an ephemeral port;
+    :attr:`port` and :attr:`url` report what was bound.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+        sampler: Optional[TelemetrySampler] = None,
+    ):
+        self.registry = registry if registry is not None else get_registry()
+        self.sampler = sampler
+        self.started_at = time.time()
+        self._httpd = _StatsHTTPServer((host, port), _StatsHandler)
+        self._httpd.owner = self
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "StatsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="stats-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        t = self._thread
+        if t is not None:
+            t.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "StatsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,10 +1,13 @@
-"""Process-wide named counters.
+"""Process-wide named counters, gauges, and bounded histograms.
 
 The span tree answers "where did this operation spend its time"; the
 metrics registry answers "what has this process done so far" — plan
 cache hits and evictions, pair-pruning effectiveness, bytes and
 messages moved by the I/O engine.  Counters are monotonic integers,
-cheap enough for hot paths, and thread-safe.
+cheap enough for hot paths, and thread-safe.  Distributions (queue
+depth, batch size, per-stage latencies) live in fixed-footprint
+log-bucket :class:`~repro.obs.histogram.Histogram` s — quantiles and
+slow-op exemplars without retaining samples.
 
 Consumers read a :func:`snapshot`; tests and benchmarks carve out their
 window with :func:`reset` or by diffing two snapshots.
@@ -15,17 +18,23 @@ from __future__ import annotations
 import threading
 from typing import Dict, Optional
 
+from .histogram import Histogram
+
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "get_registry",
     "counter",
     "gauge",
+    "histogram",
     "inc",
     "observe",
     "snapshot",
     "reset_metrics",
+    "stage_histograms_enabled",
+    "set_stage_histograms",
 ]
 
 
@@ -110,7 +119,11 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
+        #: Bumped by :meth:`reset`; lets hot paths cache instrument
+        #: handles and notice when a reset invalidated them.
+        self.generation = 0
 
     def counter(self, name: str) -> Counter:
         """The counter registered under ``name`` (created on first use)."""
@@ -134,6 +147,17 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         self.gauge(name).observe(value)
 
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        """The histogram registered under ``name`` (created on first
+        use; ``kwargs`` configure growth/range/exemplars on creation)."""
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.get(name)
+                if h is None:
+                    h = self._histograms[name] = Histogram(name, **kwargs)
+        return h
+
     def snapshot(self, prefix: Optional[str] = None) -> Dict[str, int]:
         """Current counter values, optionally restricted to a prefix."""
         with self._lock:
@@ -145,26 +169,41 @@ class MetricsRegistry:
             ]
         return {k: c.value for k, c in sorted(items)}
 
+    @staticmethod
+    def _filtered(items, prefix: Optional[str]):
+        if prefix is None:
+            return items
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return [(k, v) for k, v in items if k.startswith(dotted) or k == prefix]
+
     def gauges(self, prefix: Optional[str] = None) -> Dict[str, Dict[str, float]]:
-        """Current gauge summaries, optionally restricted to a prefix."""
+        """Current distribution summaries, optionally restricted to a
+        prefix.  Histograms are included with the same legacy keys as
+        gauges (``last``/``max``/``sum``/``count``/``mean``) plus their
+        quantiles, so consumers survive a gauge -> histogram migration."""
         with self._lock:
-            items = list(self._gauges.items())
-        if prefix is not None:
-            dotted = prefix if prefix.endswith(".") else prefix + "."
-            items = [
-                (k, g) for k, g in items if k.startswith(dotted) or k == prefix
-            ]
-        return {k: g.as_dict() for k, g in sorted(items)}
+            items = list(self._gauges.items()) + list(self._histograms.items())
+        return {k: v.as_dict() for k, v in sorted(self._filtered(items, prefix))}
+
+    def histograms(self, prefix: Optional[str] = None) -> Dict[str, Histogram]:
+        """The live histogram objects, optionally restricted to a prefix
+        (for exposition: quantiles, buckets, exemplars)."""
+        with self._lock:
+            items = list(self._histograms.items())
+        return dict(sorted(self._filtered(items, prefix)))
 
     def reset(self, prefix: Optional[str] = None) -> None:
-        """Drop counters and gauges (all, or under a dotted prefix)."""
+        """Drop counters, gauges and histograms (all, or under a dotted
+        prefix)."""
         with self._lock:
+            self.generation += 1
             if prefix is None:
                 self._counters.clear()
                 self._gauges.clear()
+                self._histograms.clear()
                 return
             dotted = prefix if prefix.endswith(".") else prefix + "."
-            for store in (self._counters, self._gauges):
+            for store in (self._counters, self._gauges, self._histograms):
                 for k in [
                     k for k in store if k.startswith(dotted) or k == prefix
                 ]:
@@ -197,6 +236,29 @@ def gauge(name: str) -> Gauge:
 def observe(name: str, value: float) -> None:
     """Record one sample on a process-wide gauge."""
     _REGISTRY.observe(name, value)
+
+
+def histogram(name: str, **kwargs) -> Histogram:
+    """A process-wide histogram by name."""
+    return _REGISTRY.histogram(name, **kwargs)
+
+
+# Per-stage engine histograms can be switched off so the telemetry
+# benchmark can price them (and an operator can shed the last few
+# percent on a hot path); everything else — counters, service
+# histograms, span trees — is always on.
+_STAGE_HISTOGRAMS = True
+
+
+def stage_histograms_enabled() -> bool:
+    """Whether the engine records per-stage latency histograms."""
+    return _STAGE_HISTOGRAMS
+
+
+def set_stage_histograms(enabled: bool) -> None:
+    """Toggle the engine's per-stage latency histograms."""
+    global _STAGE_HISTOGRAMS
+    _STAGE_HISTOGRAMS = bool(enabled)
 
 
 def snapshot(prefix: Optional[str] = None) -> Dict[str, int]:

@@ -1,0 +1,161 @@
+"""Prometheus text-format exposition of the metrics registry.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the Prometheus text exposition format (version 0.0.4 — what a
+``/metrics`` endpoint serves and a Prometheus server scrapes):
+
+* counters become ``repro_<name>_total`` (dots -> underscores);
+* gauges expose their last observed value;
+* histograms become native Prometheus histograms — cumulative
+  ``_bucket{le="..."}`` series over the non-empty log buckets plus
+  ``_sum`` and ``_count`` — so a scraper computes any quantile with
+  ``histogram_quantile()`` at the histogram's error bound.
+
+:func:`parse_prometheus_text` is the matching strict parser.  It exists
+so the test suite (and the chaos-averse operator) can verify that what
+we serve actually parses as the format — every sample line, every
+``# TYPE`` declaration, bucket monotonicity, counter/sum/count
+consistency.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_registry
+
+__all__ = ["render_prometheus", "parse_prometheus_text", "prometheus_name"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?[0-9]+))?$"
+)
+_LABEL = re.compile(r'^(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>(?:[^"\\]|\\.)*)"$')
+
+
+def prometheus_name(dotted: str, prefix: str = "repro") -> str:
+    """A registry name (``service.wait_s``) as a valid Prometheus
+    metric name (``repro_service_wait_s``)."""
+    return f"{prefix}_{_INVALID.sub('_', dotted)}"
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(
+    registry: Optional[MetricsRegistry] = None, prefix: str = "repro"
+) -> str:
+    """The registry in Prometheus text exposition format."""
+    reg = registry if registry is not None else get_registry()
+    lines: List[str] = []
+
+    for dotted, value in reg.snapshot().items():
+        name = prometheus_name(dotted, prefix) + "_total"
+        lines.append(f"# HELP {name} Counter {dotted}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {value}")
+
+    hist_names = set(reg.histograms())
+    for dotted, summary in reg.gauges().items():
+        if dotted in hist_names:
+            continue
+        name = prometheus_name(dotted, prefix)
+        lines.append(f"# HELP {name} Gauge {dotted} (last observed value)")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(summary['last'])}")
+
+    for dotted, hist in reg.histograms().items():
+        name = prometheus_name(dotted, prefix)
+        lines.append(
+            f"# HELP {name} Histogram {dotted} "
+            f"(log buckets, relative error <= {hist.error_bound:.4f})"
+        )
+        lines.append(f"# TYPE {name} histogram")
+        for le, cum in hist.buckets():
+            lines.append(f'{name}_bucket{{le="{_fmt(le)}"}} {cum}')
+        lines.append(f"{name}_sum {_fmt(hist.sum)}")
+        lines.append(f"{name}_count {hist.count}")
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, dict]:
+    """Strictly parse Prometheus text exposition; raises ``ValueError``
+    on any malformed line or inconsistent histogram.
+
+    Returns ``{metric_name: {"type": ..., "samples": [(labels, value),
+    ...]}}`` keyed by the *family* name (without ``_bucket``/``_sum``/
+    ``_count`` suffixes for histograms).
+    """
+    families: Dict[str, dict] = {}
+    declared: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: bad TYPE line {line!r}")
+            declared[parts[2]] = parts[3]
+            families.setdefault(parts[2], {"type": parts[3], "samples": []})
+            continue
+        if line.startswith("#"):
+            continue  # HELP and comments
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: bad sample line {line!r}")
+        name, labels_raw = m.group("name"), m.group("labels")
+        labels: Dict[str, str] = {}
+        if labels_raw:
+            for part in labels_raw.split(","):
+                lm = _LABEL.match(part.strip())
+                if lm is None:
+                    raise ValueError(f"line {lineno}: bad label {part!r}")
+                labels[lm.group("k")] = lm.group("v")
+        value_raw = m.group("value")
+        try:
+            value = float(value_raw.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(f"line {lineno}: bad value {value_raw!r}") from None
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and declared.get(base) in ("histogram", "summary"):
+                family = base
+                break
+        if family not in declared:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
+        families[family]["samples"].append((name, labels, value))
+
+    for family, info in families.items():
+        if info["type"] != "histogram":
+            continue
+        buckets: List[Tuple[float, float]] = [
+            (float(labels["le"].replace("+Inf", "inf")), v)
+            for name, labels, v in info["samples"]
+            if name.endswith("_bucket")
+        ]
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ValueError(f"{family}: histogram missing +Inf bucket")
+        cums = [c for _le, c in buckets]
+        if cums != sorted(cums):
+            raise ValueError(f"{family}: bucket counts not cumulative")
+        count = next(
+            v for name, _l, v in info["samples"] if name.endswith("_count")
+        )
+        if count != buckets[-1][1]:
+            raise ValueError(f"{family}: _count != +Inf bucket")
+    return families

@@ -12,7 +12,12 @@ semantics:
   worker pool that executes independent files concurrently;
 * :mod:`repro.service.locks` — the fair FIFO reader-writer lock the
   ordering guarantee rests on;
-* :mod:`repro.service.tickets` — the client's future-like handle.
+* :mod:`repro.service.tickets` — the client's future-like handle, now
+  carrying a trace id and the ``service.batch`` span tree its operation
+  rode in;
+* :mod:`repro.service.timeline` — :func:`request_timeline`, which
+  reconstructs one request's cross-thread story (queue_wait →
+  lock_acquire → batch → engine stages) from its ticket.
 
 Determinism contract: with ``workers=1``, ``max_batch=1`` and no
 faults, the service byte-for-byte reproduces serial engine execution;
@@ -23,6 +28,7 @@ so final file bytes equal a serial replay of the admitted sequence.
 from .locks import FairRWLock, LockTicket
 from .service import FileService
 from .tickets import ServiceClosed, ServiceError, ServiceOverloaded, Ticket
+from .timeline import render_timeline, request_timeline
 
 __all__ = [
     "FairRWLock",
@@ -32,4 +38,6 @@ __all__ = [
     "ServiceError",
     "ServiceOverloaded",
     "Ticket",
+    "render_timeline",
+    "request_timeline",
 ]

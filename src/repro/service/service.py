@@ -32,9 +32,14 @@ order, through exactly the same code path as :meth:`Clusterfile.write`
 / :meth:`Clusterfile.read`.
 
 Everything the service does is measured: ``service.*`` counters
-(enqueued/rejected/completed/failed/batches) and gauges (queue depth at
-admission, batch size at dispatch, per-operation wait time) live in the
-process-wide metrics registry (:mod:`repro.obs.metrics`).
+(enqueued/rejected/completed/failed/batches) and bounded histograms
+(queue depth at admission, batch size at dispatch, per-operation wait
+time — quantiles plus slow-op exemplars at fixed footprint) live in
+the process-wide metrics registry (:mod:`repro.obs.metrics`), every
+ticket carries a trace id, and the worker publishes a ``service.batch``
+span tree on each ticket so :func:`repro.service.request_timeline`
+reconstructs a request's queue_wait → lock_acquire → engine phases
+across threads.
 """
 
 from __future__ import annotations
@@ -52,6 +57,8 @@ from ..clusterfile.fs import Clusterfile
 from ..clusterfile.relayout import relayout
 from ..core.partition import Partition
 from ..obs import metrics as obs_metrics
+from ..obs.context import trace_context
+from ..obs.span import open_span
 from .locks import FairRWLock, LockTicket
 from .tickets import ServiceClosed, ServiceOverloaded, Ticket
 
@@ -66,6 +73,9 @@ class _Op:
     name: str
     ticket: Ticket
     admitted_at: float
+    #: When the dispatcher registered the op on its file lock (queue
+    #: wait ends here; lock wait begins).
+    registered_at: float = 0.0
     node: int = -1
     offset: int = 0
     data: Optional[np.ndarray] = None  # write payload
@@ -158,9 +168,12 @@ class FileService:
         self._m_completed = obs_metrics.counter("service.completed")
         self._m_failed = obs_metrics.counter("service.failed")
         self._m_batches = obs_metrics.counter("service.batches")
-        self._m_queue_depth = obs_metrics.gauge("service.queue_depth")
-        self._m_batch_size = obs_metrics.gauge("service.batch_size")
-        self._m_wait_s = obs_metrics.gauge("service.wait_s")
+        # Bounded log-bucket histograms, not gauges: a long-running
+        # service keeps quantiles and slow-op exemplars at fixed
+        # footprint (the summary keys stay gauge-compatible).
+        self._m_queue_depth = obs_metrics.histogram("service.queue_depth")
+        self._m_batch_size = obs_metrics.histogram("service.batch_size")
+        self._m_wait_s = obs_metrics.histogram("service.wait_s")
 
         self._locks: Dict[str, FairRWLock] = {}
         self._locks_guard = threading.Lock()
@@ -350,6 +363,9 @@ class FileService:
             lock = self._lock_for(batch[0].name)
             mode = "r" if batch[0].kind == "read" else "w"
             lticket = lock.register(mode)
+            registered = time.perf_counter()
+            for op in batch:
+                op.registered_at = registered
             self._slots.acquire()
             self._pool.submit(self._run_batch, batch, lock, lticket)
 
@@ -379,18 +395,51 @@ class FileService:
         try:
             lock.wait(lticket)
             started = time.perf_counter()
-            for op in batch:
-                op.ticket.wait_s = started - op.admitted_at
-                op.ticket.batched_with = len(batch)
-                self._m_wait_s.observe(op.ticket.wait_s)
-            try:
-                self._execute(batch)
-                self._m_completed.inc(len(batch))
-            except BaseException as exc:
+            head = batch[0]
+            with open_span(
+                "service.batch",
+                kind=head.kind,
+                file=head.name,
+                size=len(batch),
+                trace_id=head.ticket.trace_id,
+            ) as root:
                 for op in batch:
-                    if not op.ticket.done():
-                        op.ticket._fail(exc)
-                self._m_failed.inc(len(batch))
+                    op.ticket.wait_s = started - op.admitted_at
+                    op.ticket.batched_with = len(batch)
+                    registered = op.registered_at or started
+                    root.record(
+                        "queue_wait",
+                        max(0.0, registered - op.admitted_at),
+                        trace_id=op.ticket.trace_id,
+                        seq=op.ticket.seq,
+                    )
+                    root.record(
+                        "lock_acquire",
+                        max(0.0, started - registered),
+                        trace_id=op.ticket.trace_id,
+                        seq=op.ticket.seq,
+                    )
+                    self._m_wait_s.observe(
+                        op.ticket.wait_s,
+                        trace_id=op.ticket.trace_id,
+                        seq=op.ticket.seq,
+                    )
+                    # Publish the tree before execution: tickets resolve
+                    # inside _execute, and a client may ask for its
+                    # timeline the instant result() returns.
+                    op.ticket.trace = root
+                try:
+                    # The engine tags its operation root with the bound
+                    # trace id, tying the whole batch (head's id names
+                    # the engine call; per-op records carry their own).
+                    with trace_context(head.ticket.trace_id):
+                        self._execute(batch)
+                    self._m_completed.inc(len(batch))
+                except BaseException as exc:
+                    for op in batch:
+                        if not op.ticket.done():
+                            op.ticket._fail(exc)
+                    self._m_failed.inc(len(batch))
         finally:
             lock.release(lticket)
             self._slots.release()
@@ -403,7 +452,9 @@ class FileService:
         head = batch[0]
         if head.kind == "write":
             self._m_batches.inc()
-            self._m_batch_size.observe(len(batch))
+            self._m_batch_size.observe(
+                len(batch), trace_id=head.ticket.trace_id
+            )
             accesses = [(op.node, op.offset, op.data) for op in batch]
             result = self.fs.write(head.name, accesses, to_disk=head.to_disk)
             for op in batch:

@@ -14,6 +14,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Optional
 
+from ..obs.context import new_trace_id
+
 __all__ = ["ServiceError", "ServiceClosed", "ServiceOverloaded", "Ticket"]
 
 
@@ -42,6 +44,8 @@ class Ticket:
         "seq",
         "kind",
         "file",
+        "trace_id",
+        "trace",
         "wait_s",
         "batched_with",
         "_done",
@@ -57,6 +61,13 @@ class Ticket:
         self.kind = kind
         #: File the operation targets.
         self.file = file
+        #: Process-unique trace id linking this operation's service-side
+        #: spans to the engine span tree it executed in (see
+        #: :func:`repro.service.request_timeline`).
+        self.trace_id = new_trace_id()
+        #: The ``service.batch`` span tree the operation rode in (set by
+        #: the worker before execution; ``None`` until dispatched).
+        self.trace = None
         #: Seconds from admission to execution start (set on resolve).
         self.wait_s = 0.0
         #: Number of requests in the engine call this operation rode in

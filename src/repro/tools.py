@@ -117,6 +117,15 @@ def _cmd_trace(args) -> int:
     print("\nmetrics:")
     for name, value in metrics.snapshot().items():
         print(f"  {name} = {value}")
+    dists = metrics.get_registry().gauges()
+    if dists:
+        print("\ndistributions:")
+        for name, d in dists.items():
+            print(
+                f"  {name}: count={d['count']} mean={d['mean']:.3g} "
+                f"p50={d.get('p50', 0.0):.3g} p99={d.get('p99', 0.0):.3g} "
+                f"max={d['max']:.3g}"
+            )
     return 0
 
 
@@ -186,29 +195,45 @@ def _cmd_serve(args) -> int:
     from .clusterfile.fs import Clusterfile
     from .distributions import round_robin
     from .obs import metrics
-    from .service import FileService
+    from .obs.live import StatsServer, TelemetrySampler
+    from .service import FileService, request_timeline
 
     metrics.reset_metrics("service")
+    metrics.reset_metrics("engine")
     nprocs = args.nprocs
     fs = Clusterfile()
     fs.create("load", round_robin(nprocs, args.chunk))
     for node in range(nprocs):
         fs.set_view("load", node, round_robin(nprocs, args.chunk))
 
+    sampler = None
+    stats = None
+    if args.stats_port is not None:
+        sampler = TelemetrySampler(interval_s=args.sample_interval).start()
+        stats = StatsServer(port=args.stats_port, sampler=sampler).start()
+        print(
+            f"stats endpoint: {stats.url}/metrics  {stats.url}/stats",
+            file=sys.stderr,
+        )
+
+    sample: dict = {}
+
     def client(i, svc):
         rng = np.random.default_rng(args.seed + i)
-        for _ in range(args.ops):
+        for k in range(args.ops):
             node = int(rng.integers(nprocs))
             off = int(rng.integers(0, 4 * args.chunk))
             if rng.random() < args.write_fraction:
                 data = rng.integers(
                     0, 256, int(rng.integers(1, args.chunk + 1)), np.uint8
                 )
-                svc.submit_write("load", node, off, data)
+                tk = svc.submit_write("load", node, off, data)
             else:
-                svc.submit_read(
+                tk = svc.submit_read(
                     "load", node, off, int(rng.integers(1, args.chunk + 1))
                 )
+            if i == 0 and k == 0:
+                sample["ticket"] = tk
 
     started = time.perf_counter()
     with FileService(
@@ -230,6 +255,16 @@ def _cmd_serve(args) -> int:
         svc.drain()
     elapsed = time.perf_counter() - started
 
+    if stats is not None and args.linger > 0:
+        print(
+            f"lingering {args.linger}s for scrapes at {stats.url}",
+            file=sys.stderr,
+        )
+        time.sleep(args.linger)
+    series = sampler.stop() if sampler is not None else None
+    if stats is not None:
+        stats.close()
+
     total = args.clients * args.ops
     report = {
         "clients": args.clients,
@@ -240,7 +275,19 @@ def _cmd_serve(args) -> int:
         "ops_per_s": total / elapsed if elapsed else None,
         "counters": metrics.snapshot("service"),
         "gauges": metrics.get_registry().gauges("service"),
+        "exemplars": {
+            name: h.exemplars()
+            for name, h in metrics.get_registry().histograms().items()
+            if h.exemplars()
+        },
+        # One request reconstructed end to end across threads — the
+        # trace-context propagation demonstrated on real load.
+        "example_timeline": (
+            request_timeline(sample["ticket"]) if "ticket" in sample else None
+        ),
     }
+    if series is not None:
+        report["telemetry"] = {"samples": len(series), "series": series[-64:]}
     print(json.dumps(report, indent=2))
     if args.json:
         with open(args.json, "w") as f:
@@ -345,6 +392,18 @@ def main(argv=None) -> int:
     )
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument("--json", help="also write the report here")
+    ps.add_argument(
+        "--stats-port", type=int, default=None,
+        help="serve /metrics and /stats on this port (0 = ephemeral)",
+    )
+    ps.add_argument(
+        "--sample-interval", type=float, default=0.25,
+        help="telemetry sampler period in seconds",
+    )
+    ps.add_argument(
+        "--linger", type=float, default=0.0,
+        help="keep the stats endpoint up this long after the workload",
+    )
     ps.set_defaults(fn=_cmd_serve)
 
     pf = sub.add_parser("figure3", help="draw the paper's figure 3")

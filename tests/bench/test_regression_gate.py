@@ -1,0 +1,132 @@
+"""The perf-regression gate: extractors against the committed baseline
+files, ratio verdicts, and CLI exit codes."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+sys.path.insert(0, BENCH_DIR)
+
+import regression  # noqa: E402
+
+
+def _load_baseline(name):
+    path = regression.BASELINES[name]
+    if not os.path.exists(path):
+        pytest.skip(f"no committed baseline {path}")
+    with open(path) as f:
+        return json.load(f)
+
+
+class TestExtractors:
+    @pytest.mark.parametrize(
+        "name", ["plan_cache", "faults", "service", "telemetry"]
+    )
+    def test_committed_baselines_yield_metrics(self, name):
+        metrics = regression.extract_metrics(_load_baseline(name))
+        assert metrics, name
+        labels = [label for label, _ in metrics]
+        assert len(labels) == len(set(labels)), "labels must be unique"
+        assert all(v > 0 for _, v in metrics)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="extractor"):
+            regression.extract_metrics({"benchmark": "nope"})
+
+
+class TestCompare:
+    def _fake(self, scale=1.0):
+        return {
+            "benchmark": "telemetry",
+            "instrumented_wall_us": 1050.0 * scale,
+            "bare_wall_us": 1000.0 * scale,
+        }
+
+    def test_identical_runs_are_ok(self):
+        report = regression.compare(self._fake(), self._fake())
+        assert report["verdict"] == "ok"
+        assert report["median_ratio"] == pytest.approx(1.0)
+        assert report["regressions"] == []
+
+    def test_slowdown_between_warn_and_tolerance_warns(self):
+        report = regression.compare(self._fake(), self._fake(1.15))
+        assert report["verdict"] == "warn"
+        assert set(report["regressions"]) == {
+            "instrumented_wall_us", "bare_wall_us"
+        }
+
+    def test_slowdown_past_tolerance_fails(self):
+        report = regression.compare(self._fake(), self._fake(1.30))
+        assert report["verdict"] == "fail"
+
+    def test_speedup_is_ok(self):
+        report = regression.compare(self._fake(), self._fake(0.5))
+        assert report["verdict"] == "ok"
+
+    def test_median_is_robust_to_one_preempted_metric(self):
+        base = {
+            "benchmark": "service",
+            "serial": {"wall_s": 1.0},
+            "service": [
+                {"workers": w, "wall_s": 0.5} for w in (1, 2, 4, 8)
+            ],
+        }
+        fresh = json.loads(json.dumps(base))
+        fresh["service"][0]["wall_s"] = 5.0  # one outlier
+        report = regression.compare(base, fresh)
+        assert report["verdict"] == "ok"
+        assert report["regressions"] == ["service_wall_s:x1"]
+
+    def test_benchmark_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            regression.compare(
+                self._fake(), {"benchmark": "service", "serial": {"wall_s": 1},
+                               "service": []},
+            )
+
+    def test_warn_above_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="warn"):
+            regression.compare(self._fake(), self._fake(), tolerance=0.1,
+                               warn=0.2)
+
+
+class TestCli:
+    def _compare_cli(self, tmp_path, scale):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        doc = {
+            "benchmark": "telemetry",
+            "instrumented_wall_us": 1000.0,
+            "bare_wall_us": 950.0,
+        }
+        base.write_text(json.dumps(doc))
+        doc = {k: (v * scale if isinstance(v, float) else v)
+               for k, v in doc.items()}
+        fresh.write_text(json.dumps(doc))
+        return subprocess.run(
+            [sys.executable, os.path.join(BENCH_DIR, "regression.py"),
+             "compare", str(base), str(fresh)],
+            capture_output=True, text=True,
+        )
+
+    def test_ok_exits_zero(self, tmp_path):
+        p = self._compare_cli(tmp_path, 1.0)
+        assert p.returncode == 0
+        assert "[OK" in p.stdout
+
+    def test_warn_exits_zero_but_is_loud(self, tmp_path):
+        p = self._compare_cli(tmp_path, 1.15)
+        assert p.returncode == 0
+        assert "WARNING" in p.stdout
+
+    def test_fail_exits_nonzero(self, tmp_path):
+        p = self._compare_cli(tmp_path, 2.0)
+        assert p.returncode == 1
+        assert "[FAIL" in p.stdout

@@ -75,6 +75,18 @@ class TestChrome:
     def test_chrome_json_parses(self):
         assert isinstance(json.loads(chrome_to_json(_sample_tree())), list)
 
+    def test_empty_trace_exports_empty_list(self):
+        # No timed spans at all -> `[]`, not orphan metadata records.
+        assert trace_to_chrome(Span("op")) == []
+        assert trace_to_chrome([]) == []
+        assert json.loads(chrome_to_json([])) == []
+
+    def test_untimed_root_with_sim_children_still_exports(self):
+        root = Span("op")
+        root.record_sim("io0.disk", 0.0, 0.005, io_node=0)
+        events = trace_to_chrome(root)
+        assert any(e.get("ph") == "X" for e in events)
+
 
 class TestRender:
     def test_text_tree(self):

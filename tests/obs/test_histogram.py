@@ -1,0 +1,189 @@
+"""Histogram correctness: error bound, exact totals, exemplars, and
+multi-thread reconciliation."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.histogram import (
+    DEFAULT_GROWTH,
+    Histogram,
+)
+
+
+class TestBucketing:
+    def test_bucket_count_is_fixed_at_construction(self):
+        h = Histogram("t")
+        expected = math.ceil(math.log(1e7 / 1e-7) / math.log(DEFAULT_GROWTH))
+        assert h.bucket_count == expected == 373
+        for v in (0.0, 1e-12, 1e-3, 1.0, 1e9):
+            h.observe(v)
+        assert h.bucket_count == expected  # observations never grow it
+
+    def test_error_bound_matches_growth(self):
+        h = Histogram("t")
+        assert h.error_bound == pytest.approx(math.sqrt(DEFAULT_GROWTH) - 1)
+        assert h.error_bound < 0.045
+
+    def test_quantiles_within_error_bound(self):
+        rng = np.random.default_rng(7)
+        samples = np.exp(rng.normal(np.log(1e-3), 1.0, 20000))
+        h = Histogram("t")
+        for v in samples:
+            h.observe(float(v))
+        for q in (0.50, 0.90, 0.99):
+            exact = float(np.quantile(samples, q))
+            est = h.quantile(q)
+            assert abs(est - exact) / exact <= h.error_bound + 1e-9, q
+
+    def test_quantile_edges_clamp_to_exact_extrema(self):
+        h = Histogram("t")
+        for v in (0.010, 0.011, 0.012):
+            h.observe(v)
+        assert 0.012 * (1 - h.error_bound) <= h.quantile(1.0) <= 0.012
+        assert h.quantile(1e-9) >= 0.010
+
+    def test_zero_and_negative_values_land_in_zero_bucket(self):
+        h = Histogram("t")
+        h.observe(0.0)
+        h.observe(-1.5)
+        h.observe(1e-3)
+        assert h.count == 3
+        assert h.quantile(0.5) == 0.0
+        bounds = [b for b, _ in h.buckets()]
+        assert bounds[0] == h.lowest  # zero bucket reported at `lowest`
+
+    def test_out_of_range_values_clamp_not_crash(self):
+        h = Histogram("t", lowest=1e-3, highest=1e3)
+        h.observe(1e-9)
+        h.observe(1e9)
+        assert h.count == 2
+        assert h.max == 1e9  # exact extrema still true
+        assert h.sum == pytest.approx(1e9 + 1e-9)
+
+    def test_rejects_bad_construction_and_queries(self):
+        with pytest.raises(ValueError):
+            Histogram("t", growth=1.0)
+        with pytest.raises(ValueError):
+            Histogram("t", lowest=1.0, highest=0.5)
+        h = Histogram("t")
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+class TestExactTotals:
+    def test_sum_count_max_min_last_are_exact(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(1e-6, 1e-2, 500)
+        h = Histogram("t")
+        for v in samples:
+            h.observe(float(v))
+        assert h.count == 500
+        assert h.sum == pytest.approx(float(samples.sum()), rel=1e-12)
+        assert h.max == float(samples.max())
+        assert h.min == float(samples.min())
+        assert h.last == float(samples[-1])
+        assert h.as_dict()["mean"] == pytest.approx(float(samples.mean()))
+
+    def test_buckets_are_cumulative_and_reconcile(self):
+        h = Histogram("t")
+        for v in (1e-4, 2e-4, 5e-3, 5e-3, 1.0):
+            h.observe(v)
+        buckets = h.buckets()
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert buckets[-1] == (math.inf, 5)
+
+    def test_as_dict_has_legacy_gauge_keys_plus_quantiles(self):
+        h = Histogram("t")
+        h.observe(0.5)
+        d = h.as_dict()
+        assert set(d) == {
+            "last", "max", "sum", "count", "mean", "p50", "p90", "p99"
+        }
+
+
+class TestExemplars:
+    def test_keeps_k_slowest_with_attrs(self):
+        h = Histogram("t", exemplar_k=3)
+        for i in range(10):
+            h.observe(float(i), trace_id=f"op-{i:08d}")
+        ex = h.exemplars()
+        assert [e["value"] for e in ex] == [9.0, 8.0, 7.0]
+        assert ex[0]["trace_id"] == "op-00000009"
+
+    def test_plain_observations_are_not_candidates(self):
+        h = Histogram("t")
+        h.observe(100.0)  # no attrs: never an exemplar
+        h.observe(1.0, trace_id="op-1")
+        assert [e["value"] for e in h.exemplars()] == [1.0]
+
+
+class TestConcurrency:
+    def test_multi_thread_hammer_reconciles_exactly(self):
+        """N threads hammer one histogram and a counter; totals must
+        reconcile to the sample exactly — no lost updates."""
+        h = Histogram("t", exemplar_k=4)
+        c = obs_metrics.Counter("hits")
+        n_threads, per_thread = 8, 2000
+        start = threading.Barrier(n_threads)
+
+        def work(tid):
+            rng = np.random.default_rng(tid)
+            vals = rng.uniform(1e-6, 1e-3, per_thread)
+            start.wait()
+            for i, v in enumerate(vals):
+                h.observe(float(v), trace_id=f"op-{tid}-{i}")
+                c.inc()
+            return float(vals.sum()), float(vals.max())
+
+        sums = {}
+        threads = [
+            threading.Thread(
+                target=lambda t=t: sums.__setitem__(t, work(t))
+            )
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == c.value == n_threads * per_thread
+        assert h.sum == pytest.approx(
+            sum(s for s, _ in sums.values()), rel=1e-9
+        )
+        assert h.max == max(m for _, m in sums.values())
+        assert sum(1 for _ in h.buckets()) >= 1
+        assert h.buckets()[-1][1] == h.count
+        # The slowest exemplar is the true global max.
+        assert h.exemplars()[0]["value"] == h.max
+
+
+class TestRegistryIntegration:
+    def test_gauges_view_includes_histograms(self):
+        reg = obs_metrics.MetricsRegistry()
+        reg.histogram("svc.wait_s").observe(0.25)
+        reg.gauge("svc.depth").observe(3)
+        view = reg.gauges("svc")
+        assert view["svc.wait_s"]["p99"] == pytest.approx(0.25, rel=0.05)
+        assert "p99" not in view["svc.depth"]  # plain gauges unchanged
+
+    def test_reset_bumps_generation_and_drops_histograms(self):
+        reg = obs_metrics.MetricsRegistry()
+        gen = reg.generation
+        reg.histogram("a.h").observe(1.0)
+        reg.reset("a")
+        assert reg.generation == gen + 1
+        assert not reg.histograms("a")
+
+    def test_histogram_kwargs_apply_on_first_use_only(self):
+        reg = obs_metrics.MetricsRegistry()
+        h1 = reg.histogram("x", exemplar_k=2)
+        h2 = reg.histogram("x", exemplar_k=99)
+        assert h1 is h2
+        assert h1.exemplar_k == 2

@@ -1,0 +1,140 @@
+"""Live export: the telemetry sampler's bounded ring and a real HTTP
+round-trip — /metrics parsed by the strict Prometheus parser, /stats as
+JSON — against a service that just did real work."""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.clusterfile.fs import Clusterfile
+from repro.distributions import round_robin
+from repro.obs import metrics as obs_metrics
+from repro.obs.live import StatsServer, TelemetrySampler, stats_payload
+from repro.obs.prometheus import parse_prometheus_text
+from repro.service import FileService
+from repro.simulation.cluster import ClusterConfig
+
+
+def _run_some_ops(n_ops: int = 12) -> None:
+    fs = Clusterfile(ClusterConfig())
+    fs.create("live", round_robin(4, 64))
+    for node in range(4):
+        fs.set_view("live", node, round_robin(4, 64))
+    rng = np.random.default_rng(0)
+    with FileService(fs, workers=2, max_queue=64, max_batch=4) as svc:
+        for i in range(n_ops):
+            svc.submit_write(
+                "live", i % 4, 0, rng.integers(0, 256, 64, dtype=np.uint8)
+            )
+        assert svc.drain(timeout=60)
+
+
+class TestSampler:
+    def test_ring_is_bounded(self):
+        sampler = TelemetrySampler(capacity=4, interval_s=60)
+        for _ in range(10):
+            sampler.sample()
+        assert len(sampler) == 4
+        assert len(sampler.series()) == 4
+
+    def test_series_limit_returns_tail(self):
+        sampler = TelemetrySampler(capacity=8, interval_s=60)
+        for _ in range(5):
+            sampler.sample()
+        tail = sampler.series(limit=2)
+        assert len(tail) == 2
+        assert tail == sampler.series()[-2:]
+
+    def test_background_thread_collects_and_stops(self):
+        with TelemetrySampler(interval_s=0.02) as sampler:
+            time.sleep(0.12)
+        n = len(sampler)
+        assert n >= 2
+        time.sleep(0.06)
+        assert len(sampler) == n  # stopped: no further growth
+
+    def test_samples_carry_counters_and_timestamps(self):
+        obs_metrics.reset_metrics()
+        obs_metrics.inc("engine.write.ops", 2)
+        sampler = TelemetrySampler(interval_s=60)
+        sampler.sample()
+        (s,) = sampler.series()
+        assert s["counters"]["engine.write.ops"] == 2
+        assert s["t"] > 0
+
+
+class TestStatsPayload:
+    def test_derived_cache_hit_rates(self):
+        reg = obs_metrics.MetricsRegistry()
+        reg.inc("plan_cache.global.hits", 7)
+        reg.inc("plan_cache.global.misses", 3)
+        payload = stats_payload(registry=reg)
+        assert payload["derived"]["plan_cache.global.hit_rate"] == (
+            pytest.approx(0.7)
+        )
+
+    def test_real_run_surfaces_plan_cache_rate(self):
+        obs_metrics.reset_metrics()
+        _run_some_ops(n_ops=6)
+        payload = stats_payload()
+        assert "plan_cache.global.hit_rate" in payload["derived"]
+
+    def test_exemplars_surface_per_histogram(self):
+        reg = obs_metrics.MetricsRegistry()
+        reg.histogram("e.op_s").observe(0.5, trace_id="op-00000001")
+        payload = stats_payload(registry=reg)
+        assert payload["exemplars"]["e.op_s"][0]["trace_id"] == "op-00000001"
+
+
+class TestHttpRoundTrip:
+    def test_metrics_and_stats_against_live_service(self):
+        obs_metrics.reset_metrics()
+        _run_some_ops()
+        with TelemetrySampler(interval_s=60) as sampler:
+            sampler.sample()
+            with StatsServer(port=0, sampler=sampler) as server:
+                with urllib.request.urlopen(
+                    server.url + "/metrics", timeout=10
+                ) as resp:
+                    assert resp.status == 200
+                    assert "text/plain" in resp.headers["Content-Type"]
+                    families = parse_prometheus_text(
+                        resp.read().decode("utf-8")
+                    )
+                # Counters and histograms from the real run are served.
+                assert (
+                    families["repro_engine_write_ops_total"]["samples"][0][2]
+                    > 0
+                )
+                assert families["repro_service_wait_s"]["type"] == "histogram"
+                assert (
+                    families["repro_engine_write_op_s"]["type"] == "histogram"
+                )
+
+                with urllib.request.urlopen(
+                    server.url + "/stats", timeout=10
+                ) as resp:
+                    assert resp.status == 200
+                    stats = json.load(resp)
+                assert stats["counters"]["engine.write.ops"] > 0
+                assert "service.wait_s" in stats["distributions"]
+                assert stats["distributions"]["service.wait_s"]["count"] > 0
+                # Exemplars link the slow ops back to their trace ids.
+                ex = stats["exemplars"]["engine.write.op_s"]
+                assert ex[0]["trace_id"].startswith("op-")
+                assert stats["series"], "sampler series should be served"
+
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(
+                        server.url + "/nope", timeout=10
+                    )
+                assert err.value.code == 404
+
+    def test_ephemeral_port_is_assigned(self):
+        with StatsServer(port=0) as server:
+            assert server.port > 0
+            assert server.url.startswith("http://127.0.0.1:")

@@ -1,0 +1,124 @@
+"""Prometheus text exposition: rendering, name sanitization, and the
+strict parser that gates what /metrics serves."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    parse_prometheus_text,
+    prometheus_name,
+    render_prometheus,
+)
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.inc("engine.write.ops", 3)
+    reg.inc("engine.write.payload_bytes", 4096)
+    reg.gauge("service.queue_high_water").observe(7)
+    h = reg.histogram("service.wait_s")
+    for v in (0.001, 0.002, 0.004, 0.5):
+        h.observe(v)
+    return reg
+
+
+class TestNames:
+    def test_dotted_to_underscored_with_prefix(self):
+        assert prometheus_name("engine.write.ops") == "repro_engine_write_ops"
+
+    def test_invalid_chars_sanitized(self):
+        assert (
+            prometheus_name("a.b-c/d e")
+            == "repro_a_b_c_d_e"
+        )
+
+    def test_leading_digit_guarded(self):
+        name = prometheus_name("9lives")
+        assert not name.split("_", 1)[0][0].isdigit()
+
+
+class TestRender:
+    def test_counters_get_total_suffix_and_type(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_engine_write_ops_total counter" in text
+        assert "repro_engine_write_ops_total 3" in text
+
+    def test_histogram_has_cumulative_buckets_sum_count(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_service_wait_s histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_service_wait_s_sum" in text
+        assert "repro_service_wait_s_count 4" in text
+
+    def test_gauge_rendered_as_gauge(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_service_queue_high_water gauge" in text
+
+    def test_round_trips_through_parser(self, registry):
+        families = parse_prometheus_text(render_prometheus(registry))
+        assert families["repro_engine_write_ops_total"]["type"] == "counter"
+        hist = families["repro_service_wait_s"]
+        assert hist["type"] == "histogram"
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in hist["samples"]
+            if name.endswith("_bucket")
+        ]
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == 4
+
+    def test_empty_registry_renders_and_parses(self):
+        text = render_prometheus(MetricsRegistry())
+        assert parse_prometheus_text(text) == {}
+
+
+class TestParserStrictness:
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(ValueError, match="TYPE"):
+            parse_prometheus_text("repro_x_total 3\n")
+
+    def test_rejects_non_cumulative_buckets(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            'repro_h_bucket{le="1"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="monotal|monoton|cumulative"):
+            parse_prometheus_text(bad)
+
+    def test_rejects_count_mismatching_inf_bucket(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 4\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+    def test_rejects_histogram_missing_inf_bucket(self):
+        bad = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+    def test_rejects_malformed_sample_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(
+                "# TYPE repro_x counter\nrepro_x_total not_a_number\n"
+            )
+
+    def test_inf_values_parse(self):
+        text = "# TYPE repro_g gauge\nrepro_g +Inf\n"
+        fam = parse_prometheus_text(text)
+        assert fam["repro_g"]["samples"][0][2] == math.inf
