@@ -42,6 +42,7 @@ BASELINES = {
     "faults": os.path.join(REPO_ROOT, "BENCH_faults.json"),
     "service": os.path.join(REPO_ROOT, "BENCH_service.json"),
     "telemetry": os.path.join(REPO_ROOT, "BENCH_telemetry.json"),
+    "mp_engine": os.path.join(REPO_ROOT, "BENCH_mp_engine.json"),
 }
 
 
@@ -84,11 +85,23 @@ def _metrics_telemetry(result: dict) -> List[Tuple[str, float]]:
     ]
 
 
+def _metrics_mp_engine(result: dict) -> List[Tuple[str, float]]:
+    out = [("serial_wall_s", float(result["serial"]["wall_s"]))]
+    for row in result["threads"]:
+        out.append((f"thread_wall_s:x{row['workers']}", float(row["wall_s"])))
+    for row in result["processes"]:
+        out.append(
+            (f"process_wall_s:x{row['workers']}", float(row["wall_s"]))
+        )
+    return out
+
+
 EXTRACTORS: Dict[str, Callable[[dict], List[Tuple[str, float]]]] = {
     "plan_cache": _metrics_plan_cache,
     "faults": _metrics_faults,
     "service": _metrics_service,
     "telemetry": _metrics_telemetry,
+    "mp_engine": _metrics_mp_engine,
 }
 
 
@@ -126,6 +139,10 @@ def run_benchmark(name: str) -> dict:
         import bench_telemetry
 
         return bench_telemetry.measure(budget=1.0)
+    if name == "mp_engine":
+        import bench_mp_engine
+
+        return bench_mp_engine.measure(n_ops=24, repeats=3, min_speedup=0.0)
     raise ValueError(f"unknown benchmark {name!r}")
 
 
@@ -220,6 +237,13 @@ def main(argv=None) -> int:
     pr = sub.add_parser("run", help="run one benchmark, print/write JSON")
     pr.add_argument("name", choices=sorted(BASELINES))
     pr.add_argument("--out", help="write the fresh result here")
+    pr.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="also overwrite the committed baseline file "
+        "(BENCH_<name>.json) with this fresh result — run on a quiet "
+        "machine, then commit the file",
+    )
 
     pc = sub.add_parser("compare", help="compare two result files")
     pc.add_argument("baseline")
@@ -247,6 +271,10 @@ def main(argv=None) -> int:
             print(f"fresh {args.name} result -> {args.out}")
         else:
             print(text)
+        if args.update_baseline:
+            with open(BASELINES[args.name], "w") as f:
+                f.write(text + "\n")
+            print(f"baseline updated -> {BASELINES[args.name]}")
         return 0
 
     if args.cmd == "compare":

@@ -39,6 +39,7 @@ def reshard(
     total_bytes: int | None = None,
     injector=None,
     retry_policy=None,
+    backend=None,
 ) -> List[np.ndarray]:
     """Convert per-rank byte pieces from one decomposition to another.
 
@@ -47,7 +48,10 @@ def reshard(
     partitions may have different element counts — that is the point.
 
     An ``injector`` (a :class:`repro.faults.FaultInjector`) subjects the
-    per-transfer moves to the engine's checksum-verify-retry loop.
+    per-transfer moves to the engine's checksum-verify-retry loop.  A
+    ``backend`` (:class:`~repro.mp.pool.ProcessPoolExecutorBackend`)
+    scatters the fault-free conversion across worker processes —
+    byte-identical, destination elements partitioned over workers.
     """
     if total_bytes is None:
         total_bytes = old_partition.displacement + sum(p.size for p in pieces)
@@ -61,6 +65,7 @@ def reshard(
         total_bytes,
         injector=injector,
         retry_policy=retry_policy,
+        backend=backend,
     ).buffers
 
 
@@ -96,13 +101,22 @@ class CheckpointStore:
         config: ClusterConfig | None = None,
         fault_injector=None,
         retry_policy=None,
+        workers_mode: str = "thread",
+        workers: int = 4,
     ):
         self.fs = Clusterfile(
             config or ClusterConfig(),
             fault_injector=fault_injector,
             retry_policy=retry_policy,
+            workers_mode=workers_mode,
+            workers=workers,
         )
         self._meta: Dict[str, _Meta] = {}
+
+    def close(self) -> None:
+        """Tear down the underlying deployment (worker pool and
+        shared-memory segments included, in process mode)."""
+        self.fs.close()
 
     def save(
         self,

@@ -31,14 +31,18 @@ def parallel_write(
     to_disk: bool = False,
     injector: Optional[FaultInjector] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    backend=None,
 ) -> OperationResult:
     """All compute nodes write their view intervals concurrently.
 
     Returns per-compute-node :class:`WriteBreakdown` (Table 1 columns)
     and per-I/O-node :class:`ScatterBreakdown` (Table 2 columns), both
     derived from the operation's span tree (``result.trace``).
+
+    ``backend`` (a :class:`~repro.mp.pool.ProcessPoolExecutorBackend`)
+    moves the fault-free server-side work into worker processes.
     """
-    return IOEngine(cluster, injector, retry_policy).write(
+    return IOEngine(cluster, injector, retry_policy, backend=backend).write(
         cfile, requests, to_disk=to_disk
     )
 
@@ -50,9 +54,10 @@ def parallel_read(
     from_disk: bool = False,
     injector: Optional[FaultInjector] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    backend=None,
 ) -> OperationResult:
     """The reverse-symmetric read operation (§8.1: "the write and read
     are reverse symmetrical").  Request buffers are filled in place."""
-    return IOEngine(cluster, injector, retry_policy).read(
+    return IOEngine(cluster, injector, retry_policy, backend=backend).read(
         cfile, requests, from_disk=from_disk
     )

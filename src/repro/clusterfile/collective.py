@@ -154,6 +154,7 @@ def two_phase_write(
         network=fs.cluster.network.model,
         injector=fs.fault_injector,
         retry_policy=fs.retry_policy,
+        backend=fs.backend,
     )
     agg_buffers = sh.buffers
 
@@ -257,6 +258,7 @@ def two_phase_read(
         network=fs.cluster.network.model,
         injector=fs.fault_injector,
         retry_policy=fs.retry_policy,
+        backend=fs.backend,
     )
     out_by_element = sh.buffers
 

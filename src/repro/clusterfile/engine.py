@@ -418,11 +418,17 @@ class IOEngine:
         cluster: Cluster,
         injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        backend=None,
     ):
         self.cluster = cluster
         self.transport = SimulatedTransport(cluster)
         self.injector = injector
         self.retry_policy = retry_policy or RetryPolicy()
+        #: Optional :class:`~repro.mp.pool.ProcessPoolExecutorBackend`.
+        #: When set, the fault-free fast paths fan the server-side work
+        #: out across worker processes (stores must live in shared
+        #: memory); the robust paths always run parent-side.
+        self.backend = backend
 
     # -- client-side phases --------------------------------------------------
 
@@ -621,29 +627,34 @@ class IOEngine:
             trace_id=_op_trace_id(),
         ) as root:
             messages = self._prepare(requests, gather_payload=True)
-            servers = self._servers(cfile)
             req_by_view = {req.view.compute_node: req for req in requests}
-            service_costs: List[Tuple[float, float]] = []
-            for msg in messages:
-                view = req_by_view[msg.compute].view
-                io_index = self.cluster.io_node_for(msg.subfile).index
-                with open_span(
-                    "server.write", subfile=msg.subfile, io_node=io_index
-                ) as sp:
-                    cost = servers[msg.subfile].write(
-                        msg.l_s,
-                        msg.r_s,
-                        msg.payload,
-                        view.links[msg.subfile].proj_subfile,
-                        to_disk=to_disk,
-                    )
-                sp.annotate(
-                    bytes=cost.nbytes,
-                    runs=cost.runs,
-                    cache_s=cost.cache_s,
-                    disk_s=cost.disk_s,
+            if self.backend is not None:
+                service_costs = self._mp_serve_write(
+                    cfile, req_by_view, messages, to_disk, root
                 )
-                service_costs.append((cost.cache_s, cost.disk_s))
+            else:
+                servers = self._servers(cfile)
+                service_costs = []
+                for msg in messages:
+                    view = req_by_view[msg.compute].view
+                    io_index = self.cluster.io_node_for(msg.subfile).index
+                    with open_span(
+                        "server.write", subfile=msg.subfile, io_node=io_index
+                    ) as sp:
+                        cost = servers[msg.subfile].write(
+                            msg.l_s,
+                            msg.r_s,
+                            msg.payload,
+                            view.links[msg.subfile].proj_subfile,
+                            to_disk=to_disk,
+                        )
+                    sp.annotate(
+                        bytes=cost.nbytes,
+                        runs=cost.runs,
+                        cache_s=cost.cache_s,
+                        disk_s=cost.disk_s,
+                    )
+                    service_costs.append((cost.cache_s, cost.disk_s))
             n_messages, payload_bytes = self._exchange(messages, service_costs)
         return self._finish(root, "write", n_messages, payload_bytes)
 
@@ -659,28 +670,34 @@ class IOEngine:
             trace_id=_op_trace_id(),
         ) as root:
             messages = self._prepare(requests, gather_payload=False)
-            servers = self._servers(cfile)
             req_by_view = {req.view.compute_node: req for req in requests}
-            service_costs: List[Tuple[float, float]] = []
-            for msg in messages:
-                req = req_by_view[msg.compute]
-                link = req.view.links[msg.subfile]
-                io_index = self.cluster.io_node_for(msg.subfile).index
-                with open_span(
-                    "server.read", subfile=msg.subfile, io_node=io_index
-                ) as sp:
-                    payload, cost = servers[msg.subfile].read(
-                        msg.l_s, msg.r_s, link.proj_subfile, from_disk=from_disk
-                    )
-                sp.annotate(
-                    bytes=cost.nbytes,
-                    runs=cost.runs,
-                    cache_s=cost.cache_s,
-                    disk_s=cost.disk_s,
+            if self.backend is not None:
+                service_costs = self._mp_serve_read(
+                    cfile, req_by_view, messages, from_disk, root
                 )
-                msg.payload = payload
-                service_costs.append((cost.cache_s, cost.disk_s))
-                self._scatter_reply(root, req, link, msg, payload)
+            else:
+                servers = self._servers(cfile)
+                service_costs = []
+                for msg in messages:
+                    req = req_by_view[msg.compute]
+                    link = req.view.links[msg.subfile]
+                    io_index = self.cluster.io_node_for(msg.subfile).index
+                    with open_span(
+                        "server.read", subfile=msg.subfile, io_node=io_index
+                    ) as sp:
+                        payload, cost = servers[msg.subfile].read(
+                            msg.l_s, msg.r_s, link.proj_subfile,
+                            from_disk=from_disk,
+                        )
+                    sp.annotate(
+                        bytes=cost.nbytes,
+                        runs=cost.runs,
+                        cache_s=cost.cache_s,
+                        disk_s=cost.disk_s,
+                    )
+                    msg.payload = payload
+                    service_costs.append((cost.cache_s, cost.disk_s))
+                    self._scatter_reply(root, req, link, msg, payload)
             n_messages, payload_bytes = self._exchange(messages, service_costs)
         return self._finish(root, "read", n_messages, payload_bytes)
 
@@ -705,6 +722,121 @@ class IOEngine:
                 bytes=int(payload.size),
                 runs=int(starts.size),
             )
+
+    # -- multiprocess fan-out (fault-free fast paths only) --------------------
+
+    def _mp_jobs(
+        self, cfile: ClusterFile, req_by_view: Dict[int, WriteRequest],
+        messages: List[_Message],
+    ) -> Tuple[List[List[dict]], List[List[int]]]:
+        """Group per-message server jobs by owning worker.
+
+        The parent resolves everything a worker cannot cheaply (or
+        picklably) compute itself — the projection's segment arrays come
+        from the view's mapping-function machinery, which carries
+        thread-local scratch state — so a job is plain arrays and ints:
+        one bulk pickle, no View/plan objects crossing the boundary.
+        """
+        backend = self.backend
+        jobs: List[List[dict]] = [[] for _ in range(backend.processes)]
+        order: List[List[int]] = [[] for _ in range(backend.processes)]
+        for i, msg in enumerate(messages):
+            store = cfile.stores[msg.subfile]
+            shm_name = getattr(store, "shm_name", None)
+            if shm_name is None:
+                raise ValueError(
+                    "multiprocess execution needs shared-memory subfile "
+                    "stores; build the Clusterfile with "
+                    "SharedMemoryStorage (or workers_mode='process')"
+                )
+            link = req_by_view[msg.compute].view.links[msg.subfile]
+            starts, lengths = link.proj_subfile.segments_in(msg.l_s, msg.r_s)
+            nbytes = int(lengths.sum()) if lengths.size else 0
+            w = backend.worker_for(msg.subfile, cfile.num_subfiles)
+            jobs[w].append(
+                {
+                    "store": shm_name,
+                    "capacity": store.capacity,
+                    "subfile": msg.subfile,
+                    "l_s": msg.l_s,
+                    "r_s": msg.r_s,
+                    "starts": starts,
+                    "lengths": lengths,
+                    "nbytes": nbytes,
+                    "io_node": self.cluster.io_node_for(msg.subfile).index,
+                }
+            )
+            order[w].append(i)
+        return jobs, order
+
+    def _mp_serve_write(
+        self,
+        cfile: ClusterFile,
+        req_by_view: Dict[int, WriteRequest],
+        messages: List[_Message],
+        to_disk: bool,
+        root: Span,
+    ) -> List[Tuple[float, float]]:
+        """Fan the server-side write loop out across the pool: payloads
+        leave in one packed all-to-all round, per-message costs come
+        back with the worker span trees (grafted under ``root``)."""
+        backend = self.backend
+        jobs, order = self._mp_jobs(cfile, req_by_view, messages)
+        for w in range(backend.processes):
+            for j, i in enumerate(order[w]):
+                if jobs[w][j]["nbytes"] != int(messages[i].payload.size):
+                    raise ValueError(
+                        f"subfile {jobs[w][j]['subfile']}: payload of "
+                        f"{int(messages[i].payload.size)} bytes does not "
+                        f"match the projection's {jobs[w][j]['nbytes']}"
+                    )
+        outbox = [
+            (w + 1, messages[i].payload)
+            for w in range(backend.processes)
+            for i in order[w]
+        ]
+        with backend.lock:
+            results = backend.exchange_write(jobs, outbox, to_disk, root)
+        service_costs: List[Tuple[float, float]] = (
+            [(0.0, 0.0)] * len(messages)
+        )
+        for w, res in enumerate(results):
+            for j, i in enumerate(order[w]):
+                cost = res["costs"][j]
+                service_costs[i] = (cost[0], cost[1])
+        return service_costs
+
+    def _mp_serve_read(
+        self,
+        cfile: ClusterFile,
+        req_by_view: Dict[int, WriteRequest],
+        messages: List[_Message],
+        from_disk: bool,
+        root: Span,
+    ) -> List[Tuple[float, float]]:
+        """The read mirror: reply payloads arrive packed per worker;
+        scatters into the user buffers run parent-side in the original
+        message order, exactly like the serial loop."""
+        backend = self.backend
+        jobs, order = self._mp_jobs(cfile, req_by_view, messages)
+        with backend.lock:
+            results, inbox = backend.exchange_read(jobs, from_disk, root)
+        service_costs: List[Tuple[float, float]] = (
+            [(0.0, 0.0)] * len(messages)
+        )
+        for w, res in enumerate(results):
+            block, off = inbox[w + 1], 0
+            for j, i in enumerate(order[w]):
+                nbytes = jobs[w][j]["nbytes"]
+                messages[i].payload = block[off : off + nbytes]
+                off += nbytes
+                cost = res["costs"][j]
+                service_costs[i] = (cost[0], cost[1])
+        for msg in messages:
+            req = req_by_view[msg.compute]
+            link = req.view.links[msg.subfile]
+            self._scatter_reply(root, req, link, msg, msg.payload)
+        return service_costs
 
     # -- robust (fault-injected / replicated) paths ---------------------------
 
@@ -1590,6 +1722,78 @@ def _shuffle_fate_accounting(
     return retries
 
 
+def _execute_plan_mp(
+    plan: RedistributionPlan,
+    src_buffers: Sequence[np.ndarray],
+    file_length: int,
+    backend,
+    root: Span,
+) -> List[np.ndarray]:
+    """Execute a redistribution plan across the worker pool.
+
+    Destination elements are partitioned into contiguous blocks, one
+    block per worker; the parent gathers every transfer's packed
+    payload (sources are read-only, so gather order is free) and ships
+    all of a worker's payloads in one packed round; workers scatter in
+    the plan's transfer order per destination element — the only order
+    that matters for bytes — and a second round brings the finished
+    destination buffers back.  Byte-identical to :func:`execute_plan`.
+    """
+    nproc = backend.processes
+    n_dst = plan.dst.num_elements
+    jobs: List[List[dict]] = [[] for _ in range(nproc)]
+    owned: List[List[int]] = [[] for _ in range(nproc)]
+    job_index: Dict[int, Tuple[int, int]] = {}
+    for j in range(n_dst):
+        w = min(j * nproc // n_dst, nproc - 1)
+        job_index[j] = (w, len(jobs[w]))
+        owned[w].append(j)
+        jobs[w].append(
+            {
+                "dst_len": plan.dst.element_length(j, file_length),
+                "transfers": [],
+            }
+        )
+    gathers: List[List[List[tuple]]] = [
+        [[] for _ in jobs[w]] for w in range(nproc)
+    ]
+    for t in plan.transfers:
+        src_len = src_buffers[t.src_element].size
+        dst_len = plan.dst.element_length(t.dst_element, file_length)
+        if src_len == 0 or dst_len == 0:
+            continue
+        src_segs = t.src_projection.segments_in(0, src_len - 1)
+        dst_segs = t.dst_projection.segments_in(0, dst_len - 1)
+        nbytes = int(src_segs[1].sum()) if src_segs[1].size else 0
+        if nbytes == 0:
+            continue
+        w, jpos = job_index[t.dst_element]
+        jobs[w][jpos]["transfers"].append(
+            {"starts": dst_segs[0], "lengths": dst_segs[1], "nbytes": nbytes}
+        )
+        gathers[w][jpos].append((t.src_element, src_segs))
+    # Pack payloads in exactly the order a worker will slice its block:
+    # job by job, transfer by transfer.
+    outbox = [
+        (w + 1, gather_segments(src_buffers[src], segs))
+        for w in range(nproc)
+        for per_job in gathers[w]
+        for src, segs in per_job
+    ]
+    with backend.lock:
+        _results, inbox = backend.exchange_shuffle(jobs, outbox, root)
+    buffers: List[np.ndarray] = [
+        np.zeros(0, dtype=np.uint8) for _ in range(n_dst)
+    ]
+    for w in range(nproc):
+        block, off = inbox[w + 1], 0
+        for j in owned[w]:
+            dst_len = plan.dst.element_length(j, file_length)
+            buffers[j] = block[off : off + dst_len]
+            off += dst_len
+    return buffers
+
+
 def run_shuffle(
     plan: RedistributionPlan,
     src_buffers: Sequence[np.ndarray],
@@ -1599,6 +1803,7 @@ def run_shuffle(
     injector: Optional[FaultInjector] = None,
     retry_policy: Optional[RetryPolicy] = None,
     window_bytes: Optional[int] = None,
+    backend=None,
 ) -> ShuffleResult:
     """Execute a redistribution plan in memory through the engine.
 
@@ -1622,13 +1827,25 @@ def run_shuffle(
     """
     if window_bytes is not None and parallel:
         raise ValueError("window_bytes and parallel are mutually exclusive")
+    if backend is not None and (parallel or window_bytes is not None):
+        raise ValueError(
+            "backend is mutually exclusive with parallel/window_bytes"
+        )
+    if backend is not None and injector is not None:
+        # Fault injection needs parent-side fate draws per attempt; the
+        # robust shuffle always runs in-process.
+        backend = None
     if injector is None:
         with open_span(
             "shuffle", transfers=len(plan.transfers),
             file_length=file_length, trace_id=_op_trace_id(),
         ) as root:
             with open_span("move"):
-                if window_bytes is not None:
+                if backend is not None:
+                    buffers = _execute_plan_mp(
+                        plan, src_buffers, file_length, backend, root
+                    )
+                elif window_bytes is not None:
                     buffers = execute_plan_windowed(
                         plan, src_buffers, file_length, window_bytes
                     )

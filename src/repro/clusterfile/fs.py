@@ -43,6 +43,13 @@ class Clusterfile:
     ``fault_injector`` / ``retry_policy`` switch every data operation
     onto the engine's robust path (checksums, retries, failover); both
     ``None`` — the default — runs the exact fault-free code.
+
+    ``workers_mode="process"`` escapes the GIL: subfile stores default
+    to shared memory and the fault-free write/read paths execute on a
+    :class:`~repro.mp.pool.ProcessPoolExecutorBackend` of ``workers``
+    processes (call :meth:`close` — or use the instance as a context
+    manager — to tear the pool and its segments down).  The default
+    ``"thread"`` keeps everything in-process, exactly as before.
     """
 
     config: ClusterConfig = field(default_factory=ClusterConfig)
@@ -51,15 +58,54 @@ class Clusterfile:
     fault_injector: object = None
     #: A :class:`repro.faults.RetryPolicy`, or ``None`` (defaults).
     retry_policy: object = None
+    #: ``"thread"`` (in-process, default) or ``"process"``.
+    workers_mode: str = "thread"
+    #: Worker-process count for ``workers_mode="process"``.
+    workers: int = 4
 
     def __post_init__(self) -> None:
         self.cluster = Cluster(self.config)
         self.files: Dict[str, ClusterFile] = {}
         self.views: Dict[tuple, View] = {}
+        self.backend = None
+        if self.workers_mode not in ("thread", "process"):
+            raise ValueError(
+                f"workers_mode must be 'thread' or 'process', "
+                f"got {self.workers_mode!r}"
+            )
         if self.storage is None:
-            from .storage import MemoryStorage
+            if self.workers_mode == "process":
+                from .storage import SharedMemoryStorage
 
-            self.storage = MemoryStorage()
+                self.storage = SharedMemoryStorage()
+            else:
+                from .storage import MemoryStorage
+
+                self.storage = MemoryStorage()
+        if self.workers_mode == "process":
+            from ..mp import ProcessPoolExecutorBackend
+
+            self.backend = ProcessPoolExecutorBackend(
+                processes=self.workers, config=self.config
+            )
+
+    def close(self) -> None:
+        """Release every file's stores and (in process mode) shut the
+        worker pool down, unlinking all shared-memory segments."""
+        for name in list(self.files):
+            try:
+                self.unlink(name)
+            except Exception:
+                pass
+        if self.backend is not None:
+            self.backend.close()
+            self.backend = None
+
+    def __enter__(self) -> "Clusterfile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- namespace -----------------------------------------------------------
 
@@ -174,6 +220,7 @@ class Clusterfile:
             to_disk=to_disk,
             injector=self.fault_injector,
             retry_policy=self.retry_policy,
+            backend=self.backend,
         )
 
     def read(
@@ -202,6 +249,7 @@ class Clusterfile:
             from_disk=from_disk,
             injector=self.fault_injector,
             retry_policy=self.retry_policy,
+            backend=self.backend,
         )
         return buffers
 
@@ -231,6 +279,7 @@ class Clusterfile:
             from_disk=from_disk,
             injector=self.fault_injector,
             retry_policy=self.retry_policy,
+            backend=self.backend,
         )
         return buffers, result
 

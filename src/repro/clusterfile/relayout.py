@@ -85,7 +85,7 @@ def relayout(
 
     cluster: Cluster = fs.cluster
     bytes_moved, cross, makespan_s, trace = IOEngine(
-        cluster, fs.fault_injector, fs.retry_policy
+        cluster, fs.fault_injector, fs.retry_policy, backend=fs.backend
     ).relayout_transfers(
         plan,
         old,

@@ -23,7 +23,14 @@ import numpy as np
 
 from .file_model import SubfileStore
 
-__all__ = ["Storage", "MemoryStorage", "FileStorage", "FileBackedStore"]
+__all__ = [
+    "Storage",
+    "MemoryStorage",
+    "FileStorage",
+    "FileBackedStore",
+    "SharedMemoryStore",
+    "SharedMemoryStorage",
+]
 
 
 class Storage(Protocol):
@@ -139,6 +146,121 @@ class FileBackedStore(SubfileStore):
         if self._map is not None:
             self._map.flush()
             self._map = None
+
+
+class SharedMemoryStore(SubfileStore):
+    """A subfile in a POSIX shared-memory segment, visible to the
+    worker processes of :class:`~repro.mp.pool.ProcessPoolExecutorBackend`.
+
+    Layout: an 8-byte little-endian length header followed by
+    ``capacity`` data bytes.  The segment is sized up front — shared
+    mappings cannot grow in place — but Linux commits pages lazily, so
+    an almost-empty 64 MiB subfile costs almost nothing resident.
+    Exceeding the capacity raises a clean error naming the knob
+    (``SharedMemoryStorage(capacity=...)``) instead of corrupting
+    anything.
+
+    Concurrency contract: exactly one process writes a given subfile at
+    a time (the owning pool worker on the fast path, or the parent on
+    the robust/relayout paths — the engine never mixes the two in one
+    operation), so the length header needs no lock.
+    """
+
+    HEADER = 8
+    DEFAULT_CAPACITY = 64 << 20
+
+    def __init__(self, subfile: int, capacity: int = DEFAULT_CAPACITY,
+                 name: str | None = None):
+        from ..mp import shm as _shm
+
+        self.subfile = subfile
+        self.capacity = int(capacity)
+        if name is None:
+            self._shm = _shm.create_segment(
+                self.HEADER + self.capacity, f"sf{subfile}"
+            )
+            self.owner = True
+        else:
+            self._shm = _shm.attach_segment(name)
+            self.owner = False
+        self._len = np.ndarray((1,), dtype=np.uint64, buffer=self._shm.buf)
+        self._buf = np.ndarray(
+            (self.capacity,), dtype=np.uint8,
+            buffer=self._shm.buf, offset=self.HEADER,
+        )
+        if self.owner:
+            self._len[0] = 0
+
+    @classmethod
+    def attach(cls, name: str, subfile: int, capacity: int) -> "SharedMemoryStore":
+        """Map an existing store segment (worker side, non-owning)."""
+        return cls(subfile, capacity, name=name)
+
+    @property
+    def shm_name(self) -> str:
+        return self._shm.name
+
+    @property
+    def length(self) -> int:
+        return int(self._len[0])
+
+    @length.setter
+    def length(self, value: int) -> None:
+        self._len[0] = value
+
+    def _ensure(self, length: int) -> None:
+        if length > self.capacity:
+            raise ValueError(
+                f"subfile {self.subfile} needs {length} bytes but its "
+                f"shared-memory capacity is {self.capacity}; raise "
+                f"SharedMemoryStorage(capacity=...)"
+            )
+        if length > self.length:
+            self._len[0] = length
+
+    def view(self, lo: int, hi: int) -> np.ndarray:
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad subfile window [{lo}, {hi}]")
+        self._ensure(hi + 1)
+        return self._buf[lo : hi + 1]
+
+    def read(self, lo: int, hi: int) -> np.ndarray:
+        if lo < 0 or hi < lo:
+            raise ValueError(f"bad subfile window [{lo}, {hi}]")
+        out = np.zeros(hi - lo + 1, dtype=np.uint8)
+        avail = min(self.length, hi + 1)
+        if avail > lo:
+            out[: avail - lo] = self._buf[lo:avail]
+        return out
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._buf[: self.length]
+
+    def flush(self, sync: bool = False) -> None:
+        """Shared memory is always coherent; nothing to do."""
+
+    def close(self) -> None:
+        """Release the mapping; the creator also unlinks the segment."""
+        from ..mp import shm as _shm
+
+        if self._shm is None:
+            return
+        self._len = None  # type: ignore[assignment]
+        self._buf = None  # type: ignore[assignment]
+        _shm.release_segment(self._shm)
+        self._shm = None  # type: ignore[assignment]
+
+
+class SharedMemoryStorage:
+    """Keeps every subfile in shared memory — required by (and the
+    default for) the multiprocess engine backend, usable standalone."""
+
+    def __init__(self, capacity: int = SharedMemoryStore.DEFAULT_CAPACITY):
+        self.capacity = int(capacity)
+
+    def make_store(self, file_name: str, subfile: int) -> SubfileStore:
+        return SharedMemoryStore(subfile, self.capacity)
 
 
 class FileStorage:

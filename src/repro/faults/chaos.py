@@ -115,6 +115,7 @@ def _path_write_read(
     nprocs: int,
     replication: int,
     policy: RetryPolicy,
+    mode: str = "thread",
 ) -> Dict[str, object]:
     """Parallel write + read; returns ok/retry/failover/latency facts."""
     logical, physical, data, _ = _workload(
@@ -124,28 +125,35 @@ def _path_write_read(
         ClusterConfig(),
         fault_injector=FaultInjector(plan) if plan is not None else None,
         retry_policy=policy,
+        workers_mode=mode,
     )
-    fs.create("chaos", physical, replication=replication)
-    for node in range(nprocs):
-        fs.set_view("chaos", node, logical, element=node)
-    wres = fs.write(
-        "chaos", [(node, 0, data[node]) for node in range(nprocs)], to_disk=True
-    )
-    bufs, rres = fs.read_with_result(
-        "chaos",
-        [(node, 0, data[node].size) for node in range(nprocs)],
-        from_disk=True,
-    )
-    ok = all(
-        np.array_equal(bufs[node], data[node]) for node in range(nprocs)
-    )
-    return {
-        "ok": bool(ok),
-        "retries": wres.retries + rres.retries,
-        "failed_over": rres.failed_over,
-        "degraded": wres.degraded,
-        "t_w_disk_us": _t_w_disk(wres) + _t_w_disk(rres),
-    }
+    try:
+        fs.create("chaos", physical, replication=replication)
+        for node in range(nprocs):
+            fs.set_view("chaos", node, logical, element=node)
+        wres = fs.write(
+            "chaos",
+            [(node, 0, data[node]) for node in range(nprocs)],
+            to_disk=True,
+        )
+        bufs, rres = fs.read_with_result(
+            "chaos",
+            [(node, 0, data[node].size) for node in range(nprocs)],
+            from_disk=True,
+        )
+        ok = all(
+            np.array_equal(bufs[node], data[node]) for node in range(nprocs)
+        )
+        return {
+            "ok": bool(ok),
+            "retries": wres.retries + rres.retries,
+            "failed_over": rres.failed_over,
+            "degraded": wres.degraded,
+            "t_w_disk_us": _t_w_disk(wres) + _t_w_disk(rres),
+        }
+    finally:
+        if mode == "process":
+            fs.close()
 
 
 def _path_collective(
@@ -154,6 +162,7 @@ def _path_collective(
     nprocs: int,
     replication: int,
     policy: RetryPolicy,
+    mode: str = "thread",
 ) -> Dict[str, object]:
     """Two-phase collective write + read, byte-compared to the source."""
     logical, physical, data, _ = _workload(plan.seed, n_bytes, nprocs)
@@ -161,28 +170,33 @@ def _path_collective(
         ClusterConfig(),
         fault_injector=FaultInjector(plan),
         retry_policy=policy,
+        workers_mode=mode,
     )
-    fs.create("chaos", physical, replication=replication)
-    for node in range(nprocs):
-        fs.set_view("chaos", node, logical, element=node)
-    accesses = [(node, 0, data[node]) for node in range(nprocs)]
-    cw = two_phase_write(fs, "chaos", accesses, to_disk=True)
-    bufs, cr = two_phase_read(
-        fs,
-        "chaos",
-        [(node, 0, data[node].size) for node in range(nprocs)],
-        from_disk=True,
-    )
-    ok = all(
-        np.array_equal(bufs[i], data[node])
-        for i, node in enumerate(range(nprocs))
-    )
-    return {
-        "ok": bool(ok),
-        "retries": cw.write.retries + cr.write.retries,
-        "failed_over": cr.write.failed_over,
-        "degraded": cw.write.degraded,
-    }
+    try:
+        fs.create("chaos", physical, replication=replication)
+        for node in range(nprocs):
+            fs.set_view("chaos", node, logical, element=node)
+        accesses = [(node, 0, data[node]) for node in range(nprocs)]
+        cw = two_phase_write(fs, "chaos", accesses, to_disk=True)
+        bufs, cr = two_phase_read(
+            fs,
+            "chaos",
+            [(node, 0, data[node].size) for node in range(nprocs)],
+            from_disk=True,
+        )
+        ok = all(
+            np.array_equal(bufs[i], data[node])
+            for i, node in enumerate(range(nprocs))
+        )
+        return {
+            "ok": bool(ok),
+            "retries": cw.write.retries + cr.write.retries,
+            "failed_over": cr.write.failed_over,
+            "degraded": cw.write.degraded,
+        }
+    finally:
+        if mode == "process":
+            fs.close()
 
 
 def _path_relayout(
@@ -191,6 +205,7 @@ def _path_relayout(
     nprocs: int,
     replication: int,
     policy: RetryPolicy,
+    mode: str = "thread",
 ) -> Dict[str, object]:
     """Write, physically re-lay out, read back through fresh views."""
     logical, physical, data, total = _workload(plan.seed, n_bytes, nprocs)
@@ -198,31 +213,40 @@ def _path_relayout(
         ClusterConfig(),
         fault_injector=FaultInjector(plan),
         retry_policy=policy,
+        workers_mode=mode,
     )
-    fs.create("chaos", physical, replication=replication)
-    for node in range(nprocs):
-        fs.set_view("chaos", node, logical, element=node)
-    fs.write(
-        "chaos", [(node, 0, data[node]) for node in range(nprocs)], to_disk=True
-    )
-    new_elements = max(2, nprocs // 2)
-    rl = relayout(fs, "chaos", _block_partition(new_elements, total // new_elements))
-    for node in range(nprocs):
-        fs.set_view("chaos", node, logical, element=node)
-    bufs, rres = fs.read_with_result(
-        "chaos",
-        [(node, 0, data[node].size) for node in range(nprocs)],
-        from_disk=True,
-    )
-    ok = all(
-        np.array_equal(bufs[node], data[node]) for node in range(nprocs)
-    )
-    return {
-        "ok": bool(ok),
-        "retries": rl.retries + rres.retries,
-        "failed_over": rl.failed_over + rres.failed_over,
-        "degraded": False,
-    }
+    try:
+        fs.create("chaos", physical, replication=replication)
+        for node in range(nprocs):
+            fs.set_view("chaos", node, logical, element=node)
+        fs.write(
+            "chaos",
+            [(node, 0, data[node]) for node in range(nprocs)],
+            to_disk=True,
+        )
+        new_elements = max(2, nprocs // 2)
+        rl = relayout(
+            fs, "chaos", _block_partition(new_elements, total // new_elements)
+        )
+        for node in range(nprocs):
+            fs.set_view("chaos", node, logical, element=node)
+        bufs, rres = fs.read_with_result(
+            "chaos",
+            [(node, 0, data[node].size) for node in range(nprocs)],
+            from_disk=True,
+        )
+        ok = all(
+            np.array_equal(bufs[node], data[node]) for node in range(nprocs)
+        )
+        return {
+            "ok": bool(ok),
+            "retries": rl.retries + rres.retries,
+            "failed_over": rl.failed_over + rres.failed_over,
+            "degraded": False,
+        }
+    finally:
+        if mode == "process":
+            fs.close()
 
 
 def _path_reshard(
@@ -255,6 +279,7 @@ def run_chaos(
     nprocs: int = 4,
     replication: int = 2,
     retry_policy: Optional[RetryPolicy] = None,
+    mode: str = "thread",
 ) -> Tuple[Dict[str, object], bool]:
     """One chaos run: all four data paths under one fault plan.
 
@@ -264,21 +289,27 @@ def run_chaos(
     faulty write/read against its fault-free twin (same replication, no
     injector — isolating what the faults cost, not what replication
     costs).
+
+    ``mode`` selects the deployments' execution mode (``"thread"`` or
+    ``"process"``); byte-exactness must hold identically in both.
+    Fault-injected operations always execute their robust parent-side
+    paths, so process mode mainly exercises shared-memory subfile
+    stores plus the fault-free twin's multiprocess fan-out.
     """
     policy = retry_policy or RetryPolicy()
     paths: Dict[str, Dict[str, object]] = {}
     paths["write_read"] = _path_write_read(
-        plan, n_bytes, nprocs, replication, policy
+        plan, n_bytes, nprocs, replication, policy, mode=mode
     )
-    clean = _path_write_read(None, n_bytes, nprocs, replication, policy)
+    clean = _path_write_read(None, n_bytes, nprocs, replication, policy, mode=mode)
     faulty_t = paths["write_read"]["t_w_disk_us"]
     clean_t = clean["t_w_disk_us"]
     recovery_overhead = (faulty_t / clean_t - 1.0) if clean_t else 0.0
     paths["collective"] = _path_collective(
-        plan, n_bytes, nprocs, replication, policy
+        plan, n_bytes, nprocs, replication, policy, mode=mode
     )
     paths["relayout"] = _path_relayout(
-        plan, n_bytes, nprocs, replication, policy
+        plan, n_bytes, nprocs, replication, policy, mode=mode
     )
     paths["reshard"] = _path_reshard(plan, n_bytes, nprocs, policy)
     all_ok = all(p["ok"] for p in paths.values())
@@ -309,6 +340,7 @@ def run_sweep(
     slow_node: Optional[int] = None,
     slow_factor: float = 1.0,
     retry_policy: Optional[RetryPolicy] = None,
+    mode: str = "thread",
 ) -> Tuple[List[Dict[str, object]], bool]:
     """A multi-seed chaos sweep; returns per-seed reports + verdict."""
     reports = []
@@ -330,6 +362,7 @@ def run_sweep(
             nprocs=nprocs,
             replication=replication,
             retry_policy=retry_policy,
+            mode=mode,
         )
         reports.append(report)
         all_ok = all_ok and ok

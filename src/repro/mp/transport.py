@@ -1,0 +1,214 @@
+"""Packed all-to-all exchange over shared memory.
+
+The data plane of the multiprocess engine, using the counts-then-
+displacements alltoallv idiom (SNIPPETS.md Snippet 2, the diy/FTK
+``redistribute``): each sender
+
+1. computes its per-peer **sendcounts** row,
+2. publishes the row into a shared *counts matrix* (the allgather),
+3. derives displacements by prefix sum and packs **all** per-pair
+   segments into one contiguous per-rank **send region**,
+
+so every receiver does exactly one bulk copy per sender — no
+per-segment message objects anywhere on the hot path.  Zero-byte
+pairs cost nothing, a rank sending only to itself is one local copy,
+and a single-rank exchange degenerates to a memcpy.
+
+Synchronisation is a shared-memory barrier of monotonically increasing
+per-rank epoch counters: two barriers per round (everything packed /
+everything drained), polled with spin-then-sleep.  A rank that never
+arrives — a crashed worker — turns into a clean
+:class:`~repro.mp.shm.TransportError` via the timeout or a liveness
+callback, never a hang.
+
+The transport is process-agnostic: ranks may be worker processes (the
+pool) or plain threads of one process (the tests), because all state
+lives in shared memory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .shm import (
+    SPIN_COUNT,
+    TransportError,
+    attach_segment,
+    create_segment,
+    release_segment,
+)
+
+__all__ = ["SharedMemoryTransport"]
+
+DEFAULT_REGION_BYTES = 32 << 20
+
+
+class SharedMemoryTransport:
+    """N-rank packed alltoallv through shared-memory regions.
+
+    One process creates the transport; peers attach via the picklable
+    :meth:`handle`.  Every rank calls :meth:`alltoallv` exactly once
+    per round with its outbox — ``[(dst_rank, uint8 payload), ...]`` —
+    and receives ``inbox[src]``: one contiguous ``uint8`` array per
+    sender (empty when nothing was sent).
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        region_bytes: int = DEFAULT_REGION_BYTES,
+        _attach: Optional[Tuple[str, str, str]] = None,
+    ):
+        if nprocs < 1:
+            raise ValueError(f"need >= 1 rank, got {nprocs}")
+        self.nprocs = nprocs
+        self.region_bytes = int(region_bytes)
+        if _attach is None:
+            self.owner = True
+            self._counts_shm = create_segment(nprocs * nprocs * 8, "counts")
+            self._epoch_shm = create_segment(nprocs * 8, "epoch")
+            self._data_shm = create_segment(
+                max(nprocs * self.region_bytes, 8), "xchg"
+            )
+            init = True
+        else:
+            self.owner = False
+            counts_name, epoch_name, data_name = _attach
+            self._counts_shm = attach_segment(counts_name)
+            self._epoch_shm = attach_segment(epoch_name)
+            self._data_shm = attach_segment(data_name)
+            init = False
+        self._counts = np.ndarray(
+            (nprocs, nprocs), dtype=np.int64, buffer=self._counts_shm.buf
+        )
+        self._epochs = np.ndarray(
+            (nprocs,), dtype=np.int64, buffer=self._epoch_shm.buf
+        )
+        self._data = np.ndarray(
+            (self._data_shm.size,), dtype=np.uint8, buffer=self._data_shm.buf
+        )
+        if init:
+            self._counts[:] = 0
+            self._epochs[:] = 0
+        #: Per-attached-instance barrier epoch (each rank uses its own
+        #: instance, so this is rank-local state).
+        self._my_epoch = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def handle(self) -> Tuple[int, int, Tuple[str, str, str]]:
+        """A picklable attachment handle for peer ranks."""
+        return (
+            self.nprocs,
+            self.region_bytes,
+            (
+                self._counts_shm.name,
+                self._epoch_shm.name,
+                self._data_shm.name,
+            ),
+        )
+
+    @classmethod
+    def from_handle(cls, handle) -> "SharedMemoryTransport":
+        nprocs, region_bytes, names = handle
+        return cls(nprocs, region_bytes, _attach=tuple(names))
+
+    def close(self) -> None:
+        self._counts = None  # type: ignore[assignment]
+        self._epochs = None  # type: ignore[assignment]
+        self._data = None  # type: ignore[assignment]
+        for shm in (self._counts_shm, self._epoch_shm, self._data_shm):
+            release_segment(shm)
+
+    # -- synchronisation -----------------------------------------------------
+
+    def _barrier(
+        self,
+        rank: int,
+        timeout: Optional[float],
+        liveness: Optional[Callable[[], bool]],
+    ) -> None:
+        self._my_epoch += 1
+        self._epochs[rank] = self._my_epoch
+        deadline = None if timeout is None else time.monotonic() + timeout
+        spins = 0
+        while bool((self._epochs < self._my_epoch).any()):
+            spins += 1
+            if spins > SPIN_COUNT:
+                time.sleep(50e-6)
+            if liveness is not None and spins % 1000 == 0 and not liveness():
+                raise TransportError(
+                    f"rank {rank}: peer died inside exchange barrier"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                laggards = np.flatnonzero(
+                    self._epochs < self._my_epoch
+                ).tolist()
+                raise TransportError(
+                    f"rank {rank}: exchange barrier timed out after "
+                    f"{timeout}s waiting for ranks {laggards}"
+                )
+
+    # -- the packed exchange -------------------------------------------------
+
+    def _region(self, rank: int) -> np.ndarray:
+        base = rank * self.region_bytes
+        return self._data[base : base + self.region_bytes]
+
+    def alltoallv(
+        self,
+        rank: int,
+        outbox: Sequence[Tuple[int, np.ndarray]],
+        timeout: Optional[float] = 60.0,
+        liveness: Optional[Callable[[], bool]] = None,
+    ) -> List[np.ndarray]:
+        """One exchange round.  Must be called by all ``nprocs`` ranks.
+
+        Returns ``inbox`` with one owned contiguous array per sender;
+        ``inbox[src]`` concatenates every segment ``src`` addressed to
+        this rank, in the order the sender enqueued them.
+        """
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range 0..{self.nprocs - 1}")
+        # 1. sendcounts row.
+        counts_row = np.zeros(self.nprocs, dtype=np.int64)
+        per_dst: List[List[np.ndarray]] = [[] for _ in range(self.nprocs)]
+        for dst, payload in outbox:
+            if not 0 <= dst < self.nprocs:
+                raise ValueError(f"destination rank {dst} out of range")
+            seg = np.ascontiguousarray(payload, dtype=np.uint8).reshape(-1)
+            counts_row[dst] += seg.size
+            per_dst[dst].append(seg)
+        total = int(counts_row.sum())
+        if total > self.region_bytes:
+            raise TransportError(
+                f"rank {rank}: outbox of {total} bytes exceeds the "
+                f"{self.region_bytes}-byte send region"
+            )
+        # 2. + 3. publish the counts row (the allgather is the shared
+        # matrix itself) and pack all segments at their displacements.
+        self._counts[rank, :] = counts_row
+        region = self._region(rank)
+        displs = np.zeros(self.nprocs + 1, dtype=np.int64)
+        np.cumsum(counts_row, out=displs[1:])
+        for dst in range(self.nprocs):
+            off = int(displs[dst])
+            for seg in per_dst[dst]:
+                region[off : off + seg.size] = seg
+                off += seg.size
+        self._barrier(rank, timeout, liveness)  # everything packed
+        # 4. one bulk copy per sender.
+        counts = self._counts.copy()
+        inbox: List[np.ndarray] = []
+        for src in range(self.nprocs):
+            nbytes = int(counts[src, rank])
+            sdispl = int(counts[src, :rank].sum())
+            base = src * self.region_bytes
+            inbox.append(
+                self._data[base + sdispl : base + sdispl + nbytes].copy()
+            )
+        self._barrier(rank, timeout, liveness)  # everything drained
+        return inbox

@@ -26,6 +26,8 @@ __all__ = [
     "trace_to_chrome",
     "chrome_to_json",
     "render_trace",
+    "span_to_dict",
+    "span_from_dict",
 ]
 
 _WALL_PID = 1
@@ -74,6 +76,38 @@ def trace_to_dict(trace: Union[Span, Sequence[Span]]) -> List[dict]:
 def trace_to_json(trace: Union[Span, Sequence[Span]], indent: int = 2) -> str:
     """The nested dump as a JSON string."""
     return json.dumps(trace_to_dict(trace), indent=indent)
+
+
+def span_to_dict(sp: Span) -> dict:
+    """A *faithful* (lossless, round-trippable) dict form of one span.
+
+    Unlike :func:`trace_to_dict` — which reduces clocks to durations for
+    human consumption — this keeps raw start/end timestamps on both
+    clocks, so a span built in a worker process can be shipped across
+    the process boundary and grafted into the parent's tree without
+    losing ordering (``perf_counter`` is ``CLOCK_MONOTONIC`` on Linux
+    and therefore comparable across processes on one machine).
+    """
+    return {
+        "name": sp.name,
+        "attrs": {str(k): _jsonable(v) for k, v in sp.attrs.items()},
+        "wall_start_s": sp.wall_start_s,
+        "wall_end_s": sp.wall_end_s,
+        "sim_start_s": sp.sim_start_s,
+        "sim_end_s": sp.sim_end_s,
+        "children": [span_to_dict(c) for c in sp.children],
+    }
+
+
+def span_from_dict(d: dict) -> Span:
+    """Rebuild a :class:`Span` tree from :func:`span_to_dict` output."""
+    sp = Span(d["name"], attrs=dict(d.get("attrs", {})))
+    sp.wall_start_s = d.get("wall_start_s")
+    sp.wall_end_s = d.get("wall_end_s")
+    sp.sim_start_s = d.get("sim_start_s")
+    sp.sim_end_s = d.get("sim_end_s")
+    sp.children = [span_from_dict(c) for c in d.get("children", [])]
+    return sp
 
 
 def _tid_for(sp: Span, tids: Dict[str, int]) -> int:

@@ -67,6 +67,16 @@ def stats_payload(
             if hist.exemplars()
         },
     }
+    # The plan cache keeps its own counters (it predates the registry);
+    # surface them here so one /stats poll answers "is the cache
+    # working" without a second endpoint.
+    from ..redistribution.plan_cache import plan_cache_stats
+
+    cache = dict(plan_cache_stats())
+    total = cache.get("hits", 0) + cache.get("misses", 0)
+    if total:
+        cache["hit_rate"] = cache["hits"] / total
+    payload["plan_cache"] = cache
     derived = _derived_hit_rates(counters)
     if derived:
         payload["derived"] = derived
@@ -210,23 +220,28 @@ class StatsServer:
         self.registry = registry if registry is not None else get_registry()
         self.sampler = sampler
         self.started_at = time.time()
-        self._httpd = _StatsHTTPServer((host, port), _StatsHandler)
+        self._httpd: Optional[_StatsHTTPServer] = _StatsHTTPServer(
+            (host, port), _StatsHandler
+        )
         self._httpd.owner = self
+        self._address = self._httpd.server_address
         self._thread: Optional[threading.Thread] = None
 
     @property
     def host(self) -> str:
-        return self._httpd.server_address[0]
+        return self._address[0]
 
     @property
     def port(self) -> int:
-        return self._httpd.server_address[1]
+        return self._address[1]
 
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "StatsServer":
+        if self._httpd is None:
+            raise RuntimeError("StatsServer is closed")
         if self._thread is None:
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -237,12 +252,24 @@ class StatsServer:
         return self
 
     def close(self) -> None:
-        self._httpd.shutdown()
-        self._httpd.server_close()
+        """Stop serving, close the listening socket, join the thread.
+
+        Safe to call whether or not :meth:`start` ever ran (stdlib
+        ``shutdown()`` blocks forever unless ``serve_forever`` is
+        active, so it is only issued when the serving thread exists)
+        and safe to call twice.
+        """
+        httpd = self._httpd
+        if httpd is None:
+            return
+        self._httpd = None
         t = self._thread
+        self._thread = None
+        if t is not None:
+            httpd.shutdown()
+        httpd.server_close()
         if t is not None:
             t.join(timeout=5.0)
-            self._thread = None
 
     def __enter__(self) -> "StatsServer":
         return self.start()

@@ -40,6 +40,7 @@ __all__ = [
     "tracked_span",
     "current_span",
     "active_tracer",
+    "span_retained",
 ]
 
 
@@ -165,6 +166,17 @@ def current_span() -> Optional[Span]:
 def active_tracer() -> Optional["Tracer"]:
     """The tracer activated on this thread, if any."""
     return _CTX.tracer
+
+
+def span_retained() -> bool:
+    """Whether the innermost open span will outlive its ``with`` block.
+
+    True when a tracer is active or the innermost span has an enclosing
+    parent; False for a standalone root nobody is collecting.  Expensive
+    observability (serializing worker span trees across the process
+    boundary) keys off this so untraced operations don't pay for it.
+    """
+    return _CTX.tracer is not None or len(_CTX.stack) > 1
 
 
 @contextmanager

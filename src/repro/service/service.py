@@ -122,6 +122,21 @@ class FileService:
     batch_window_s:
         How long the dispatcher lingers for late write arrivals that
         extend a batch.  ``0`` coalesces only what is already queued.
+    workers_mode:
+        ``"thread"`` (default) runs engine calls on the service's
+        worker threads, GIL and all.  ``"process"`` additionally fans
+        each engine call's server-side work out across a
+        :class:`~repro.mp.pool.ProcessPoolExecutorBackend` of
+        ``io_processes`` worker processes — real cores.  The deployment
+        must keep subfiles in shared memory
+        (:class:`~repro.clusterfile.storage.SharedMemoryStorage`, or
+        ``Clusterfile(workers_mode="process")`` which also brings its
+        own pool; an existing ``fs.backend`` is reused, not re-created).
+        A pool the service creates is owned by it and torn down —
+        segments unlinked — in :meth:`close`.
+    io_processes:
+        Worker-process count for ``workers_mode="process"``; defaults
+        to ``workers``.
     """
 
     def __init__(
@@ -132,6 +147,8 @@ class FileService:
         admission: str = "park",
         max_batch: int = 8,
         batch_window_s: float = 0.0,
+        workers_mode: str = "thread",
+        io_processes: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -145,7 +162,29 @@ class FileService:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
+        if workers_mode not in ("thread", "process"):
+            raise ValueError(
+                f"workers_mode must be 'thread' or 'process', "
+                f"got {workers_mode!r}"
+            )
         self.fs = fs
+        self.workers_mode = workers_mode
+        self._owned_backend = None
+        if workers_mode == "process" and fs.backend is None:
+            from ..clusterfile.storage import SharedMemoryStorage
+            from ..mp import ProcessPoolExecutorBackend
+
+            if not isinstance(fs.storage, SharedMemoryStorage):
+                raise ValueError(
+                    "workers_mode='process' needs subfile stores in "
+                    "shared memory; build the deployment with "
+                    "Clusterfile(storage=SharedMemoryStorage()) or "
+                    "Clusterfile(workers_mode='process')"
+                )
+            self._owned_backend = ProcessPoolExecutorBackend(
+                processes=io_processes or workers, config=fs.config
+            )
+            fs.backend = self._owned_backend
         self.workers = workers
         self.max_queue = max_queue
         self.admission = admission
@@ -285,6 +324,11 @@ class FileService:
             self._not_full.notify_all()
         self._dispatcher.join()
         self._pool.shutdown(wait=True)
+        if self._owned_backend is not None:
+            self._owned_backend.close()
+            if self.fs.backend is self._owned_backend:
+                self.fs.backend = None
+            self._owned_backend = None
 
     def __enter__(self) -> "FileService":
         return self

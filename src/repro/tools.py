@@ -85,7 +85,9 @@ def _cmd_trace(args) -> int:
     length = args.n * args.n
 
     fs = Clusterfile(
-        ClusterConfig(compute_nodes=args.nprocs, io_nodes=args.nprocs)
+        ClusterConfig(compute_nodes=args.nprocs, io_nodes=args.nprocs),
+        workers_mode=args.mode,
+        workers=args.io_processes,
     )
     fs.create("traced", physical)
 
@@ -104,6 +106,8 @@ def _cmd_trace(args) -> int:
             [(0, 0, logical.element_length(0, length))],
             from_disk=True,
         )
+    if args.mode == "process":
+        fs.close()  # spans are already collected; release the pool
 
     print(render_trace(tracer.roots))
     if args.json:
@@ -151,6 +155,7 @@ def _cmd_chaos(args) -> int:
         crash_after=args.crash_after,
         slow_node=args.slow_node,
         slow_factor=args.slow_factor,
+        mode=args.mode,
     )
     for report in reports:
         verdict = "OK " if report["ok"] else "FAIL"
@@ -201,7 +206,7 @@ def _cmd_serve(args) -> int:
     metrics.reset_metrics("service")
     metrics.reset_metrics("engine")
     nprocs = args.nprocs
-    fs = Clusterfile()
+    fs = Clusterfile(workers_mode=args.mode, workers=args.io_processes)
     fs.create("load", round_robin(nprocs, args.chunk))
     for node in range(nprocs):
         fs.set_view("load", node, round_robin(nprocs, args.chunk))
@@ -264,6 +269,8 @@ def _cmd_serve(args) -> int:
     series = sampler.stop() if sampler is not None else None
     if stats is not None:
         stats.close()
+    if args.mode == "process":
+        fs.close()  # shut the worker pool down; unlink shared memory
 
     total = args.clients * args.ops
     report = {
@@ -305,6 +312,20 @@ def _cmd_figure3(_args) -> int:
     return 0
 
 
+def _add_mode_flags(sub, io_processes: bool = True) -> None:
+    """The execution-mode knobs shared by trace/chaos/serve."""
+    sub.add_argument(
+        "--mode", choices=["thread", "process"], default="thread",
+        help="I/O-node execution mode: in-process threads or a "
+        "shared-memory worker-process pool",
+    )
+    if io_processes:
+        sub.add_argument(
+            "--io-processes", type=int, default=4,
+            help="worker processes in --mode process (default 4)",
+        )
+
+
 def main(argv=None) -> int:
     """Entry point for ``python -m repro.tools``."""
     parser = argparse.ArgumentParser(prog="python -m repro.tools")
@@ -343,6 +364,7 @@ def main(argv=None) -> int:
     pt.add_argument(
         "--chrome", help="write a chrome://tracing / Perfetto file here"
     )
+    _add_mode_flags(pt)
     pt.set_defaults(fn=_cmd_trace)
 
     pc = sub.add_parser(
@@ -370,6 +392,7 @@ def main(argv=None) -> int:
         default="chaos-failing-plan.json",
         help="where to save the failing FaultPlan JSON (on mismatch)",
     )
+    _add_mode_flags(pc, io_processes=False)
     pc.set_defaults(fn=_cmd_chaos)
 
     ps = sub.add_parser(
@@ -404,6 +427,7 @@ def main(argv=None) -> int:
         "--linger", type=float, default=0.0,
         help="keep the stats endpoint up this long after the workload",
     )
+    _add_mode_flags(ps)
     ps.set_defaults(fn=_cmd_serve)
 
     pf = sub.add_parser("figure3", help="draw the paper's figure 3")

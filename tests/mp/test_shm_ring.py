@@ -1,0 +1,117 @@
+"""The framed SPSC ring: framing, wrap-around, and the corrupted-frame
+error paths — a bad frame must raise :class:`TransportError`, never
+hang or hand back garbage bytes."""
+
+import struct
+import threading
+
+import pytest
+
+from repro.mp.shm import (
+    ShmRing,
+    TransportError,
+    shm_segments_alive,
+    _HDR,
+    _HDR_FMT,
+    _MAGIC,
+    _pad8,
+)
+
+
+@pytest.fixture()
+def ring():
+    r = ShmRing.create(capacity=4096, hint="test")
+    yield r
+    r.close()
+
+
+class TestFraming:
+    def test_roundtrip_preserves_bytes_and_order(self, ring):
+        frames = [b"", b"a", b"hello world", bytes(range(256))]
+        for f in frames:
+            ring.send(f)
+        for f in frames:
+            assert ring.recv() == f
+
+    def test_zero_byte_frame(self, ring):
+        ring.send(b"")
+        assert ring.recv() == b""
+
+    def test_frame_larger_than_ring_raises(self, ring):
+        with pytest.raises(TransportError, match="exceeds ring capacity"):
+            ring.send(b"x" * 8192)
+
+    def test_wrap_around_many_frames(self, ring):
+        # Frames sized so several rounds wrap past the end of the ring.
+        payloads = [bytes([i % 256]) * (700 + i) for i in range(40)]
+        done = []
+
+        def consumer():
+            for p in payloads:
+                done.append(ring.recv(timeout=10.0) == p)
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        for p in payloads:
+            ring.send(p, timeout=10.0)
+        t.join(timeout=15.0)
+        assert not t.is_alive()
+        assert all(done) and len(done) == len(payloads)
+
+    def test_attach_sees_creators_frames(self, ring):
+        peer = ShmRing.attach(ring.name)
+        try:
+            ring.send(b"cross-mapping")
+            assert peer.recv() == b"cross-mapping"
+        finally:
+            peer.close()
+        # The attacher's close must not unlink the creator's segment.
+        assert ring.name in shm_segments_alive()
+
+
+class TestCorruptedFrames:
+    """A truncated or garbage frame is a protocol violation: the reader
+    raises immediately instead of waiting out the clock."""
+
+    def _inject_raw(self, ring, raw: bytes, claim: int) -> None:
+        """Write raw bytes at the producer position and publish
+        ``claim`` bytes without going through ``send``."""
+        pos = int(ring._ctrl[1]) % ring.capacity
+        ring._data[pos : pos + len(raw)] = raw
+        ring._ctrl[1] = int(ring._ctrl[1]) + claim
+
+    def test_garbage_magic_raises(self, ring):
+        self._inject_raw(ring, b"\xde\xad\xbe\xef" + b"\x00" * 12, _HDR)
+        with pytest.raises(TransportError, match="garbage frame"):
+            ring.recv(timeout=1.0)
+
+    def test_truncated_frame_raises(self, ring):
+        # Valid magic, but the claimed length exceeds the published bytes.
+        hdr = struct.pack(_HDR_FMT, _MAGIC, 4096, 0)
+        self._inject_raw(ring, hdr, _HDR)
+        with pytest.raises(TransportError, match="truncated frame"):
+            ring.recv(timeout=1.0)
+
+    def test_checksum_mismatch_raises(self, ring):
+        payload = b"payload-bytes"
+        hdr = struct.pack(_HDR_FMT, _MAGIC, len(payload), 0xBAD)
+        self._inject_raw(ring, hdr + payload, _HDR + _pad8(len(payload)))
+        with pytest.raises(TransportError, match="checksum mismatch"):
+            ring.recv(timeout=1.0)
+
+    def test_recv_timeout_raises_not_hangs(self, ring):
+        with pytest.raises(TransportError, match="timed out"):
+            ring.recv(timeout=0.05)
+
+    def test_dead_peer_liveness_raises(self, ring):
+        with pytest.raises(TransportError, match="peer died"):
+            ring.recv(timeout=30.0, liveness=lambda: False)
+
+
+class TestLifecycle:
+    def test_close_unlinks_owned_segment(self):
+        r = ShmRing.create(capacity=2048, hint="gone")
+        name = r.name
+        assert name in shm_segments_alive()
+        r.close()
+        assert name not in shm_segments_alive()

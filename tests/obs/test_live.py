@@ -138,3 +138,66 @@ class TestHttpRoundTrip:
         with StatsServer(port=0) as server:
             assert server.port > 0
             assert server.url.startswith("http://127.0.0.1:")
+
+
+class TestStatsPayloadPlanCache:
+    """The plan cache's own hit/miss counters ride the /stats payload."""
+
+    def test_plan_cache_section_present(self):
+        payload = stats_payload(registry=obs_metrics.MetricsRegistry())
+        assert "plan_cache" in payload
+        assert {"hits", "misses"} <= set(payload["plan_cache"])
+
+    def test_plan_cache_hit_rate_after_real_ops(self):
+        from repro.redistribution.plan_cache import clear_plan_cache
+
+        clear_plan_cache()
+        _run_some_ops(n_ops=6)
+        payload = stats_payload()
+        cache = payload["plan_cache"]
+        assert cache["hits"] + cache["misses"] > 0
+        assert cache["hit_rate"] == pytest.approx(
+            cache["hits"] / (cache["hits"] + cache["misses"])
+        )
+
+    def test_stats_endpoint_serves_plan_cache(self):
+        with StatsServer(port=0) as server:
+            with urllib.request.urlopen(
+                server.url + "/stats", timeout=10
+            ) as resp:
+                stats = json.load(resp)
+        assert "plan_cache" in stats
+
+
+class TestStatsServerShutdown:
+    """close() must release the listening socket and join the serving
+    thread deterministically — whether or not start() ever ran."""
+
+    def test_close_without_start_releases_port(self):
+        server = StatsServer(port=0)
+        port = server.port
+        server.close()  # must not hang in shutdown() with no thread
+        # The socket is closed: the same port can be bound again.
+        rebound = StatsServer(port=port)
+        assert rebound.port == port
+        rebound.close()
+
+    def test_close_after_start_joins_thread_and_releases_port(self):
+        server = StatsServer(port=0).start()
+        port = server.port
+        thread = server._thread
+        server.close()
+        assert thread is not None and not thread.is_alive()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(server.url + "/stats", timeout=1)
+        rebound = StatsServer(port=port)
+        assert rebound.port == port
+        rebound.close()
+
+    def test_close_is_idempotent_and_start_after_close_raises(self):
+        server = StatsServer(port=0).start()
+        server.close()
+        server.close()  # second close is a no-op
+        assert server.port > 0  # address still reportable
+        with pytest.raises(RuntimeError, match="closed"):
+            server.start()
