@@ -1,0 +1,249 @@
+"""Namespace sharding benchmark: N independent files vs one shared file.
+
+The multi-file service keeps *no* shared ordering between independent
+files — separate queues, separate locks, separate sequence counters —
+so a workload sharded over N files should approach N separate
+single-file services running side by side.  This benchmark drives the
+same write stream through an 8-worker service twice: all operations on
+**one** file (the per-file lock serialises execution) and spread over
+**eight** files addressed by namespace paths (nothing serialises).
+
+Core-aware headline, like ``bench_mp_engine``: worker threads can only
+overlap on real cores.  On a multi-core host the sharded run must beat
+the single-file run by ``min_scaling`` (default 2x at 8 files / 8
+workers).  On a starved host (the 1-CPU containers this repo is grown
+in) raw scaling is physically impossible, so the bar becomes the
+*no-serialization invariant* instead: the cross-file lock-conflict
+counter must be exactly 0 and the sharded run must stay within
+``max_overhead`` of the single-file wall (sharding costs scheduling,
+never serialisation).  The result file records ``cpus`` and which bar
+was applied.
+
+Every run is byte-checked: each file's final contents must equal its
+per-file serial replay.
+
+Run as a module to (re)generate the committed results file::
+
+    PYTHONPATH=src python benchmarks/bench_namespace.py
+
+which writes ``BENCH_namespace.json`` at the repository root.
+"""
+
+import gc
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.clusterfile.fs import Clusterfile
+from repro.distributions import round_robin
+from repro.namespace import ClusterNamespace
+from repro.obs import metrics as obs_metrics
+from repro.service import FileService
+from repro.simulation.cluster import ClusterConfig
+
+NPROCS = 4
+CHUNK = 256
+PAYLOAD = 4096
+OPS = 192
+FILES = 8
+WORKERS = 8
+MAX_BATCH = 1  # no coalescing: measure scheduling + locking, not batching
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_namespace.json",
+)
+
+#: Passed by the regression gate when re-running on noisy CI.
+GATE_KWARGS = {"n_ops": 96, "repeats": 2, "min_scaling": 0.0,
+               "max_overhead": 3.0}
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _make_namespace(n_files: int):
+    fs = Clusterfile(ClusterConfig(compute_nodes=NPROCS, io_nodes=4))
+    cns = ClusterNamespace(fs)
+    paths = [f"/bench/f{j}" for j in range(n_files)]
+    for path in paths:
+        cns.create(path, round_robin(NPROCS, CHUNK), parents=True)
+        for node in range(NPROCS):
+            cns.set_view(path, node, round_robin(NPROCS, CHUNK))
+    return cns, paths
+
+
+def _op_stream(seed: int, n_ops: int, n_files: int):
+    """Writes dealt round-robin over files and compute nodes: each
+    file receives an identical-shape stream, so the single-file and
+    sharded runs do the same byte work."""
+    rng = np.random.default_rng(seed)
+    ops = []
+    for i in range(n_ops):
+        off = int(rng.integers(0, 8)) * PAYLOAD
+        data = rng.integers(0, 256, PAYLOAD, dtype=np.uint8)
+        ops.append((i % n_files, i % NPROCS, off, data))
+    return ops
+
+
+def run_sharded(ops, n_files: int, workers: int = WORKERS):
+    """The stream through the service, addressed by namespace path."""
+    cns, paths = _make_namespace(n_files)
+    obs_metrics.reset_metrics("service.lock")
+    t0 = time.perf_counter()
+    with FileService(
+        cns.fs,
+        workers=workers,
+        max_queue=len(ops),
+        admission="park",
+        max_batch=MAX_BATCH,
+        namespace=cns,
+    ) as svc:
+        for fidx, node, off, data in ops:
+            svc.submit_write(paths[fidx], node, off, data)
+        assert svc.drain(timeout=600)
+    wall = time.perf_counter() - t0
+    conflicts = obs_metrics.snapshot("service.lock").get(
+        "service.lock.cross_file_conflicts", 0
+    )
+    return cns, paths, wall, conflicts
+
+
+def _check_bytes(cns, paths, ops):
+    """Each file must equal its own serial replay of the stream."""
+    ref_cns, ref_paths = _make_namespace(len(paths))
+    for fidx, node, off, data in ops:
+        backing, _ = ref_cns.locate(ref_paths[fidx])
+        ref_cns.fs.write(backing, [(node, off, data)])
+    for path, ref_path in zip(paths, ref_paths):
+        np.testing.assert_array_equal(
+            cns.linear_contents(path),
+            ref_cns.linear_contents(ref_path),
+            err_msg=f"{path} diverges from its serial replay",
+        )
+
+
+def measure(
+    n_ops: int = OPS,
+    repeats: int = 3,
+    min_scaling: float = None,
+    max_overhead: float = 1.75,
+) -> dict:
+    """Single-file vs sharded walls; asserts the core-aware bar."""
+    cpus = _cpus()
+    if min_scaling is None:
+        # 8 files / 8 workers on real cores should at least double;
+        # without cores, demand bounded overhead + zero conflicts.
+        min_scaling = 2.0 if cpus >= 4 else 0.0
+
+    single_ops = _op_stream(0, n_ops, 1)
+    multi_ops = _op_stream(0, n_ops, FILES)
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+
+        def _bench(ops, n_files):
+            walls, conflict_counts = [], []
+            for r in range(repeats):
+                gc.collect()
+                cns, paths, wall, conflicts = run_sharded(ops, n_files)
+                walls.append(wall)
+                conflict_counts.append(conflicts)
+                if r == 0:
+                    _check_bytes(cns, paths, ops)
+            return statistics.median(walls), max(conflict_counts)
+
+        single_wall, single_conflicts = _bench(single_ops, 1)
+        multi_wall, multi_conflicts = _bench(multi_ops, FILES)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    scaling = single_wall / multi_wall
+    result = {
+        "benchmark": "namespace",
+        "cpus": cpus,
+        "scaling_bar": min_scaling,
+        "max_overhead_bar": max_overhead,
+        "files": FILES,
+        "workers": WORKERS,
+        "nprocs": NPROCS,
+        "ops": n_ops,
+        "payload_bytes": PAYLOAD,
+        "repeats": repeats,
+        "single_file": {
+            "wall_s": single_wall,
+            "ops_per_s": n_ops / single_wall,
+            "cross_file_lock_conflicts": single_conflicts,
+        },
+        "sharded": {
+            "wall_s": multi_wall,
+            "ops_per_s": n_ops / multi_wall,
+            "cross_file_lock_conflicts": multi_conflicts,
+        },
+        "sharded_scaling_x": scaling,
+    }
+    # The invariant holds on any host: independent files never block on
+    # one another's locks.
+    assert multi_conflicts == 0, result
+    assert single_conflicts == 0, result
+    if min_scaling > 0:
+        assert scaling >= min_scaling, result
+    else:
+        # No cores to overlap on: sharding must still not serialise —
+        # bounded scheduling overhead is all it may cost.
+        assert multi_wall <= single_wall * max_overhead, result
+    return result
+
+
+class TestNamespaceBench:
+    """CI-lenient checks; the headline numbers live in
+    BENCH_namespace.json generated on a quiet machine."""
+
+    def test_bytes_identical_per_file(self):
+        ops = _op_stream(1, 48, FILES)
+        cns, paths, _, _ = run_sharded(ops, FILES)
+        _check_bytes(cns, paths, ops)
+
+    def test_no_cross_file_conflicts(self):
+        ops = _op_stream(2, 64, FILES)
+        _, _, _, conflicts = run_sharded(ops, FILES)
+        assert conflicts == 0
+
+    def test_sharding_overhead_bounded(self):
+        # Noisy shared runners: assert only that sharding does not
+        # serialise (generous 3x bound vs the single-file wall).
+        single = _op_stream(3, 64, 1)
+        multi = _op_stream(3, 64, FILES)
+        _, _, single_wall, _ = run_sharded(single, 1)
+        _, _, multi_wall, _ = run_sharded(multi, FILES)
+        assert multi_wall <= single_wall * 3.0
+
+    def test_throughput(self, benchmark):
+        benchmark.group = "namespace"
+        ops = _op_stream(4, 48, FILES)
+        benchmark(lambda: run_sharded(ops, FILES))
+
+
+if __name__ == "__main__":
+    result = measure()
+    with open(RESULT_PATH, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    single = result["single_file"]
+    sharded = result["sharded"]
+    print(f"cpus: {result['cpus']}  (scaling bar {result['scaling_bar']}x)")
+    print(f"single file : {single['ops_per_s']:8.1f} ops/s")
+    print(
+        f"{result['files']} files     : {sharded['ops_per_s']:8.1f} ops/s "
+        f"({result['sharded_scaling_x']:.2f}x, "
+        f"{sharded['cross_file_lock_conflicts']} cross-file conflicts)"
+    )
+    print(f"results -> {RESULT_PATH}")

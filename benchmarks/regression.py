@@ -28,6 +28,8 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import glob
+import importlib
 import json
 import os
 import statistics
@@ -36,14 +38,23 @@ from typing import Callable, Dict, List, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-#: Committed baseline file per benchmark name.
-BASELINES = {
-    "plan_cache": os.path.join(REPO_ROOT, "BENCH_plan_cache.json"),
-    "faults": os.path.join(REPO_ROOT, "BENCH_faults.json"),
-    "service": os.path.join(REPO_ROOT, "BENCH_service.json"),
-    "telemetry": os.path.join(REPO_ROOT, "BENCH_telemetry.json"),
-    "mp_engine": os.path.join(REPO_ROOT, "BENCH_mp_engine.json"),
-}
+
+def discover_baselines() -> Dict[str, str]:
+    """Committed baselines, by glob: every ``BENCH_<name>.json`` at the
+    repo root is a gate target — adding a benchmark means committing
+    its result file, not editing this tool."""
+    out: Dict[str, str] = {}
+    for path in sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))):
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        if name:
+            out[name] = path
+    return out
+
+
+def baseline_path(name: str) -> str:
+    """Where ``name``'s baseline lives (whether or not it exists yet —
+    ``run --update-baseline`` creates it)."""
+    return os.path.join(REPO_ROOT, f"BENCH_{name}.json")
 
 
 # -- metric extraction -------------------------------------------------------
@@ -96,54 +107,97 @@ def _metrics_mp_engine(result: dict) -> List[Tuple[str, float]]:
     return out
 
 
+def _metrics_namespace(result: dict) -> List[Tuple[str, float]]:
+    return [
+        ("single_file_wall_s", float(result["single_file"]["wall_s"])),
+        ("sharded_wall_s", float(result["sharded"]["wall_s"])),
+    ]
+
+
+#: Timing suffixes the generic extractor treats as lower-is-better.
+_TIMING_SUFFIXES = ("_s", "_us", "_ms", "_ns")
+
+
+def _metrics_generic(result: dict) -> List[Tuple[str, float]]:
+    """Fallback extractor for benchmarks without a bespoke one: every
+    numeric leaf whose key looks like a timing (``*_s``/``*_us``/...),
+    labelled by its dotted path.  Counts, bars and ratios are skipped —
+    only seconds-like values satisfy "lower is better"."""
+    out: List[Tuple[str, float]] = []
+
+    def visit(node, path: str) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                visit(value, f"{path}.{key}" if path else str(key))
+        elif isinstance(node, list):
+            for i, value in enumerate(node):
+                visit(value, f"{path}[{i}]")
+        elif isinstance(node, (int, float)) and not isinstance(node, bool):
+            leaf = path.rsplit(".", 1)[-1]
+            if leaf.endswith(_TIMING_SUFFIXES) and node > 0:
+                out.append((path, float(node)))
+
+    visit(result, "")
+    return out
+
+
 EXTRACTORS: Dict[str, Callable[[dict], List[Tuple[str, float]]]] = {
     "plan_cache": _metrics_plan_cache,
     "faults": _metrics_faults,
     "service": _metrics_service,
     "telemetry": _metrics_telemetry,
     "mp_engine": _metrics_mp_engine,
+    "namespace": _metrics_namespace,
 }
 
 
 def extract_metrics(result: dict) -> List[Tuple[str, float]]:
     """The ``(label, seconds-like value)`` timing metrics of a result
-    file (dispatched on its ``benchmark`` field)."""
+    file — a bespoke extractor when one is registered for the file's
+    ``benchmark`` field, the generic timing-leaf walk otherwise."""
     name = result.get("benchmark")
-    if name not in EXTRACTORS:
-        raise ValueError(f"no metric extractor for benchmark {name!r}")
-    return EXTRACTORS[name](result)
+    extractor = EXTRACTORS.get(name, _metrics_generic)
+    metrics = extractor(result)
+    if not metrics:
+        raise ValueError(f"no timing metrics found for benchmark {name!r}")
+    return metrics
 
 
 # -- fresh runs --------------------------------------------------------------
 
 
+#: Gate-time ``measure()`` overrides for the long-standing benchmarks:
+#: fewer repeats than the committed run, internal acceptance bars
+#: relaxed — this tool's ratio thresholds are the gate, not the
+#: quiet-machine headline assertions.
+_GATE_PARAMS: Dict[str, dict] = {
+    "plan_cache": {"repeats": 3},
+    "faults": {"repeats": 3, "budget": 1.0},
+    "service": {"n_ops": 160, "repeats": 3, "min_speedup": 0.0},
+    "telemetry": {"budget": 1.0},
+    "mp_engine": {"n_ops": 24, "repeats": 3, "min_speedup": 0.0},
+}
+
+
 def run_benchmark(name: str) -> dict:
-    """Re-run one benchmark with gate-friendly parameters: fewer
-    repeats than the committed run, and the bench's *internal*
-    acceptance assertions relaxed — this tool's ratio thresholds are
-    the gate, not the quiet-machine headline bars."""
-    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-    if name == "plan_cache":
-        import bench_plan_cache
+    """Re-run one benchmark with gate-friendly parameters.
 
-        return bench_plan_cache.measure(repeats=3)
-    if name == "faults":
-        import bench_faults
-
-        return bench_faults.measure(repeats=3, budget=1.0)
-    if name == "service":
-        import bench_service
-
-        return bench_service.measure(n_ops=160, repeats=3, min_speedup=0.0)
-    if name == "telemetry":
-        import bench_telemetry
-
-        return bench_telemetry.measure(budget=1.0)
-    if name == "mp_engine":
-        import bench_mp_engine
-
-        return bench_mp_engine.measure(n_ops=24, repeats=3, min_speedup=0.0)
-    raise ValueError(f"unknown benchmark {name!r}")
+    Dispatch is by convention, not by an in-tool registry: the
+    benchmark ``<name>`` is ``bench_<name>.py`` beside this file, its
+    entry point is ``measure(**kwargs)``, and the kwargs come from
+    ``_GATE_PARAMS`` or — for benchmarks this tool has never heard
+    of — the module's own ``GATE_KWARGS`` (empty if absent)."""
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    try:
+        module = importlib.import_module(f"bench_{name}")
+    except ImportError as exc:
+        raise ValueError(
+            f"unknown benchmark {name!r}: no benchmarks/bench_{name}.py"
+        ) from exc
+    kwargs = _GATE_PARAMS.get(name, getattr(module, "GATE_KWARGS", {}))
+    return module.measure(**kwargs)
 
 
 # -- comparison --------------------------------------------------------------
@@ -234,8 +288,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python benchmarks/regression.py")
     sub = parser.add_subparsers(dest="cmd", required=True)
 
+    baselines = discover_baselines()
+
     pr = sub.add_parser("run", help="run one benchmark, print/write JSON")
-    pr.add_argument("name", choices=sorted(BASELINES))
+    pr.add_argument(
+        "name",
+        help=f"benchmark name (committed baselines: {sorted(baselines)})",
+    )
     pr.add_argument("--out", help="write the fresh result here")
     pr.add_argument(
         "--update-baseline",
@@ -254,11 +313,25 @@ def main(argv=None) -> int:
     pg = sub.add_parser(
         "gate", help="run fresh + compare against the committed baseline"
     )
-    pg.add_argument("name", choices=sorted(BASELINES))
+    pg.add_argument(
+        "name",
+        nargs="?",
+        help=f"benchmark to gate (committed baselines: {sorted(baselines)})",
+    )
+    pg.add_argument(
+        "--all",
+        action="store_true",
+        help="gate every benchmark with a committed BENCH_*.json baseline",
+    )
     pg.add_argument("--baseline", help="override the baseline file")
     pg.add_argument("--tolerance", type=float, default=0.25)
     pg.add_argument("--warn", type=float, default=0.10)
-    pg.add_argument("--out", help="write the fresh result here")
+    pg.add_argument(
+        "--out",
+        help="write the fresh result here (with --all: one file per "
+        "benchmark, '<name>' substituted for '{name}' when present, "
+        "else suffixed)",
+    )
 
     args = parser.parse_args(argv)
 
@@ -272,9 +345,10 @@ def main(argv=None) -> int:
         else:
             print(text)
         if args.update_baseline:
-            with open(BASELINES[args.name], "w") as f:
+            path = baseline_path(args.name)
+            with open(path, "w") as f:
                 f.write(text + "\n")
-            print(f"baseline updated -> {BASELINES[args.name]}")
+            print(f"baseline updated -> {path}")
         return 0
 
     if args.cmd == "compare":
@@ -288,18 +362,37 @@ def main(argv=None) -> int:
         return 1 if report["verdict"] == "fail" else 0
 
     # gate
-    baseline_path = args.baseline or BASELINES[args.name]
-    baseline = _load(baseline_path)
-    fresh = run_benchmark(args.name)
-    if args.out:
-        with open(args.out, "w") as f:
-            json.dump(fresh, f, indent=2)
-            f.write("\n")
-    report = compare(
-        baseline, fresh, tolerance=args.tolerance, warn=args.warn
-    )
-    _print_report(report)
-    return 1 if report["verdict"] == "fail" else 0
+    if args.all == bool(args.name):
+        parser.error("gate needs a benchmark name or --all (not both)")
+    names = sorted(baselines) if args.all else [args.name]
+    if args.all and args.baseline:
+        parser.error("--baseline cannot be combined with --all")
+    failed = []
+    for name in names:
+        base_path = args.baseline or baselines.get(name) or baseline_path(name)
+        baseline = _load(base_path)
+        fresh = run_benchmark(name)
+        if args.out:
+            out = args.out
+            if args.all:
+                if "{name}" in out:
+                    out = out.replace("{name}", name)
+                else:
+                    stem, ext = os.path.splitext(out)
+                    out = f"{stem}-{name}{ext}"
+            with open(out, "w") as f:
+                json.dump(fresh, f, indent=2)
+                f.write("\n")
+        report = compare(
+            baseline, fresh, tolerance=args.tolerance, warn=args.warn
+        )
+        _print_report(report)
+        if report["verdict"] == "fail":
+            failed.append(name)
+    if failed:
+        print(f"FAILED: {failed}")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,33 @@
+"""A sharded multi-file namespace over the Clusterfile deployment.
+
+The paper's mapping functions and redistribution plans manage exactly
+one parallel file.  This package lifts the system to *a namespace of
+files*, following Yodaiken's reading of the UNIX retrieval architecture
+(*Folding a Tree into a Map*, PAPERS.md): the directory tree is nothing
+but a human-friendly index over a flat map of stable file ids, so every
+structure that matters — locks, queues, sequence stamps, subfile stores
+— is keyed by id, and paths are resolved through a cached lookup table
+that can be invalidated without touching any file state.
+
+* :mod:`repro.namespace.tree` — :class:`Namespace`: the inode table
+  (flat ``id -> Inode`` map plus ``dir id -> {name: child id}``
+  children maps), path resolution with an LRU :class:`LookupCache`
+  (hit/miss/eviction/invalidation counters mirrored into the metrics
+  registry exactly like ``plan_cache``), and the metadata operations —
+  ``mkdir`` / ``create`` / ``resolve`` / ``unlink`` / ``rename`` /
+  ``fold``.
+* :mod:`repro.namespace.cluster` — :class:`ClusterNamespace`: binds a
+  :class:`Namespace` to a :class:`~repro.clusterfile.fs.Clusterfile`
+  deployment; file inodes carry an id-derived backing name
+  (``fid-<id>``) so *rename is pure metadata* — no subfile store is
+  ever re-keyed — and delete unlinks both the inode and its stores.
+
+The service layer (:class:`repro.service.FileService`) consumes the
+flat map: operations target backing names / file ids, never paths, so
+two files never share a lock, a queue, or a sequence counter.
+"""
+
+from .cluster import ClusterNamespace
+from .tree import Inode, LookupCache, Namespace
+
+__all__ = ["ClusterNamespace", "Inode", "LookupCache", "Namespace"]

@@ -1,0 +1,142 @@
+"""Binding the namespace to a Clusterfile deployment.
+
+:class:`ClusterNamespace` pairs one :class:`~repro.namespace.tree.Namespace`
+(the metadata: paths, ids, lookup cache) with one
+:class:`~repro.clusterfile.fs.Clusterfile` (the data: subfile stores,
+views, the I/O engine).  The binding is one rule: a file inode's
+backing store name is derived from its *id* (``fid-<id>``), never from
+its path.  Consequences:
+
+* **rename is pure metadata** — the subtree re-links in the inode
+  table, the lookup cache invalidates by prefix, and not one subfile
+  store, view, lock, or sequence counter moves;
+* **delete is two steps** — drop the inode (path stops resolving
+  immediately), then unlink the backing stores;
+* the service layer keys everything by ``(backing name, file id)``, so
+  operations admitted before a rename and after it land on the same
+  queues in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..clusterfile.fs import Clusterfile
+from ..core.partition import Partition
+from .tree import Inode, Namespace
+
+__all__ = ["ClusterNamespace"]
+
+
+class ClusterNamespace:
+    """A namespace of parallel files over one deployment.
+
+    Parameters
+    ----------
+    fs:
+        The deployment holding subfile stores and views.
+    namespace:
+        An existing metadata tree to bind, or ``None`` for a fresh one.
+    cache_capacity:
+        Lookup-cache bound when building a fresh tree.
+    """
+
+    def __init__(
+        self,
+        fs: Clusterfile,
+        namespace: Optional[Namespace] = None,
+        cache_capacity: int = 1024,
+    ):
+        self.fs = fs
+        self.tree = (
+            namespace
+            if namespace is not None
+            else Namespace(cache_capacity=cache_capacity)
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    @staticmethod
+    def backing_name(fid: int) -> str:
+        """The id-derived Clusterfile name of a file inode's stores."""
+        return f"fid-{fid}"
+
+    def locate(self, path: str) -> Tuple[str, int]:
+        """``(backing name, file id)`` for a file path — what the
+        service layer keys its per-file state by."""
+        node = self.tree.resolve(path)
+        if node.is_dir:
+            raise IsADirectoryError(path)
+        return str(node.meta["backing"]), node.id
+
+    # -- metadata operations -------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = False) -> Inode:
+        return self.tree.mkdir(path, parents=parents)
+
+    def create(
+        self,
+        path: str,
+        physical: Partition,
+        replication: int = 1,
+        parents: bool = False,
+    ) -> Inode:
+        """Create a file: inode first (allocating the id), then the
+        backing subfile stores under the id-derived name."""
+        node = self.tree.create(
+            path,
+            parents=parents,
+            physical=physical,
+            replication=replication,
+        )
+        backing = self.backing_name(node.id)
+        node.meta["backing"] = backing
+        try:
+            self.fs.create(backing, physical, replication=replication)
+        except Exception:
+            self.tree.unlink(path)  # roll the metadata back
+            raise
+        return node
+
+    def open(self, path: str) -> Inode:
+        """The file inode at ``path`` (``IsADirectoryError`` for dirs)."""
+        node = self.tree.resolve(path)
+        if node.is_dir:
+            raise IsADirectoryError(path)
+        return node
+
+    def delete(self, path: str) -> None:
+        """Unlink the inode, then the backing stores."""
+        node = self.tree.unlink(path)
+        self.fs.unlink(str(node.meta["backing"]))
+
+    def rename(self, src: str, dst: str) -> Inode:
+        """Pure metadata — see the module docstring."""
+        return self.tree.rename(src, dst)
+
+    def listdir(self, path: str = "/") -> List[str]:
+        return self.tree.listdir(path)
+
+    def exists(self, path: str) -> bool:
+        return self.tree.exists(path)
+
+    # -- data plumbing -------------------------------------------------------
+
+    def set_view(
+        self,
+        path: str,
+        compute_node: int,
+        logical: Partition,
+        element: Optional[int] = None,
+    ):
+        """Set a view on a file by path (resolved once, here; the view
+        itself is keyed by the backing name and survives renames)."""
+        backing, _ = self.locate(path)
+        return self.fs.set_view(backing, compute_node, logical, element)
+
+    def linear_contents(self, path: str, length: Optional[int] = None):
+        backing, _ = self.locate(path)
+        return self.fs.linear_contents(backing, length)
+
+    def stats(self) -> dict:
+        return self.tree.stats()

@@ -1,0 +1,467 @@
+"""The inode table: a directory tree folded into a flat map of ids.
+
+Yodaiken's *Folding a Tree into a Map* observes that the UNIX retrieval
+architecture is two maps, not a tree: a flat ``id -> inode`` map holds
+everything durable, and directories are just inodes whose payload is a
+``name -> id`` map.  Path resolution is a left fold over the path's
+components; everything else (permissions, caching, mount points) is
+decoration on that fold.  This module reproduces that shape:
+
+* :class:`Inode` — one metadata record: stable integer id, kind
+  (``"file"`` or ``"dir"``), link back to the parent, monotonic
+  create/change stamps, and an open ``meta`` dict for the binding layer
+  (physical partition, replication, backing store name).
+* :class:`Namespace` — the two maps plus the operations: ``mkdir``,
+  ``create``, ``resolve``, ``unlink``, ``rmdir``, ``rename``,
+  ``listdir``, and ``fold`` (the whole tree flattened to
+  ``{path: id}``).  Thread-safe; every mutation holds one lock.
+* :class:`LookupCache` — a bounded LRU of ``path -> id`` resolutions
+  with hit/miss/eviction/invalidation counters, mirrored into the
+  process-wide metrics registry under ``namespace.lookup_cache.*``
+  exactly the way :class:`~repro.redistribution.plan_cache.PlanCache`
+  mirrors ``plan_cache.*`` — so ``/stats`` derives a hit rate for both
+  through the same machinery.
+
+Resolution semantics: ids are the identity, paths are an index.  A
+rename moves a subtree by re-linking one inode — ids, and therefore
+every id-keyed structure in the service layer (locks, queues, sequence
+counters, subfile stores), are untouched.  The lookup cache is the only
+state invalidated, by path prefix.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..obs import metrics as _metrics
+
+__all__ = ["Inode", "LookupCache", "Namespace", "ROOT_ID"]
+
+#: The root directory's well-known id (its own parent, like UNIX "/").
+ROOT_ID = 0
+
+
+@dataclass
+class Inode:
+    """One metadata record in the flat map."""
+
+    id: int
+    kind: str  # "file" | "dir"
+    name: str  # final path component ("" for the root)
+    parent: int  # parent directory id (the root is its own parent)
+    #: Monotonic namespace-wide stamp at creation.
+    created: int = 0
+    #: Monotonic namespace-wide stamp of the last metadata change
+    #: (rename of self or of an ancestor does not bump it; re-linking
+    #: children of a directory does).
+    changed: int = 0
+    #: Open metadata for the binding layer (backing store name,
+    #: physical partition, replication, sizes...).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind == "dir"
+
+    @property
+    def is_file(self) -> bool:
+        return self.kind == "file"
+
+
+class LookupCache:
+    """A bounded LRU of ``path -> file id`` resolutions.
+
+    Mirrors :class:`~repro.redistribution.plan_cache.PlanCache`'s
+    counter discipline: when named, every hit/miss/eviction (plus this
+    cache's fourth event, *invalidation*) is published to the metrics
+    registry under ``namespace.<name>.*`` so live exporters derive a
+    hit rate without holding a reference to the cache.
+    """
+
+    def __init__(self, capacity: int = 1024, name: Optional[str] = None):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[str, int]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def _mirror(self, event: str, n: int = 1) -> None:
+        if self.name is not None and n:
+            _metrics.inc(f"namespace.{self.name}.{event}", n)
+
+    def get(self, path: str) -> Optional[int]:
+        """The cached id for ``path``, or ``None`` (counts the miss)."""
+        with self._lock:
+            fid = self._entries.get(path)
+            if fid is not None:
+                self._entries.move_to_end(path)
+                self.hits += 1
+                self._mirror("hits")
+                return fid
+            self.misses += 1
+            self._mirror("misses")
+            return None
+
+    def put(self, path: str, fid: int) -> None:
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._entries[path] = fid
+            self._entries.move_to_end(path)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self._mirror("evictions")
+
+    def invalidate(self, path: str) -> int:
+        """Drop one exact path; returns how many entries were dropped."""
+        with self._lock:
+            dropped = 1 if self._entries.pop(path, None) is not None else 0
+            self.invalidations += dropped
+            self._mirror("invalidations", dropped)
+            return dropped
+
+    def invalidate_prefix(self, path: str) -> int:
+        """Drop ``path`` and everything under it (after a subtree rename
+        or removal every cached resolution below it is stale)."""
+        prefix = path.rstrip("/") + "/"
+        with self._lock:
+            stale = [
+                p for p in self._entries if p == path or p.startswith(prefix)
+            ]
+            for p in stale:
+                del self._entries[p]
+            self.invalidations += len(stale)
+            self._mirror("invalidations", len(stale))
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+            self.evictions = self.invalidations = 0
+            if self.name is not None:
+                _metrics.reset_metrics(f"namespace.{self.name}")
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+                "capacity": self._capacity,
+            }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def split_path(path: str) -> List[str]:
+    """Normalise an absolute path into its components.
+
+    Accepts ``/a/b/c`` (a leading slash is required — the namespace has
+    no working directory) and tolerates duplicate/trailing slashes.
+    """
+    if not isinstance(path, str) or not path.startswith("/"):
+        raise ValueError(f"paths are absolute; got {path!r}")
+    parts = [p for p in path.split("/") if p]
+    for p in parts:
+        if p in (".", ".."):
+            raise ValueError(f"'.'/'..' are not supported in paths: {path!r}")
+    return parts
+
+
+def join_path(parts: List[str]) -> str:
+    return "/" + "/".join(parts)
+
+
+class Namespace:
+    """A directory tree folded into two flat maps.
+
+    ``_inodes`` maps every id to its record; ``_children`` maps each
+    directory id to its ``name -> child id`` table.  Path resolution is
+    the fold — a walk down ``_children`` — fronted by a
+    :class:`LookupCache` whose counters mirror into the registry under
+    ``namespace.lookup_cache.*``.
+    """
+
+    def __init__(self, cache_capacity: int = 1024,
+                 cache_name: Optional[str] = "lookup_cache"):
+        self._lock = threading.RLock()
+        root = Inode(id=ROOT_ID, kind="dir", name="", parent=ROOT_ID)
+        self._inodes: Dict[int, Inode] = {ROOT_ID: root}
+        self._children: Dict[int, Dict[str, int]] = {ROOT_ID: {}}
+        self._next_id = ROOT_ID + 1
+        self._stamp = 0
+        self.cache = LookupCache(capacity=cache_capacity, name=cache_name)
+
+    # -- internals -----------------------------------------------------------
+
+    def _tick(self) -> int:
+        self._stamp += 1
+        return self._stamp
+
+    def _alloc(self, kind: str, name: str, parent: int,
+               meta: Optional[Dict[str, object]] = None) -> Inode:
+        node = Inode(
+            id=self._next_id,
+            kind=kind,
+            name=name,
+            parent=parent,
+            created=self._tick(),
+            meta=dict(meta or {}),
+        )
+        node.changed = node.created
+        self._next_id += 1
+        self._inodes[node.id] = node
+        if kind == "dir":
+            self._children[node.id] = {}
+        self._children[parent][name] = node.id
+        self._inodes[parent].changed = self._tick()
+        return node
+
+    def _walk_to(self, parts: List[str]) -> Inode:
+        """The uncached fold: follow ``_children`` down the components."""
+        node = self._inodes[ROOT_ID]
+        for i, name in enumerate(parts):
+            if not node.is_dir:
+                raise NotADirectoryError(join_path(parts[: i]))
+            child = self._children[node.id].get(name)
+            if child is None:
+                raise FileNotFoundError(join_path(parts[: i + 1]))
+            node = self._inodes[child]
+        return node
+
+    def _resolve_dir(self, parts: List[str], parents: bool) -> Inode:
+        """The directory inode at ``parts``, optionally creating the
+        chain (``mkdir -p``)."""
+        node = self._inodes[ROOT_ID]
+        for i, name in enumerate(parts):
+            if not node.is_dir:
+                raise NotADirectoryError(join_path(parts[: i]))
+            child = self._children[node.id].get(name)
+            if child is None:
+                if not parents:
+                    raise FileNotFoundError(join_path(parts[: i + 1]))
+                node = self._alloc("dir", name, node.id)
+                continue
+            node = self._inodes[child]
+        if not node.is_dir:
+            raise NotADirectoryError(join_path(parts))
+        return node
+
+    # -- lookup --------------------------------------------------------------
+
+    def resolve(self, path: str) -> Inode:
+        """The inode at ``path`` (cached).  Raises ``FileNotFoundError``
+        / ``NotADirectoryError`` like the OS would."""
+        parts = split_path(path)
+        canonical = join_path(parts)
+        fid = self.cache.get(canonical)
+        if fid is not None:
+            with self._lock:
+                node = self._inodes.get(fid)
+                if node is not None:
+                    return node
+            # A stale hit (entry survived a concurrent unlink): fall
+            # through to the authoritative walk.
+            self.cache.invalidate(canonical)
+        with self._lock:
+            node = self._walk_to(parts)
+            self.cache.put(canonical, node.id)
+            return node
+
+    def try_resolve(self, path: str) -> Optional[Inode]:
+        try:
+            return self.resolve(path)
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+
+    def exists(self, path: str) -> bool:
+        return self.try_resolve(path) is not None
+
+    def inode(self, fid: int) -> Inode:
+        """Direct flat-map access by id (KeyError when absent)."""
+        with self._lock:
+            return self._inodes[fid]
+
+    def path_of(self, fid: int) -> str:
+        """Reconstruct the current path of an id (the reverse fold)."""
+        with self._lock:
+            node = self._inodes[fid]
+            parts: List[str] = []
+            while node.id != ROOT_ID:
+                parts.append(node.name)
+                node = self._inodes[node.parent]
+            return join_path(list(reversed(parts)))
+
+    # -- mutation ------------------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = False) -> Inode:
+        """Create a directory; with ``parents`` create the whole chain
+        (and tolerate the leaf already existing as a directory)."""
+        parts = split_path(path)
+        if not parts:
+            return self._inodes[ROOT_ID]
+        with self._lock:
+            parent = self._resolve_dir(parts[:-1], parents)
+            existing = self._children[parent.id].get(parts[-1])
+            if existing is not None:
+                node = self._inodes[existing]
+                if parents and node.is_dir:
+                    return node
+                raise FileExistsError(join_path(parts))
+            return self._alloc("dir", parts[-1], parent.id)
+
+    def create(self, path: str, parents: bool = False,
+               **meta: object) -> Inode:
+        """Create a file inode; ``meta`` kwargs land in ``inode.meta``."""
+        parts = split_path(path)
+        if not parts:
+            raise IsADirectoryError("/")
+        with self._lock:
+            parent = self._resolve_dir(parts[:-1], parents)
+            if parts[-1] in self._children[parent.id]:
+                raise FileExistsError(join_path(parts))
+            return self._alloc("file", parts[-1], parent.id, meta)
+
+    def unlink(self, path: str) -> Inode:
+        """Remove a file inode (``IsADirectoryError`` for directories)."""
+        parts = split_path(path)
+        with self._lock:
+            node = self._walk_to(parts)
+            if node.is_dir:
+                raise IsADirectoryError(join_path(parts))
+            del self._children[node.parent][node.name]
+            del self._inodes[node.id]
+            self._inodes[node.parent].changed = self._tick()
+            self.cache.invalidate(join_path(parts))
+            return node
+
+    def rmdir(self, path: str) -> Inode:
+        """Remove an *empty* directory (``OSError`` when non-empty)."""
+        parts = split_path(path)
+        if not parts:
+            raise OSError("cannot remove the root directory")
+        with self._lock:
+            node = self._walk_to(parts)
+            if not node.is_dir:
+                raise NotADirectoryError(join_path(parts))
+            if self._children[node.id]:
+                raise OSError(f"directory not empty: {join_path(parts)}")
+            del self._children[node.parent][node.name]
+            del self._children[node.id]
+            del self._inodes[node.id]
+            self._inodes[node.parent].changed = self._tick()
+            self.cache.invalidate(join_path(parts))
+            return node
+
+    def rename(self, src: str, dst: str) -> Inode:
+        """Re-link ``src`` (file or whole subtree) to ``dst``.
+
+        Pure metadata: the moved inode keeps its id — and with it every
+        id-keyed structure downstream (locks, queues, sequence
+        counters, backing stores).  Only the lookup cache pays: both
+        path prefixes are invalidated.
+        """
+        sparts = split_path(src)
+        dparts = split_path(dst)
+        if not sparts:
+            raise OSError("cannot rename the root directory")
+        if not dparts:
+            raise FileExistsError("/")
+        with self._lock:
+            node = self._walk_to(sparts)
+            new_parent = self._resolve_dir(dparts[:-1], parents=False)
+            if dparts[-1] in self._children[new_parent.id]:
+                raise FileExistsError(join_path(dparts))
+            # Moving a directory under itself would orphan the subtree.
+            if node.is_dir:
+                probe = new_parent
+                while probe.id != ROOT_ID:
+                    if probe.id == node.id:
+                        raise OSError(
+                            f"cannot move {src!r} into its own subtree"
+                        )
+                    probe = self._inodes[probe.parent]
+                if new_parent.id == node.id:
+                    raise OSError(f"cannot move {src!r} into its own subtree")
+            del self._children[node.parent][node.name]
+            self._inodes[node.parent].changed = self._tick()
+            node.name = dparts[-1]
+            node.parent = new_parent.id
+            self._children[new_parent.id][node.name] = node.id
+            new_parent.changed = self._tick()
+            self.cache.invalidate_prefix(join_path(sparts))
+            self.cache.invalidate_prefix(join_path(dparts))
+            return node
+
+    # -- enumeration ---------------------------------------------------------
+
+    def listdir(self, path: str = "/") -> List[str]:
+        parts = split_path(path)
+        with self._lock:
+            node = self._walk_to(parts)
+            if not node.is_dir:
+                raise NotADirectoryError(join_path(parts))
+            return sorted(self._children[node.id])
+
+    def walk(self) -> Iterator[Tuple[str, Inode]]:
+        """Every inode under the root, as ``(path, inode)`` pairs in
+        depth-first path order (the root itself is excluded)."""
+        with self._lock:
+            stack: List[Tuple[str, int]] = [
+                ("/" + name, fid)
+                for name, fid in sorted(
+                    self._children[ROOT_ID].items(), reverse=True
+                )
+            ]
+            while stack:
+                path, fid = stack.pop()
+                node = self._inodes[fid]
+                yield path, node
+                if node.is_dir:
+                    stack.extend(
+                        (path + "/" + name, cid)
+                        for name, cid in sorted(
+                            self._children[fid].items(), reverse=True
+                        )
+                    )
+
+    def fold(self, files_only: bool = False) -> Dict[str, int]:
+        """The whole tree folded into one flat ``{path: id}`` map — the
+        title operation.  ``files_only`` drops directory entries."""
+        return {
+            path: node.id
+            for path, node in self.walk()
+            if not (files_only and node.is_dir)
+        }
+
+    def stats(self) -> Dict[str, int]:
+        """Sizes plus the lookup cache's counters (for ``/stats``)."""
+        with self._lock:
+            files = sum(1 for n in self._inodes.values() if n.is_file)
+            dirs = len(self._inodes) - files
+        out = {"files": files, "dirs": dirs}
+        out.update(
+            {f"lookup_{k}": v for k, v in self.cache.stats().items()}
+        )
+        return out
+
+    def __len__(self) -> int:
+        """Inode count, the root included."""
+        with self._lock:
+            return len(self._inodes)
+
+    def __contains__(self, path: str) -> bool:
+        return self.exists(path)

@@ -50,6 +50,46 @@ def _derived_hit_rates(counters: Dict[str, int]) -> Dict[str, float]:
     return out
 
 
+def _namespace_section(counters: Dict[str, int]) -> Dict[str, dict]:
+    """Lookup-cache health grouped per cache: every
+    ``namespace.<cache>.<event>`` counter folded into
+    ``{cache: {hits, misses, ..., hit_rate}}``."""
+    caches: Dict[str, dict] = {}
+    for key, value in counters.items():
+        if not key.startswith("namespace."):
+            continue
+        parts = key.split(".")
+        if len(parts) != 3:
+            continue
+        caches.setdefault(parts[1], {})[parts[2]] = value
+    for stats in caches.values():
+        total = stats.get("hits", 0) + stats.get("misses", 0)
+        if total:
+            stats["hit_rate"] = stats["hits"] / total
+    return caches
+
+
+def _tenants_section(reg: MetricsRegistry, counters: Dict[str, int]) -> Dict[str, dict]:
+    """Per-tenant scheduling health: queue-depth quantiles from the
+    ``service.tenant.<t>.queue_depth`` histograms plus the tenant's
+    admission counters."""
+    tenants: Dict[str, dict] = {}
+    for key, hist in reg.histograms("service.tenant").items():
+        parts = key.split(".")
+        if len(parts) != 4 or parts[3] != "queue_depth":
+            continue
+        tenant = parts[2]
+        summary = hist.as_dict()
+        tenants[tenant] = {
+            "queue_depth": {
+                k: summary[k] for k in ("p50", "p90", "p99", "max", "count")
+            },
+            "enqueued": counters.get(f"service.tenant.{tenant}.enqueued", 0),
+            "rejected": counters.get(f"service.tenant.{tenant}.rejected", 0),
+        }
+    return tenants
+
+
 def stats_payload(
     registry: Optional[MetricsRegistry] = None,
     sampler: Optional["TelemetrySampler"] = None,
@@ -77,6 +117,15 @@ def stats_payload(
     if total:
         cache["hit_rate"] = cache["hits"] / total
     payload["plan_cache"] = cache
+    # Namespace lookup caches and tenant scheduling get the same
+    # treatment: one /stats poll answers "are path lookups cached" and
+    # "is any tenant backing up or being rejected".
+    namespace = _namespace_section(counters)
+    if namespace:
+        payload["namespace"] = namespace
+    tenants = _tenants_section(reg, counters)
+    if tenants:
+        payload["tenants"] = tenants
     derived = _derived_hit_rates(counters)
     if derived:
         payload["derived"] = derived

@@ -5,24 +5,30 @@ issue operations against shared files at once.  This package is the
 front end that accepts those concurrent operations and keeps serial
 semantics:
 
-* :mod:`repro.service.service` — :class:`FileService`: bounded
-  admission queue with reject/park backpressure, a dispatcher that
-  fixes per-file ordering in admission order, a batching window that
-  coalesces adjacent same-file writes into one engine call, and a
-  worker pool that executes independent files concurrently;
+* :mod:`repro.service.service` — :class:`FileService`: a multi-file,
+  multi-tenant front end — shared bounded admission with per-tenant
+  quotas and reject/park backpressure, per-file FIFO queues scheduled
+  across tenants by weighted fair queueing, per-file locks and
+  per-file sequence numbers (total order within a file, unordered
+  across files), a batching window that coalesces adjacent same-file
+  writes into one engine call, and a worker pool that executes
+  independent files concurrently with zero cross-file lock conflicts;
 * :mod:`repro.service.locks` — the fair FIFO reader-writer lock the
-  ordering guarantee rests on;
-* :mod:`repro.service.tickets` — the client's future-like handle, now
-  carrying a trace id and the ``service.batch`` span tree its operation
-  rode in;
+  per-file ordering guarantee rests on, with tagged tickets so blocked
+  waits can attest what they were blocked on;
+* :mod:`repro.service.tickets` — the client's future-like handle,
+  carrying the per-file sequence, file id, tenant, trace id and the
+  ``service.batch`` span tree its operation rode in;
 * :mod:`repro.service.timeline` — :func:`request_timeline`, which
   reconstructs one request's cross-thread story (queue_wait →
   lock_acquire → batch → engine stages) from its ticket.
 
 Determinism contract: with ``workers=1``, ``max_batch=1`` and no
 faults, the service byte-for-byte reproduces serial engine execution;
-with any worker count, same-file writes still apply in admission order,
-so final file bytes equal a serial replay of the admitted sequence.
+with any worker count, each file's writes still apply in that file's
+admission order, so every file's final bytes equal a per-file serial
+replay of its admitted sequence — independent files share no ordering
+at all.
 """
 
 from .locks import FairRWLock, LockTicket

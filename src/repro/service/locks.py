@@ -31,14 +31,21 @@ __all__ = ["LockTicket", "FairRWLock"]
 
 
 class LockTicket:
-    """One place in a :class:`FairRWLock`'s line."""
+    """One place in a :class:`FairRWLock`'s line.
 
-    __slots__ = ("mode", "_event")
+    ``tag`` is an opaque owner label (the service tags tickets with the
+    file id the operation targets) used purely for introspection — the
+    cross-file conflict counter reads the active holders' tags while a
+    ticket is blocked.
+    """
 
-    def __init__(self, mode: str):
+    __slots__ = ("mode", "tag", "_event")
+
+    def __init__(self, mode: str, tag: object = None):
         if mode not in ("r", "w"):
             raise ValueError(f"mode must be 'r' or 'w', got {mode!r}")
         self.mode = mode
+        self.tag = tag
         self._event = threading.Event()
 
     @property
@@ -58,10 +65,10 @@ class FairRWLock:
         self._waiting: Deque[LockTicket] = deque()
         self._active: List[LockTicket] = []
 
-    def register(self, mode: str) -> LockTicket:
+    def register(self, mode: str, tag: object = None) -> LockTicket:
         """Take a place in line (non-blocking).  ``mode`` is ``"r"`` or
         ``"w"``; the caller serialises registration order."""
-        ticket = LockTicket(mode)
+        ticket = LockTicket(mode, tag=tag)
         with self._lock:
             self._waiting.append(ticket)
             self._grant_locked()
@@ -114,3 +121,12 @@ class FairRWLock:
     def waiting_count(self) -> int:
         with self._lock:
             return len(self._waiting)
+
+    def active_tags(self) -> List[object]:
+        """The ``tag`` of every currently granted ticket — what a
+        blocked waiter is actually waiting on.  The service's
+        cross-file conflict counter compares these against the blocked
+        operation's own file id (with per-file locks they can never
+        differ; the counter proves it)."""
+        with self._lock:
+            return [t.tag for t in self._active]

@@ -1,45 +1,64 @@
-"""The concurrent file service: admission, batching, dispatch.
+"""The multi-file, multi-tenant file service: admission, WFQ, batching.
 
-:class:`FileService` is a front end over one :class:`Clusterfile`
-deployment that accepts many simultaneous client operations and runs
-them on a bounded worker pool, preserving the semantics of serial
-execution:
+:class:`FileService` fronts a *namespace* of files on one
+:class:`Clusterfile` deployment.  It accepts many simultaneous client
+operations — for many files, from many tenants — and runs them on a
+bounded worker pool while preserving per-file serial semantics:
 
-* **Admission** — every operation enters one bounded FIFO queue and is
-  stamped with a global sequence number.  A full queue either rejects
-  (``admission="reject"`` → :class:`ServiceOverloaded`) or parks the
-  caller until space frees (``admission="park"`` — backpressure).
-* **Ordering** — a single dispatcher thread drains the queue in
-  admission order and registers each operation on its file's
-  :class:`FairRWLock` *before* handing it to the pool.  Registration
-  order equals admission order, so same-file writes always apply in
-  the order clients were admitted; reads share; operations on
-  different files proceed concurrently.
-* **Batching** — an adjacent run of write operations on one file (same
-  ``to_disk`` flag, distinct compute nodes) coalesces into a single
-  engine call, up to ``max_batch`` requests.  With ``batch_window_s``
-  > 0 the dispatcher lingers that long for late arrivals that extend
-  the run.  The engine applies a multi-request write's payloads in
-  request order, so a coalesced batch is byte-identical to executing
-  its members serially in admission order.
+* **Admission** — one shared bounded budget (``max_queue``) with
+  per-tenant quotas on top: a tenant at its quota parks
+  (``admission="park"`` — backpressure) or is rejected
+  (``admission="reject"`` → :class:`ServiceOverloaded`) even while the
+  global budget has room, so one tenant cannot starve the rest of the
+  queue.  Each admitted operation is stamped with a **per-file
+  sequence number**: the order is total within a file and deliberately
+  unordered across files — independent files share no counter, no
+  queue position, and no lock, so they never serialise.
+* **Scheduling** — operations land in per-file FIFO queues.  A single
+  dispatcher picks the next *file head* by weighted fair queueing over
+  tenants (start-time fair queueing: each operation carries a virtual
+  finish tag ``start + cost/weight``; the eligible head with the
+  smallest tag runs).  Because only queue heads are dispatched and
+  each file's queue is FIFO, per-file admission order is preserved no
+  matter how tenants interleave.
+* **Ordering** — the dispatcher registers each dispatched operation on
+  its file's :class:`FairRWLock` before handing it to the pool.
+  Registration order equals per-file admission order, so same-file
+  writes always apply in the order clients were admitted; reads share;
+  operations on different files proceed concurrently.  Locks are
+  tagged with the file id: whenever a worker actually blocks, the
+  active holders' tags are compared with the blocked operation's —
+  ``service.lock.cross_file_conflicts`` counts mismatches and the
+  stress suite pins it at exactly zero (per-file locks make it
+  structurally impossible; the counter proves it).
+* **Batching** — an adjacent run of writes *within one file's queue*
+  (same ``to_disk`` flag, distinct compute nodes) coalesces into a
+  single engine call, up to ``max_batch`` requests: coalescing is
+  keyed by ``(file id, adjacency in that file's order)``, so traffic
+  on other files can never break a file's batch.  With
+  ``batch_window_s`` > 0 the dispatcher lingers for late arrivals on
+  the same file.  The engine applies a multi-request write's payloads
+  in request order, so a coalesced batch is byte-identical to
+  executing its members serially in per-file admission order.
 * **Dispatch** — at most ``workers`` operations are in flight; the
   dispatcher blocks on a worker slot before submitting, so queue depth
   reflects the true backlog.
 
 With one worker, no faults and batching disabled the service is
-byte-for-byte the serial engine: one operation at a time, in admission
-order, through exactly the same code path as :meth:`Clusterfile.write`
-/ :meth:`Clusterfile.read`.
+byte-for-byte the serial engine.  With any worker count, each file's
+operations still apply in that file's admission order, so every file's
+bytes equal a per-file serial replay of its admitted sequence.
 
 Everything the service does is measured: ``service.*`` counters
-(enqueued/rejected/completed/failed/batches) and bounded histograms
-(queue depth at admission, batch size at dispatch, per-operation wait
-time — quantiles plus slow-op exemplars at fixed footprint) live in
-the process-wide metrics registry (:mod:`repro.obs.metrics`), every
-ticket carries a trace id, and the worker publishes a ``service.batch``
-span tree on each ticket so :func:`repro.service.request_timeline`
-reconstructs a request's queue_wait → lock_acquire → engine phases
-across threads.
+(enqueued/rejected/completed/failed/batches, lock blocking and the
+cross-file conflict invariant) and bounded histograms — global
+(``queue_depth``/``batch_size``/``wait_s``), per tenant
+(``service.tenant.<t>.queue_depth``/``.wait_s`` + admission/rejection
+counters) and per file (``service.file.<name>.wait_s``) — live in the
+process-wide metrics registry.  Every ticket carries a trace id, file
+id and tenant, and the worker publishes a ``service.batch`` span tree
+on each ticket so :func:`repro.service.request_timeline` reconstructs
+a request's queue_wait → lock_acquire → engine phases across threads.
 """
 
 from __future__ import annotations
@@ -49,7 +68,7 @@ import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -62,7 +81,10 @@ from ..obs.span import open_span
 from .locks import FairRWLock, LockTicket
 from .tickets import ServiceClosed, ServiceOverloaded, Ticket
 
-__all__ = ["FileService"]
+__all__ = ["FileService", "DEFAULT_TENANT"]
+
+#: Tenant used when the caller does not name one.
+DEFAULT_TENANT = "default"
 
 
 @dataclass
@@ -73,6 +95,10 @@ class _Op:
     name: str
     ticket: Ticket
     admitted_at: float
+    tenant: str = DEFAULT_TENANT
+    #: Start-time-fair-queueing tags, fixed at admission.
+    wfq_start: float = 0.0
+    wfq_finish: float = 0.0
     #: When the dispatcher registered the op on its file lock (queue
     #: wait ends here; lock wait begins).
     registered_at: float = 0.0
@@ -86,20 +112,67 @@ class _Op:
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
+class _TenantState:
+    """Per-tenant scheduling state: quota accounting + WFQ tags."""
+
+    __slots__ = (
+        "name", "weight", "quota", "queued", "last_finish",
+        "m_enqueued", "m_rejected", "h_queue_depth", "h_wait_s",
+    )
+
+    def __init__(self, name: str, weight: float, quota: int):
+        self.name = name
+        self.weight = weight
+        self.quota = quota
+        self.queued = 0  # admitted, not yet dispatched
+        self.last_finish = 0.0
+        self.m_enqueued = obs_metrics.counter(
+            f"service.tenant.{name}.enqueued"
+        )
+        self.m_rejected = obs_metrics.counter(
+            f"service.tenant.{name}.rejected"
+        )
+        self.h_queue_depth = obs_metrics.histogram(
+            f"service.tenant.{name}.queue_depth"
+        )
+        self.h_wait_s = obs_metrics.histogram(f"service.tenant.{name}.wait_s")
+
+
+class _FileState:
+    """Per-file service state: its own lock, queue, and sequence."""
+
+    __slots__ = (
+        "file_id", "name", "lock", "queue", "next_seq", "ready", "h_wait_s",
+    )
+
+    def __init__(self, file_id: int, name: str):
+        self.file_id = file_id
+        self.name = name
+        self.lock = FairRWLock()
+        self.queue: Deque[_Op] = deque()
+        self.next_seq = 0
+        #: Whether this file currently sits in the dispatcher's ready
+        #: list (kept as a flag so membership checks are O(1)).
+        self.ready = False
+        self.h_wait_s = obs_metrics.histogram(f"service.file.{name}.wait_s")
+
+
 def _batch_compatible(op: _Op, batch: List[_Op]) -> bool:
-    """Whether ``op`` can join a write batch (engine constraints: one
-    request per compute node, one destination file, one flush mode)."""
+    """Whether ``op`` can extend a write batch on the same file (engine
+    constraints: one request per compute node, one flush mode).  The
+    file is implied — candidates come off the same per-file queue, so
+    adjacency *in that file's order* is the batching key."""
     head = batch[0]
     return (
         op.kind == "write"
-        and op.name == head.name
         and op.to_disk == head.to_disk
         and all(op.node != b.node for b in batch)
     )
 
 
 class FileService:
-    """A concurrent, batching front end over one :class:`Clusterfile`.
+    """A concurrent, batching, multi-tenant front end over a namespace
+    of files on one :class:`Clusterfile` deployment.
 
     Parameters
     ----------
@@ -111,32 +184,38 @@ class FileService:
     workers:
         Worker threads; also the in-flight operation cap.
     max_queue:
-        Bound on the admission queue (operations admitted but not yet
-        dispatched).
+        Shared bound on admitted-but-undispatched operations across
+        every file and tenant.
     admission:
-        ``"park"`` blocks submitters while the queue is full
-        (backpressure); ``"reject"`` raises :class:`ServiceOverloaded`.
+        ``"park"`` blocks submitters while the queue (or their tenant's
+        quota) is full (backpressure); ``"reject"`` raises
+        :class:`ServiceOverloaded`.
     max_batch:
         Largest number of adjacent same-file writes coalesced into one
         engine call.  ``1`` disables batching.
     batch_window_s:
-        How long the dispatcher lingers for late write arrivals that
-        extend a batch.  ``0`` coalesces only what is already queued.
-    workers_mode:
-        ``"thread"`` (default) runs engine calls on the service's
-        worker threads, GIL and all.  ``"process"`` additionally fans
-        each engine call's server-side work out across a
-        :class:`~repro.mp.pool.ProcessPoolExecutorBackend` of
-        ``io_processes`` worker processes — real cores.  The deployment
-        must keep subfiles in shared memory
-        (:class:`~repro.clusterfile.storage.SharedMemoryStorage`, or
-        ``Clusterfile(workers_mode="process")`` which also brings its
-        own pool; an existing ``fs.backend`` is reused, not re-created).
-        A pool the service creates is owned by it and torn down —
-        segments unlinked — in :meth:`close`.
-    io_processes:
-        Worker-process count for ``workers_mode="process"``; defaults
-        to ``workers``.
+        How long the dispatcher lingers for late write arrivals on the
+        same file that extend a batch.  ``0`` coalesces only what is
+        already queued.
+    namespace:
+        An optional :class:`~repro.namespace.cluster.ClusterNamespace`.
+        When given, ``submit_*`` also accept absolute *paths*
+        (``"/logs/a"``): the namespace's cached lookup resolves them to
+        ``(backing name, file id)`` and per-file state is keyed by the
+        stable id — renames never move queues or locks.
+    tenant_weights:
+        ``{tenant: weight}`` for weighted fair queueing.  Unlisted
+        tenants get weight 1.0.  An operation's virtual cost is 1.0, so
+        under saturation tenants receive dispatch slots proportional to
+        their weights.
+    tenant_quota:
+        Per-tenant cap on queued (undispatched) operations; defaults to
+        ``max_queue`` (no per-tenant throttling).  Override per tenant
+        with :meth:`set_tenant`.
+    workers_mode / io_processes:
+        As before: ``"process"`` fans each engine call's server-side
+        work out across a worker-process pool (see
+        :class:`~repro.mp.pool.ProcessPoolExecutorBackend`).
     """
 
     def __init__(
@@ -147,6 +226,9 @@ class FileService:
         admission: str = "park",
         max_batch: int = 8,
         batch_window_s: float = 0.0,
+        namespace: object = None,
+        tenant_weights: Optional[Dict[str, float]] = None,
+        tenant_quota: Optional[int] = None,
         workers_mode: str = "thread",
         io_processes: Optional[int] = None,
     ):
@@ -167,7 +249,10 @@ class FileService:
                 f"workers_mode must be 'thread' or 'process', "
                 f"got {workers_mode!r}"
             )
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError(f"tenant_quota must be >= 1, got {tenant_quota}")
         self.fs = fs
+        self.namespace = namespace
         self.workers_mode = workers_mode
         self._owned_backend = None
         if workers_mode == "process" and fs.backend is None:
@@ -190,14 +275,20 @@ class FileService:
         self.admission = admission
         self.max_batch = max_batch
         self.batch_window_s = batch_window_s
+        self.default_tenant_quota = (
+            tenant_quota if tenant_quota is not None else max_queue
+        )
+        self._tenant_weights = dict(tenant_weights or {})
 
-        self._queue: Deque[_Op] = deque()
         self._qlock = threading.Lock()
         self._not_empty = threading.Condition(self._qlock)
         self._not_full = threading.Condition(self._qlock)
         self._idle = threading.Condition(self._qlock)
-        self._seq = 0
+        #: Files with a non-empty queue (the dispatcher's choice set).
+        self._ready: List[_FileState] = []
+        self._queued = 0  # admitted, not yet dispatched (all files)
         self._pending = 0  # admitted, not yet resolved
+        self._vtime = 0.0  # WFQ virtual time
         self._closed = False
 
         # Hot-path metric handles, resolved once (a registry lookup per
@@ -207,6 +298,15 @@ class FileService:
         self._m_completed = obs_metrics.counter("service.completed")
         self._m_failed = obs_metrics.counter("service.failed")
         self._m_batches = obs_metrics.counter("service.batches")
+        # The ordering invariants, measured: lock waits that actually
+        # blocked (same-file contention — expected under load) vs
+        # blocked waits whose active holder belonged to a *different*
+        # file (structurally impossible with per-file locks; pinned at
+        # zero by the stress suite).
+        self._m_lock_blocked = obs_metrics.counter("service.lock.blocked")
+        self._m_cross_file = obs_metrics.counter(
+            "service.lock.cross_file_conflicts"
+        )
         # Bounded log-bucket histograms, not gauges: a long-running
         # service keeps quantiles and slow-op exemplars at fixed
         # footprint (the summary keys stay gauge-compatible).
@@ -214,8 +314,9 @@ class FileService:
         self._m_batch_size = obs_metrics.histogram("service.batch_size")
         self._m_wait_s = obs_metrics.histogram("service.wait_s")
 
-        self._locks: Dict[str, FairRWLock] = {}
-        self._locks_guard = threading.Lock()
+        self._files: Dict[str, _FileState] = {}
+        self._tenants: Dict[str, _TenantState] = {}
+        self._next_file_id = 1
         self._slots = threading.Semaphore(workers)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="svc-worker"
@@ -224,6 +325,59 @@ class FileService:
             target=self._dispatch_loop, name="svc-dispatch", daemon=True
         )
         self._dispatcher.start()
+
+    # -- tenant / file registries --------------------------------------------
+
+    def set_tenant(
+        self,
+        name: str,
+        weight: Optional[float] = None,
+        quota: Optional[int] = None,
+    ) -> None:
+        """Configure (or reconfigure) one tenant's WFQ weight and
+        admission quota.  Safe at any time; affects operations admitted
+        afterwards."""
+        if weight is not None and weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        if quota is not None and quota < 1:
+            raise ValueError(f"quota must be >= 1, got {quota}")
+        with self._qlock:
+            t = self._tenant_locked(name)
+            if weight is not None:
+                t.weight = weight
+                self._tenant_weights[name] = weight
+            if quota is not None:
+                t.quota = quota
+            # A raised quota may unpark waiting submitters.
+            self._not_full.notify_all()
+
+    def _tenant_locked(self, name: str) -> _TenantState:
+        t = self._tenants.get(name)
+        if t is None:
+            t = self._tenants[name] = _TenantState(
+                name,
+                weight=float(self._tenant_weights.get(name, 1.0)),
+                quota=self.default_tenant_quota,
+            )
+        return t
+
+    def _file_locked(self, name: str, file_id: Optional[int]) -> _FileState:
+        fstate = self._files.get(name)
+        if fstate is None:
+            if file_id is None:
+                file_id = self._next_file_id
+                self._next_file_id += 1
+            fstate = self._files[name] = _FileState(file_id, name)
+        return fstate
+
+    def _locate(self, file: str) -> Tuple[str, Optional[int]]:
+        """Resolve a client-facing file reference to ``(backing name,
+        file id)``: through the namespace when one is attached and the
+        reference is a path, else as a bare Clusterfile name."""
+        ns = self.namespace
+        if ns is not None and file.startswith("/"):
+            return ns.locate(file)
+        return file, None
 
     # -- client API ----------------------------------------------------------
 
@@ -234,6 +388,7 @@ class FileService:
         offset: int,
         data,
         to_disk: bool = False,
+        tenant: str = DEFAULT_TENANT,
     ) -> Ticket:
         """Admit one view write (the payload is copied at admission, so
         the caller may reuse its buffer immediately)."""
@@ -244,6 +399,7 @@ class FileService:
                 name=name,
                 ticket=None,  # type: ignore[arg-type]  # stamped in _admit
                 admitted_at=0.0,
+                tenant=tenant,
                 node=node,
                 offset=offset,
                 data=payload,
@@ -258,6 +414,7 @@ class FileService:
         offset: int,
         length: int,
         from_disk: bool = False,
+        tenant: str = DEFAULT_TENANT,
     ) -> Ticket:
         """Admit one view read; the ticket resolves to the bytes read."""
         if length < 0:
@@ -268,6 +425,7 @@ class FileService:
                 name=name,
                 ticket=None,  # type: ignore[arg-type]
                 admitted_at=0.0,
+                tenant=tenant,
                 node=node,
                 offset=offset,
                 length=length,
@@ -275,7 +433,12 @@ class FileService:
             )
         )
 
-    def submit_relayout(self, name: str, new_physical: Partition) -> Ticket:
+    def submit_relayout(
+        self,
+        name: str,
+        new_physical: Partition,
+        tenant: str = DEFAULT_TENANT,
+    ) -> Ticket:
         """Admit a physical re-layout.  Exclusive on the file; views set
         on the file are re-established against the new layout before the
         ticket resolves."""
@@ -285,6 +448,7 @@ class FileService:
                 name=name,
                 ticket=None,  # type: ignore[arg-type]
                 admitted_at=0.0,
+                tenant=tenant,
                 new_physical=new_physical,
             )
         )
@@ -313,11 +477,17 @@ class FileService:
                 return
             self._closed = True
             if not drain:
-                dropped = list(self._queue)
-                self._queue.clear()
-                for op in dropped:
-                    op.ticket._fail(ServiceClosed("service closed"))
-                    self._pending -= 1
+                for fstate in self._ready:
+                    fstate.ready = False
+                    for op in fstate.queue:
+                        op.ticket._fail(ServiceClosed("service closed"))
+                        op_tenant = self._tenants.get(op.tenant)
+                        if op_tenant is not None:
+                            op_tenant.queued -= 1
+                        self._pending -= 1
+                    fstate.queue.clear()
+                self._ready.clear()
+                self._queued = 0
                 if not self._pending:
                     self._idle.notify_all()
             self._not_empty.notify_all()
@@ -338,105 +508,196 @@ class FileService:
 
     @property
     def queue_depth(self) -> int:
+        """Admitted-but-undispatched operations across all files."""
         with self._qlock:
-            return len(self._queue)
+            return self._queued
 
     @property
     def pending(self) -> int:
         with self._qlock:
             return self._pending
 
+    def tenant_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant scheduling snapshot (tests, operators)."""
+        with self._qlock:
+            return {
+                t.name: {
+                    "weight": t.weight,
+                    "quota": t.quota,
+                    "queued": t.queued,
+                    "virtual_finish": t.last_finish,
+                }
+                for t in self._tenants.values()
+            }
+
+    def file_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-file service snapshot: id, backlog, next sequence."""
+        with self._qlock:
+            return {
+                f.name: {
+                    "file_id": f.file_id,
+                    "queued": len(f.queue),
+                    "next_seq": f.next_seq,
+                }
+                for f in self._files.values()
+            }
+
     # -- admission -----------------------------------------------------------
 
     def _admit(self, op: _Op) -> Ticket:
+        name, file_id = self._locate(op.name)
+        op.name = name
         with self._qlock:
             if self._closed:
                 raise ServiceClosed("service closed")
-            while len(self._queue) >= self.max_queue:
+            tstate = self._tenant_locked(op.tenant)
+            while (
+                self._queued >= self.max_queue
+                or tstate.queued >= tstate.quota
+            ):
                 if self.admission == "reject":
                     self._m_rejected.inc()
+                    tstate.m_rejected.inc()
+                    if tstate.queued >= tstate.quota:
+                        raise ServiceOverloaded(
+                            f"tenant {op.tenant!r} at quota "
+                            f"({tstate.quota})"
+                        )
                     raise ServiceOverloaded(
                         f"admission queue full ({self.max_queue})"
                     )
                 self._not_full.wait()
                 if self._closed:
                     raise ServiceClosed("service closed")
-            op.ticket = Ticket(self._seq, op.kind, op.name)
-            self._seq += 1
+            fstate = self._file_locked(name, file_id)
+            op.ticket = Ticket(
+                fstate.next_seq,
+                op.kind,
+                name,
+                file_id=fstate.file_id,
+                tenant=op.tenant,
+            )
+            fstate.next_seq += 1
+            # Start-time fair queueing: the operation's virtual finish
+            # tag orders it against every other tenant's backlog.  Unit
+            # cost per operation — dispatch slots, not bytes, are the
+            # contended resource at this layer.
+            start = max(self._vtime, tstate.last_finish)
+            op.wfq_start = start
+            op.wfq_finish = start + 1.0 / tstate.weight
+            tstate.last_finish = op.wfq_finish
             op.admitted_at = time.perf_counter()
-            self._queue.append(op)
+            fstate.queue.append(op)
+            if not fstate.ready:
+                fstate.ready = True
+                self._ready.append(fstate)
+            self._queued += 1
+            tstate.queued += 1
             self._pending += 1
             self._m_enqueued.inc()
-            self._m_queue_depth.observe(len(self._queue))
+            tstate.m_enqueued.inc()
+            self._m_queue_depth.observe(self._queued)
+            tstate.h_queue_depth.observe(tstate.queued)
             self._not_empty.notify()
         return op.ticket
 
     # -- dispatch ------------------------------------------------------------
 
-    def _lock_for(self, name: str) -> FairRWLock:
-        with self._locks_guard:
-            lock = self._locks.get(name)
-            if lock is None:
-                lock = self._locks[name] = FairRWLock()
-            return lock
+    def _account_dispatch_locked(self, ops: List[_Op]) -> None:
+        """Move ops from 'queued' to 'in flight' (caller holds _qlock)."""
+        for op in ops:
+            self._queued -= 1
+            self._tenants[op.tenant].queued -= 1
+        self._not_full.notify_all()
+
+    def _retire_if_empty_locked(self, fstate: _FileState) -> None:
+        if fstate.ready and not fstate.queue:
+            fstate.ready = False
+            self._ready.remove(fstate)
+
+    @staticmethod
+    def _head_key(fstate: _FileState) -> Tuple[float, float, int]:
+        head = fstate.queue[0]
+        return (head.wfq_finish, head.wfq_start, fstate.file_id)
 
     def _dispatch_loop(self) -> None:
         while True:
             with self._qlock:
-                while not self._queue and not self._closed:
+                while not self._ready and not self._closed:
                     self._not_empty.wait()
-                if not self._queue:
+                if not self._ready:
                     return  # closed and drained
-                batch = [self._queue.popleft()]
-                if batch[0].kind == "write":
+                # WFQ across tenants: of every file's head operation,
+                # run the one with the smallest virtual finish tag.
+                # Only heads are eligible, so per-file FIFO order is
+                # preserved no matter how the tags interleave.
+                fstate = min(self._ready, key=self._head_key)
+                head = fstate.queue.popleft()
+                self._vtime = max(self._vtime, head.wfq_start)
+                batch = [head]
+                if head.kind == "write":
                     while (
                         len(batch) < self.max_batch
-                        and self._queue
-                        and _batch_compatible(self._queue[0], batch)
+                        and fstate.queue
+                        and _batch_compatible(fstate.queue[0], batch)
                     ):
-                        batch.append(self._queue.popleft())
-                self._not_full.notify_all()
+                        batch.append(fstate.queue.popleft())
+                self._account_dispatch_locked(batch)
+                self._retire_if_empty_locked(fstate)
             if (
-                batch[0].kind == "write"
+                head.kind == "write"
                 and self.batch_window_s > 0
                 and len(batch) < self.max_batch
             ):
-                self._linger(batch)
-            # Lock registration in admission order fixes same-file
-            # ordering *before* workers race to execute.
-            lock = self._lock_for(batch[0].name)
-            mode = "r" if batch[0].kind == "read" else "w"
-            lticket = lock.register(mode)
+                self._linger(fstate, batch)
+            # Lock registration in per-file admission order fixes
+            # same-file ordering *before* workers race to execute.
+            mode = "r" if head.kind == "read" else "w"
+            lticket = fstate.lock.register(mode, tag=fstate.file_id)
             registered = time.perf_counter()
             for op in batch:
                 op.registered_at = registered
             self._slots.acquire()
-            self._pool.submit(self._run_batch, batch, lock, lticket)
+            self._pool.submit(self._run_batch, fstate, batch, lticket)
 
-    def _linger(self, batch: List[_Op]) -> None:
-        """Hold a short write batch open for late compatible arrivals."""
+    def _linger(self, fstate: _FileState, batch: List[_Op]) -> None:
+        """Hold a short write batch open for late arrivals *on the same
+        file* that extend it."""
         deadline = time.perf_counter() + self.batch_window_s
         with self._qlock:
             while len(batch) < self.max_batch:
-                if self._queue:
-                    if _batch_compatible(self._queue[0], batch):
-                        batch.append(self._queue.popleft())
-                        self._not_full.notify_all()
+                if fstate.queue:
+                    if _batch_compatible(fstate.queue[0], batch):
+                        op = fstate.queue.popleft()
+                        batch.append(op)
+                        self._account_dispatch_locked([op])
                         continue
-                    return  # incompatible head: dispatch what we have
+                    break  # incompatible head: dispatch what we have
                 if self._closed:
-                    return
+                    break
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
-                    return
+                    break
                 self._not_empty.wait(remaining)
+            self._retire_if_empty_locked(fstate)
 
     # -- execution -----------------------------------------------------------
 
     def _run_batch(
-        self, batch: List[_Op], lock: FairRWLock, lticket: LockTicket
+        self, fstate: _FileState, batch: List[_Op], lticket: LockTicket
     ) -> None:
+        lock = fstate.lock
         try:
+            if not lticket.granted:
+                # Blocked: same-file contention by construction.  The
+                # cross-file counter verifies that construction — any
+                # active holder tagged with another file id would be a
+                # serialization bug, and the stress suite pins it at 0.
+                self._m_lock_blocked.inc()
+                if any(
+                    tag != fstate.file_id for tag in lock.active_tags()
+                ):
+                    self._m_cross_file.inc()
             lock.wait(lticket)
             started = time.perf_counter()
             head = batch[0]
@@ -444,6 +705,8 @@ class FileService:
                 "service.batch",
                 kind=head.kind,
                 file=head.name,
+                file_id=fstate.file_id,
+                tenant=head.tenant,
                 size=len(batch),
                 trace_id=head.ticket.trace_id,
             ) as root:
@@ -468,6 +731,10 @@ class FileService:
                         trace_id=op.ticket.trace_id,
                         seq=op.ticket.seq,
                     )
+                    fstate.h_wait_s.observe(op.ticket.wait_s)
+                    tstate = self._tenants.get(op.tenant)
+                    if tstate is not None:
+                        tstate.h_wait_s.observe(op.ticket.wait_s)
                     # Publish the tree before execution: tickets resolve
                     # inside _execute, and a client may ask for its
                     # timeline the instant result() returns.

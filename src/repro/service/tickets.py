@@ -4,9 +4,12 @@ A ticket is a single-assignment future.  The service resolves it from a
 worker thread exactly once — with the operation's result or with the
 exception that killed it — and every waiter unblocks.  Tickets also
 carry the per-operation service facts the stress tests reconcile
-against the metrics registry: the admission sequence number, the wait
-time from admission to execution start, and the size of the batch the
-operation rode in.
+against the metrics registry: the *per-file* sequence number (total
+order within one file, deliberately unordered across files so
+independent files never serialise on a shared counter), the file id
+and tenant the operation was admitted under, the wait time from
+admission to execution start, and the size of the batch the operation
+rode in.
 """
 
 from __future__ import annotations
@@ -44,6 +47,8 @@ class Ticket:
         "seq",
         "kind",
         "file",
+        "file_id",
+        "tenant",
         "trace_id",
         "trace",
         "wait_s",
@@ -54,13 +59,28 @@ class Ticket:
         "_error",
     )
 
-    def __init__(self, seq: int, kind: str, file: str):
-        #: Admission sequence number — the service-wide total order.
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        file: str,
+        file_id: int = 0,
+        tenant: str = "default",
+    ):
+        #: Per-file admission sequence number — a total order *within*
+        #: the ticket's file.  Two tickets on different files are
+        #: deliberately incomparable: independent files share no
+        #: counter, so they never serialise at admission.
         self.seq = seq
         #: Operation kind: ``"write"``, ``"read"`` or ``"relayout"``.
         self.kind = kind
-        #: File the operation targets.
+        #: File (backing name) the operation targets.
         self.file = file
+        #: Stable file id (namespace inode id, or the service's own
+        #: per-name id when no namespace is attached).
+        self.file_id = file_id
+        #: Tenant the operation was admitted under (quotas, WFQ).
+        self.tenant = tenant
         #: Process-unique trace id linking this operation's service-side
         #: spans to the engine span tree it executed in (see
         #: :func:`repro.service.request_timeline`).

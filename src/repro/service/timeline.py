@@ -42,10 +42,12 @@ def _per_op_record(root: Span, name: str, trace_id: str) -> Optional[Span]:
 def request_timeline(ticket: Ticket) -> Dict[str, object]:
     """The full cross-thread timeline of one service request.
 
-    Returns ``{"trace_id", "seq", "kind", "file", "wait_s",
-    "batched_with", "batch": {...}, "stages": [{"stage", "wall_s",
-    ...}, ...]}`` with stages in causal order.  Raises ``ValueError``
-    if the ticket has not been dispatched yet (no trace published).
+    Returns ``{"trace_id", "seq", "kind", "file", "file_id", "tenant",
+    "wait_s", "batched_with", "batch": {...}, "stages": [{"stage",
+    "wall_s", ...}, ...]}`` with stages in causal order.  ``seq`` is
+    the *per-file* sequence number (total within the ticket's file,
+    unordered across files).  Raises ``ValueError`` if the ticket has
+    not been dispatched yet (no trace published).
     """
     root = ticket.trace
     if root is None:
@@ -85,12 +87,15 @@ def request_timeline(ticket: Ticket) -> Dict[str, object]:
         "seq": ticket.seq,
         "kind": ticket.kind,
         "file": ticket.file,
+        "file_id": ticket.file_id,
+        "tenant": ticket.tenant,
         "wait_s": ticket.wait_s,
         "batched_with": ticket.batched_with,
         "batch": {
             "trace_id": root.attrs.get("trace_id"),
             "kind": root.attrs.get("kind"),
             "file": root.attrs.get("file"),
+            "file_id": root.attrs.get("file_id"),
             "size": root.attrs.get("size"),
             "wall_s": root.wall_s,
         },

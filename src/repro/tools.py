@@ -188,9 +188,34 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _parse_tenant_weights(spec, tenants):
+    """``"3,1"`` or ``"t0=3,t1=1"`` -> ``{tenant: weight}`` over the
+    generated tenant names ``t0..tN-1``."""
+    if not spec:
+        return {}
+    weights = {}
+    parts = [p for p in spec.split(",") if p.strip()]
+    for i, part in enumerate(parts):
+        if "=" in part:
+            name, value = part.split("=", 1)
+            weights[name.strip()] = float(value)
+        else:
+            if i >= tenants:
+                raise SystemExit(
+                    f"--tenant-weights lists {len(parts)} weights for "
+                    f"{tenants} tenants"
+                )
+            weights[f"t{i}"] = float(part)
+    for w in weights.values():
+        if w <= 0:
+            raise SystemExit("--tenant-weights must be > 0")
+    return weights
+
+
 def _cmd_serve(args) -> int:
     """Load driver for the concurrent file service: a mixed workload of
-    threaded clients against one deployment, reported as JSON."""
+    threaded clients, spread over a namespace of files and a set of
+    weighted tenants, against one deployment — reported as JSON."""
     import json
     import threading
     import time
@@ -199,17 +224,28 @@ def _cmd_serve(args) -> int:
 
     from .clusterfile.fs import Clusterfile
     from .distributions import round_robin
+    from .namespace import ClusterNamespace
     from .obs import metrics
     from .obs.live import StatsServer, TelemetrySampler
     from .service import FileService, request_timeline
 
     metrics.reset_metrics("service")
     metrics.reset_metrics("engine")
+    metrics.reset_metrics("namespace")
     nprocs = args.nprocs
+    if args.files < 1:
+        raise SystemExit("--files must be >= 1")
+    if args.tenants < 1:
+        raise SystemExit("--tenants must be >= 1")
     fs = Clusterfile(workers_mode=args.mode, workers=args.io_processes)
-    fs.create("load", round_robin(nprocs, args.chunk))
-    for node in range(nprocs):
-        fs.set_view("load", node, round_robin(nprocs, args.chunk))
+    cns = ClusterNamespace(fs)
+    paths = [f"/load/f{j}" for j in range(args.files)]
+    for path in paths:
+        cns.create(path, round_robin(nprocs, args.chunk), parents=True)
+        for node in range(nprocs):
+            cns.set_view(path, node, round_robin(nprocs, args.chunk))
+    tenant_names = [f"t{j}" for j in range(args.tenants)]
+    tenant_weights = _parse_tenant_weights(args.tenant_weights, args.tenants)
 
     sampler = None
     stats = None
@@ -225,17 +261,23 @@ def _cmd_serve(args) -> int:
 
     def client(i, svc):
         rng = np.random.default_rng(args.seed + i)
+        tenant = tenant_names[i % len(tenant_names)]
         for k in range(args.ops):
+            path = paths[int(rng.integers(len(paths)))]
             node = int(rng.integers(nprocs))
             off = int(rng.integers(0, 4 * args.chunk))
             if rng.random() < args.write_fraction:
                 data = rng.integers(
                     0, 256, int(rng.integers(1, args.chunk + 1)), np.uint8
                 )
-                tk = svc.submit_write("load", node, off, data)
+                tk = svc.submit_write(path, node, off, data, tenant=tenant)
             else:
                 tk = svc.submit_read(
-                    "load", node, off, int(rng.integers(1, args.chunk + 1))
+                    path,
+                    node,
+                    off,
+                    int(rng.integers(1, args.chunk + 1)),
+                    tenant=tenant,
                 )
             if i == 0 and k == 0:
                 sample["ticket"] = tk
@@ -248,6 +290,9 @@ def _cmd_serve(args) -> int:
         admission="park",
         max_batch=args.max_batch,
         batch_window_s=args.batch_window,
+        namespace=cns,
+        tenant_weights=tenant_weights,
+        tenant_quota=args.tenant_quota,
     ) as svc:
         threads = [
             threading.Thread(target=client, args=(i, svc))
@@ -277,6 +322,10 @@ def _cmd_serve(args) -> int:
         "clients": args.clients,
         "workers": args.workers,
         "max_batch": args.max_batch,
+        "files": args.files,
+        "tenants": args.tenants,
+        "tenant_weights": tenant_weights or None,
+        "namespace": cns.stats(),
         "operations": total,
         "elapsed_s": elapsed,
         "ops_per_s": total / elapsed if elapsed else None,
@@ -412,6 +461,22 @@ def main(argv=None) -> int:
     ps.add_argument(
         "--write-fraction", type=float, default=0.7,
         help="fraction of operations that are writes",
+    )
+    ps.add_argument(
+        "--files", type=int, default=1,
+        help="independent files in the namespace (default 1)",
+    )
+    ps.add_argument(
+        "--tenants", type=int, default=1,
+        help="tenants; client i submits as t(i %% tenants) (default 1)",
+    )
+    ps.add_argument(
+        "--tenant-weights", default=None,
+        help="WFQ weights: '3,1' (t0,t1 in order) or 't0=3,t1=1'",
+    )
+    ps.add_argument(
+        "--tenant-quota", type=int, default=None,
+        help="per-tenant cap on queued operations (default: max-queue)",
     )
     ps.add_argument("--seed", type=int, default=0)
     ps.add_argument("--json", help="also write the report here")

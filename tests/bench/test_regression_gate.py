@@ -18,16 +18,37 @@ import regression  # noqa: E402
 
 
 def _load_baseline(name):
-    path = regression.BASELINES[name]
-    if not os.path.exists(path):
-        pytest.skip(f"no committed baseline {path}")
+    path = regression.discover_baselines().get(name)
+    if path is None or not os.path.exists(path):
+        pytest.skip(f"no committed baseline for {name}")
     with open(path) as f:
         return json.load(f)
 
 
+class TestDiscovery:
+    def test_glob_finds_every_committed_baseline(self):
+        found = regression.discover_baselines()
+        # Every BENCH_*.json at the repo root is discovered, keyed by
+        # its <name>, no registry edits needed.
+        root = os.path.dirname(BENCH_DIR)
+        committed = {
+            f[len("BENCH_"):-len(".json")]
+            for f in os.listdir(root)
+            if f.startswith("BENCH_") and f.endswith(".json")
+        }
+        assert set(found) == committed
+        assert "namespace" in found  # this PR's headline baseline
+        for name, path in found.items():
+            assert os.path.basename(path) == f"BENCH_{name}.json"
+
+    def test_baseline_path_for_future_benchmarks(self):
+        path = regression.baseline_path("brand_new")
+        assert os.path.basename(path) == "BENCH_brand_new.json"
+
+
 class TestExtractors:
     @pytest.mark.parametrize(
-        "name", ["plan_cache", "faults", "service", "telemetry"]
+        "name", ["plan_cache", "faults", "service", "telemetry", "namespace"]
     )
     def test_committed_baselines_yield_metrics(self, name):
         metrics = regression.extract_metrics(_load_baseline(name))
@@ -36,9 +57,26 @@ class TestExtractors:
         assert len(labels) == len(set(labels)), "labels must be unique"
         assert all(v > 0 for _, v in metrics)
 
-    def test_unknown_benchmark_rejected(self):
-        with pytest.raises(ValueError, match="extractor"):
-            regression.extract_metrics({"benchmark": "nope"})
+    def test_unknown_benchmark_without_timings_rejected(self):
+        with pytest.raises(ValueError, match="no timing metrics"):
+            regression.extract_metrics({"benchmark": "nope", "count": 3})
+
+    def test_generic_extractor_walks_timing_leaves(self):
+        """A benchmark this tool has never heard of still gates, as
+        long as its result carries *_s/*_us timing leaves."""
+        result = {
+            "benchmark": "future_bench",
+            "ops": 100,  # not a timing: skipped
+            "warm": {"wall_s": 0.5, "hit_rate": 0.9},
+            "rows": [{"cold_us": 12.0}, {"cold_us": 15.0}],
+            "ok": True,  # bools are never metrics
+        }
+        metrics = dict(regression.extract_metrics(result))
+        assert metrics == {
+            "warm.wall_s": 0.5,
+            "rows[0].cold_us": 12.0,
+            "rows[1].cold_us": 15.0,
+        }
 
 
 class TestCompare:

@@ -1,0 +1,136 @@
+"""ClusterNamespace: binding paths to backing stores, and the service
+running on paths — rename moving no data, no queue, and no lock."""
+
+import numpy as np
+import pytest
+
+from repro.clusterfile.fs import Clusterfile
+from repro.distributions import round_robin
+from repro.namespace import ClusterNamespace
+from repro.service import FileService
+
+NPROCS = 2
+CHUNK = 8
+LAYOUT = round_robin(NPROCS, CHUNK)
+
+
+def _cns():
+    return ClusterNamespace(Clusterfile())
+
+
+class TestBinding:
+    def test_create_binds_id_derived_backing(self):
+        cns = _cns()
+        node = cns.create("/data/a", LAYOUT, parents=True)
+        backing, fid = cns.locate("/data/a")
+        assert fid == node.id
+        assert backing == f"fid-{node.id}"
+        assert backing in cns.fs.files
+
+    def test_create_rolls_back_metadata_on_store_failure(self):
+        cns = _cns()
+        cns.create("/a", LAYOUT)
+        # Force a backing-store collision: a second inode whose backing
+        # name already exists in the deployment.
+        cns.fs.create(f"fid-{cns.tree._next_id}", LAYOUT)
+        with pytest.raises(Exception):
+            cns.create("/b", LAYOUT)
+        assert not cns.exists("/b")
+
+    def test_open_and_locate_reject_directories(self):
+        cns = _cns()
+        cns.mkdir("/d")
+        with pytest.raises(IsADirectoryError):
+            cns.open("/d")
+        with pytest.raises(IsADirectoryError):
+            cns.locate("/d")
+
+    def test_delete_removes_metadata_and_stores(self):
+        cns = _cns()
+        cns.create("/a", LAYOUT)
+        backing, _ = cns.locate("/a")
+        cns.delete("/a")
+        assert not cns.exists("/a")
+        assert backing not in cns.fs.files
+
+    def test_io_through_paths(self):
+        cns = _cns()
+        cns.create("/data/a", LAYOUT, parents=True)
+        cns.set_view("/data/a", 0, round_robin(NPROCS, CHUNK))
+        backing, _ = cns.locate("/data/a")
+        payload = np.arange(6, dtype=np.uint8)
+        cns.fs.write(backing, [(0, 0, payload)])
+        got = cns.linear_contents("/data/a")
+        assert got[: CHUNK][:6].tolist() == payload.tolist()
+
+    def test_rename_preserves_bytes_without_touching_stores(self):
+        cns = _cns()
+        cns.create("/old", LAYOUT)
+        cns.set_view("/old", 0, round_robin(NPROCS, CHUNK))
+        backing, fid = cns.locate("/old")
+        cns.fs.write(backing, [(0, 0, np.full(5, 7, dtype=np.uint8))])
+        before = cns.linear_contents("/old").copy()
+        stores_before = cns.fs.files[backing]
+
+        cns.mkdir("/archive")
+        cns.rename("/old", "/archive/new")
+
+        new_backing, new_fid = cns.locate("/archive/new")
+        assert (new_backing, new_fid) == (backing, fid)
+        assert cns.fs.files[new_backing] is stores_before  # same object
+        np.testing.assert_array_equal(
+            cns.linear_contents("/archive/new"), before
+        )
+        assert not cns.exists("/old")
+
+
+class TestServiceOnPaths:
+    def test_service_resolves_paths_and_keys_state_by_file(self):
+        cns = _cns()
+        for p in ("/t/a", "/t/b"):
+            cns.create(p, LAYOUT, parents=True)
+            for node in range(NPROCS):
+                cns.set_view(p, node, round_robin(NPROCS, CHUNK))
+        with FileService(cns.fs, workers=2, namespace=cns) as svc:
+            ta = svc.submit_write("/t/a", 0, 0, np.full(4, 1, np.uint8))
+            tb = svc.submit_write("/t/b", 0, 0, np.full(4, 2, np.uint8))
+            ta.result(timeout=30)
+            tb.result(timeout=30)
+            # Tickets carry the backing name and the inode id.
+            assert ta.file == cns.locate("/t/a")[0]
+            assert ta.file_id == cns.open("/t/a").id
+            assert tb.file_id != ta.file_id
+            # Per-file sequences: both streams started at 0.
+            assert ta.seq == 0 and tb.seq == 0
+        assert cns.linear_contents("/t/a")[:4].tolist() == [1] * 4
+        assert cns.linear_contents("/t/b")[:4].tolist() == [2] * 4
+
+    def test_rename_keeps_sequence_and_queue_continuity(self):
+        """Operations before and after a rename land on the same
+        per-file state: the sequence keeps counting, nothing resets."""
+        cns = _cns()
+        cns.create("/live", LAYOUT)
+        for node in range(NPROCS):
+            cns.set_view("/live", node, round_robin(NPROCS, CHUNK))
+        with FileService(cns.fs, workers=2, namespace=cns) as svc:
+            t0 = svc.submit_write("/live", 0, 0, np.full(3, 9, np.uint8))
+            t0.result(timeout=30)
+            cns.rename("/live", "/moved")
+            t1 = svc.submit_write("/moved", 0, 3, np.full(3, 8, np.uint8))
+            t1.result(timeout=30)
+            assert t1.file == t0.file  # same backing store
+            assert t1.file_id == t0.file_id
+            assert (t0.seq, t1.seq) == (0, 1)  # one continuous sequence
+        got = cns.linear_contents("/moved")[:6].tolist()
+        assert got == [9, 9, 9, 8, 8, 8]
+
+    def test_bare_names_still_work_without_namespace(self):
+        fs = Clusterfile()
+        fs.create("plain", LAYOUT)
+        for node in range(NPROCS):
+            fs.set_view("plain", node, round_robin(NPROCS, CHUNK))
+        with FileService(fs, workers=1) as svc:
+            t = svc.submit_write("plain", 0, 0, np.full(2, 5, np.uint8))
+            t.result(timeout=30)
+            assert t.file == "plain"
+            assert t.file_id > 0  # service-assigned id

@@ -1,0 +1,257 @@
+"""Namespace tree semantics: the fold, the cache, and rename purity."""
+
+import threading
+
+import pytest
+
+from repro.namespace import Inode, LookupCache, Namespace
+from repro.namespace.tree import ROOT_ID, join_path, split_path
+from repro.obs import metrics as obs_metrics
+
+
+class TestPaths:
+    def test_split_normalises(self):
+        assert split_path("/") == []
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+        assert split_path("//a///b/") == ["a", "b"]
+
+    def test_split_rejects_relative_and_dots(self):
+        with pytest.raises(ValueError):
+            split_path("a/b")
+        with pytest.raises(ValueError):
+            split_path("/a/./b")
+        with pytest.raises(ValueError):
+            split_path("/a/../b")
+        with pytest.raises(ValueError):
+            split_path(None)
+
+    def test_join_inverts_split(self):
+        for p in ("/", "/a", "/a/b/c"):
+            assert join_path(split_path(p)) == p
+
+
+class TestTreeShape:
+    def test_root_is_its_own_parent(self):
+        ns = Namespace()
+        root = ns.inode(ROOT_ID)
+        assert root.is_dir and root.parent == ROOT_ID
+        assert ns.resolve("/") is root
+
+    def test_create_resolve_roundtrip(self):
+        ns = Namespace()
+        ns.mkdir("/data")
+        node = ns.create("/data/a", size=7)
+        assert node.is_file
+        assert node.meta["size"] == 7
+        assert ns.resolve("/data/a") is node
+        assert ns.path_of(node.id) == "/data/a"
+
+    def test_create_parents_builds_chain(self):
+        ns = Namespace()
+        node = ns.create("/x/y/z/file", parents=True)
+        assert ns.resolve("/x/y/z").is_dir
+        assert ns.resolve("/x/y/z/file") is node
+
+    def test_missing_parent_and_duplicates_raise(self):
+        ns = Namespace()
+        with pytest.raises(FileNotFoundError):
+            ns.create("/nope/a")
+        ns.create("/a", parents=True)
+        with pytest.raises(FileExistsError):
+            ns.create("/a")
+        with pytest.raises(FileExistsError):
+            ns.mkdir("/a")
+        with pytest.raises(NotADirectoryError):
+            ns.create("/a/b")
+
+    def test_unlink_and_rmdir(self):
+        ns = Namespace()
+        ns.mkdir("/d")
+        ns.create("/d/f")
+        with pytest.raises(IsADirectoryError):
+            ns.unlink("/d")
+        with pytest.raises(OSError):
+            ns.rmdir("/d")  # non-empty
+        ns.unlink("/d/f")
+        assert not ns.exists("/d/f")
+        ns.rmdir("/d")
+        assert not ns.exists("/d")
+        assert len(ns) == 1  # the root remains
+
+    def test_listdir_walk_and_fold(self):
+        ns = Namespace()
+        ns.mkdir("/b")
+        ns.mkdir("/a")
+        ns.create("/a/2")
+        ns.create("/a/1")
+        ns.create("/top")
+        assert ns.listdir("/") == ["a", "b", "top"]
+        assert ns.listdir("/a") == ["1", "2"]
+        paths = [p for p, _ in ns.walk()]
+        assert paths == ["/a", "/a/1", "/a/2", "/b", "/top"]
+        fold = ns.fold(files_only=True)
+        assert set(fold) == {"/a/1", "/a/2", "/top"}
+        assert fold["/top"] == ns.resolve("/top").id
+        assert set(ns.fold()) == {"/a", "/a/1", "/a/2", "/b", "/top"}
+
+
+class TestRename:
+    def test_rename_keeps_id_and_meta(self):
+        ns = Namespace()
+        ns.mkdir("/old")
+        node = ns.create("/old/f", backing="fid-3")
+        fid = node.id
+        ns.mkdir("/new")
+        renamed = ns.rename("/old/f", "/new/g")
+        assert renamed.id == fid
+        assert renamed.meta["backing"] == "fid-3"
+        assert not ns.exists("/old/f")
+        assert ns.resolve("/new/g").id == fid
+        assert ns.path_of(fid) == "/new/g"
+
+    def test_rename_moves_whole_subtree(self):
+        ns = Namespace()
+        ns.create("/proj/src/a", parents=True)
+        ns.create("/proj/src/b", parents=True)
+        ids = {p: n.id for p, n in ns.walk()}
+        ns.rename("/proj", "/archive")
+        assert ns.resolve("/archive/src/a").id == ids["/proj/src/a"]
+        assert ns.resolve("/archive/src/b").id == ids["/proj/src/b"]
+        assert not ns.exists("/proj")
+
+    def test_rename_guards(self):
+        ns = Namespace()
+        ns.mkdir("/a")
+        ns.mkdir("/a/b")
+        ns.create("/c")
+        with pytest.raises(OSError):
+            ns.rename("/a", "/a/b/a2")  # into its own subtree
+        with pytest.raises(FileExistsError):
+            ns.rename("/a", "/c")  # destination taken
+        with pytest.raises(OSError):
+            ns.rename("/", "/root2")
+
+    def test_rename_invalidates_cached_subtree_lookups(self):
+        ns = Namespace()
+        ns.create("/proj/src/a", parents=True)
+        ns.resolve("/proj/src/a")  # warm the cache
+        ns.resolve("/proj/src/a")
+        assert ns.cache.hits >= 1
+        ns.rename("/proj", "/archive")
+        # The stale path no longer resolves — neither from the cache
+        # nor from the authoritative walk.
+        with pytest.raises(FileNotFoundError):
+            ns.resolve("/proj/src/a")
+        assert ns.cache.invalidations >= 1
+        assert ns.resolve("/archive/src/a").is_file
+
+
+class TestLookupCache:
+    def setup_method(self):
+        obs_metrics.reset_metrics("namespace")
+
+    def test_counters_and_registry_mirror(self):
+        cache = LookupCache(capacity=2, name="lookup_cache")
+        assert cache.get("/a") is None  # miss
+        cache.put("/a", 1)
+        assert cache.get("/a") == 1  # hit
+        cache.put("/b", 2)
+        cache.put("/c", 3)  # evicts /a (LRU)
+        assert cache.get("/a") is None  # miss after eviction
+        cache.invalidate("/b")
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 2
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["invalidations"] == 1
+        counts = obs_metrics.snapshot("namespace")
+        assert counts["namespace.lookup_cache.hits"] == 1
+        assert counts["namespace.lookup_cache.misses"] == 2
+        assert counts["namespace.lookup_cache.evictions"] == 1
+        assert counts["namespace.lookup_cache.invalidations"] == 1
+
+    def test_lru_order_refreshes_on_hit(self):
+        cache = LookupCache(capacity=2, name=None)
+        cache.put("/a", 1)
+        cache.put("/b", 2)
+        cache.get("/a")  # /b becomes the LRU victim
+        cache.put("/c", 3)
+        assert cache.get("/a") == 1
+        assert cache.get("/b") is None
+
+    def test_invalidate_prefix_spares_siblings(self):
+        cache = LookupCache(capacity=8, name=None)
+        for p, fid in (("/a", 1), ("/a/x", 2), ("/a/x/y", 3), ("/ab", 4)):
+            cache.put(p, fid)
+        assert cache.invalidate_prefix("/a") == 3
+        assert cache.get("/ab") == 4  # "/ab" is not under "/a"
+
+    def test_zero_capacity_never_stores(self):
+        cache = LookupCache(capacity=0, name=None)
+        cache.put("/a", 1)
+        assert len(cache) == 0
+
+    def test_namespace_resolution_hits_the_cache(self):
+        ns = Namespace(cache_capacity=4)
+        ns.create("/data/f", parents=True)
+        before = ns.cache.stats()["hits"]
+        ns.resolve("/data/f")
+        ns.resolve("/data/f")
+        ns.resolve("/data//f/")  # normalises to the same canonical path
+        assert ns.cache.stats()["hits"] >= before + 2
+        stats = ns.stats()
+        assert stats["files"] == 1
+        assert stats["dirs"] == 2  # root + /data
+        assert stats["lookup_hits"] == ns.cache.stats()["hits"]
+
+    def test_unlink_purges_cached_entry(self):
+        ns = Namespace()
+        ns.create("/f")
+        ns.resolve("/f")
+        ns.unlink("/f")
+        assert not ns.exists("/f")
+        assert ns.cache.invalidations >= 1
+
+
+class TestConcurrency:
+    def test_parallel_resolvers_and_creators_stay_consistent(self):
+        ns = Namespace(cache_capacity=64)
+        ns.mkdir("/d")
+        n_threads = 8
+        per_thread = 25
+        errors = []
+        start = threading.Barrier(n_threads)
+
+        def worker(i):
+            start.wait()
+            try:
+                for k in range(per_thread):
+                    path = f"/d/t{i}-{k}"
+                    ns.create(path)
+                    node = ns.resolve(path)
+                    assert node.is_file
+                    assert ns.path_of(node.id) == path
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        fold = ns.fold(files_only=True)
+        assert len(fold) == n_threads * per_thread
+        # Ids are unique and every fold entry resolves to itself.
+        assert len(set(fold.values())) == len(fold)
+        for path, fid in fold.items():
+            assert ns.resolve(path).id == fid
+
+
+def test_inode_kind_predicates():
+    f = Inode(id=1, kind="file", name="f", parent=0)
+    d = Inode(id=2, kind="dir", name="d", parent=0)
+    assert f.is_file and not f.is_dir
+    assert d.is_dir and not d.is_file

@@ -90,6 +90,81 @@ class TestStatsPayload:
         assert payload["exemplars"]["e.op_s"][0]["trace_id"] == "op-00000001"
 
 
+class TestStatsPayloadNamespaceAndTenants:
+    """/stats surfaces namespace lookup-cache health and per-tenant
+    queue-depth quantiles alongside the plan-cache section."""
+
+    def test_namespace_section_groups_per_cache(self):
+        reg = obs_metrics.MetricsRegistry()
+        reg.inc("namespace.lookup_cache.hits", 9)
+        reg.inc("namespace.lookup_cache.misses", 1)
+        reg.inc("namespace.lookup_cache.evictions", 2)
+        reg.inc("namespace.lookup_cache.invalidations", 3)
+        payload = stats_payload(registry=reg)
+        cache = payload["namespace"]["lookup_cache"]
+        assert cache["hits"] == 9
+        assert cache["misses"] == 1
+        assert cache["evictions"] == 2
+        assert cache["invalidations"] == 3
+        assert cache["hit_rate"] == pytest.approx(0.9)
+        # The generic hits/misses machinery derives the same rate.
+        assert payload["derived"]["namespace.lookup_cache.hit_rate"] == (
+            pytest.approx(0.9)
+        )
+
+    def test_tenants_section_has_queue_depth_quantiles(self):
+        reg = obs_metrics.MetricsRegistry()
+        h = reg.histogram("service.tenant.acme.queue_depth")
+        for depth in (1, 2, 3, 4):
+            h.observe(depth)
+        reg.inc("service.tenant.acme.enqueued", 4)
+        reg.inc("service.tenant.acme.rejected", 1)
+        payload = stats_payload(registry=reg)
+        acme = payload["tenants"]["acme"]
+        assert acme["queue_depth"]["count"] == 4
+        assert acme["queue_depth"]["max"] == 4
+        assert {"p50", "p90", "p99"} <= set(acme["queue_depth"])
+        assert acme["enqueued"] == 4
+        assert acme["rejected"] == 1
+
+    def test_sections_absent_when_unused(self):
+        payload = stats_payload(registry=obs_metrics.MetricsRegistry())
+        assert "namespace" not in payload
+        assert "tenants" not in payload
+
+    def test_real_namespace_run_reaches_stats_endpoint(self):
+        from repro.namespace import ClusterNamespace
+
+        obs_metrics.reset_metrics()
+        cns = ClusterNamespace(Clusterfile(ClusterConfig()))
+        cns.create("/live/a", round_robin(4, 64), parents=True)
+        for node in range(4):
+            cns.set_view("/live/a", node, round_robin(4, 64))
+        rng = np.random.default_rng(0)
+        with FileService(cns.fs, workers=2, namespace=cns) as svc:
+            for i in range(8):
+                svc.submit_write(
+                    "/live/a",
+                    i % 4,
+                    0,
+                    rng.integers(0, 256, 64, dtype=np.uint8),
+                    tenant="acme",
+                )
+            assert svc.drain(timeout=60)
+        with StatsServer(port=0) as server:
+            with urllib.request.urlopen(
+                server.url + "/stats", timeout=10
+            ) as resp:
+                stats = json.load(resp)
+        cache = stats["namespace"]["lookup_cache"]
+        assert cache["hits"] + cache["misses"] > 0
+        assert cache["hit_rate"] > 0  # repeated path lookups hit
+        acme = stats["tenants"]["acme"]
+        assert acme["queue_depth"]["count"] == 8
+        assert acme["enqueued"] == 8
+        assert acme["rejected"] == 0
+
+
 class TestHttpRoundTrip:
     def test_metrics_and_stats_against_live_service(self):
         obs_metrics.reset_metrics()

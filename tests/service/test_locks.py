@@ -128,3 +128,112 @@ class TestThreaded:
         for t in threads:
             t.join()
         assert order == list(range(12))
+
+
+class TestFairnessProperties:
+    """Starvation-freedom and FIFO properties, probed with
+    ``wait(ticket, timeout=)``: a ``False`` return is a *bounded*
+    observation that the ticket is still queued (no grant yet), so the
+    tests can assert both sides — who must be granted and who must
+    not — without sleeping for luck."""
+
+    def test_writer_not_starved_by_continuous_reader_stream(self):
+        """A writer behind one reader is granted as soon as that reader
+        drains, even while new readers keep arriving: the arrivals
+        queue *behind* the writer instead of piling onto the shared
+        grant."""
+        lock = FairRWLock()
+        first = lock.register("r")
+        writer = lock.register("w")
+
+        stop = threading.Event()
+        granted_before_writer = []
+
+        def reader_stream():
+            while not stop.is_set():
+                t = lock.register("r")
+                if lock.wait(t, timeout=0.001):
+                    # Only possible once the writer has come and gone.
+                    if not writer.granted:
+                        granted_before_writer.append(t)
+                    lock.release(t)
+                else:
+                    # Still queued behind the writer: wait it out for
+                    # real, then release.
+                    lock.wait(t)
+                    if not writer.granted:
+                        granted_before_writer.append(t)
+                    lock.release(t)
+
+        streams = [
+            threading.Thread(target=reader_stream, daemon=True)
+            for _ in range(4)
+        ]
+        for t in streams:
+            t.start()
+        try:
+            # The stream alone never unblocks the writer...
+            assert not lock.wait(writer, timeout=0.05)
+            # ...and draining the pre-writer reader does, promptly,
+            # regardless of how many readers arrived meanwhile.
+            lock.release(first)
+            assert lock.wait(writer, timeout=5.0)
+            assert not granted_before_writer
+            lock.release(writer)
+        finally:
+            stop.set()
+            for t in streams:
+                t.join(timeout=5)
+
+    def test_fifo_order_among_waiting_writers(self):
+        """Same-mode waiters are granted strictly in registration
+        order; wait(timeout=) observes each intermediate state."""
+        lock = FairRWLock()
+        holder = lock.register("w")
+        writers = [lock.register("w") for _ in range(4)]
+        assert all(not w.granted for w in writers)
+        lock.release(holder)
+        for i, w in enumerate(writers):
+            assert lock.wait(w, timeout=5.0), f"writer {i} never granted"
+            for later in writers[i + 1:]:
+                assert not lock.wait(later, timeout=0.01), (
+                    f"writer after {i} granted out of FIFO order"
+                )
+            lock.release(w)
+
+    def test_fifo_order_among_reader_batches(self):
+        """Readers split by a writer are granted batch by batch in
+        registration order, never merged across the writer."""
+        lock = FairRWLock()
+        holder = lock.register("w")
+        early = [lock.register("r") for _ in range(3)]
+        mid_writer = lock.register("w")
+        late = [lock.register("r") for _ in range(3)]
+
+        lock.release(holder)
+        for r in early:
+            assert lock.wait(r, timeout=5.0)
+        assert not lock.wait(mid_writer, timeout=0.01)
+        assert all(not lock.wait(r, timeout=0.01) for r in late)
+
+        for r in early:
+            lock.release(r)
+        assert lock.wait(mid_writer, timeout=5.0)
+        assert all(not lock.wait(r, timeout=0.01) for r in late)
+
+        lock.release(mid_writer)
+        for r in late:
+            assert lock.wait(r, timeout=5.0)
+            lock.release(r)
+
+    def test_wait_timeout_leaves_ticket_queued(self):
+        """A timed-out wait is an observation, not a cancellation: the
+        ticket keeps its place and is granted later."""
+        lock = FairRWLock()
+        holder = lock.register("w")
+        waiter = lock.register("w")
+        assert not lock.wait(waiter, timeout=0.01)
+        assert lock.waiting_count == 1
+        lock.release(holder)
+        assert lock.wait(waiter, timeout=5.0)
+        lock.release(waiter)

@@ -1,17 +1,28 @@
 """Concurrency stress: many client threads against one deployment.
 
 The service's contract is that concurrency never changes *what* is
-computed, only *when*: operations on one file execute in admission
-order, so the final file bytes — and every individual read result —
-must equal a serial replay of the admitted sequence on a fresh
-deployment.  This test drives >= 8 client threads issuing a mixed
-write/read/relayout workload through an 8-worker service, records the
-admission order from the tickets, replays it serially, and compares
-byte-for-byte.  It also reconciles the ``service.*`` metrics totals
-against per-operation sums from the tickets.
+computed, only *when*: operations on one file execute in that file's
+admission order, so every file's final bytes — and every individual
+read result — must equal a *per-file* serial replay of its admitted
+sequence on a fresh deployment.  Sequence numbers are total per file
+and deliberately unordered across files, so the tests key every record
+by ``(file, seq)`` and assert contiguity file by file.
+
+Two workloads here:
+
+* a mixed write/read/relayout storm over two files sharing clients
+  (contention mode — exercises same-file ordering under cross-file
+  interleaving);
+* 8 client threads over 8 *independent* files (sharding mode — proves
+  the no-serialization invariant: the cross-file lock-conflict counter
+  stays exactly 0 while every file still matches its serial replay).
+
+Both reconcile the ``service.*`` metrics totals against per-operation
+sums from the tickets.
 """
 
 import threading
+from collections import defaultdict
 
 import numpy as np
 import pytest
@@ -28,24 +39,24 @@ FILES = ("alpha", "beta")
 LAYOUTS = (round_robin(NPROCS, CHUNK), round_robin(2, 2 * CHUNK))
 
 
-def _deployment():
+def _deployment(files=FILES):
     fs = Clusterfile()
-    for name in FILES:
+    for name in files:
         fs.create(name, LAYOUTS[0])
         for node in range(NPROCS):
             fs.set_view(name, node, round_robin(NPROCS, CHUNK))
     return fs
 
 
-def _client_ops(seed, n_ops):
+def _client_ops(seed, n_ops, files=FILES, relayouts=True):
     """One client's operation stream (generated, not yet submitted)."""
     rng = np.random.default_rng(seed)
     ops = []
     for _ in range(n_ops):
-        name = FILES[int(rng.integers(len(FILES)))]
+        name = files[int(rng.integers(len(files)))]
         node = int(rng.integers(NPROCS))
         roll = rng.random()
-        if roll < 0.62:
+        if roll < 0.62 or (not relayouts and roll >= 0.92):
             off = int(rng.integers(0, 160))
             data = rng.integers(0, 256, int(rng.integers(1, 48)), dtype=np.uint8)
             ops.append(("write", name, node, off, data))
@@ -59,103 +70,106 @@ def _client_ops(seed, n_ops):
     return ops
 
 
-def _replay_serially(records):
-    """Apply the admitted sequence on a fresh deployment, mimicking the
-    service's relayout view re-establishment."""
-    fs = _deployment()
+def _replay_serially(records, files=FILES):
+    """Apply each file's admitted sequence, in per-file seq order, on a
+    fresh deployment (files are independent, so replay order across
+    files is immaterial), mimicking the service's relayout view
+    re-establishment."""
+    fs = _deployment(files)
     read_results = {}
-    for seq, op in sorted(records.items()):
-        kind = op[0]
-        if kind == "write":
-            _, name, node, off, data = op
-            fs.write(name, [(node, off, data)])
-        elif kind == "read":
-            _, name, node, off, length = op
-            [buf] = fs.read(name, [(node, off, length)])
-            read_results[seq] = buf
-        else:
-            _, name, layout = op
-            saved = [
-                (node, v.logical, v.element)
-                for (n, node), v in list(fs.views.items())
-                if n == name
-            ]
-            relayout(fs, name, layout)
-            for node, logical, element in saved:
-                fs.set_view(name, node, logical, element)
+    by_file = defaultdict(list)
+    for (name, seq), op in records.items():
+        by_file[name].append((seq, op))
+    for name, seq_ops in by_file.items():
+        for seq, op in sorted(seq_ops):
+            kind = op[0]
+            if kind == "write":
+                _, name, node, off, data = op
+                fs.write(name, [(node, off, data)])
+            elif kind == "read":
+                _, name, node, off, length = op
+                [buf] = fs.read(name, [(node, off, length)])
+                read_results[(name, seq)] = buf
+            else:
+                _, name, layout = op
+                saved = [
+                    (node, v.logical, v.element)
+                    for (n, node), v in list(fs.views.items())
+                    if n == name
+                ]
+                relayout(fs, name, layout)
+                for node, logical, element in saved:
+                    fs.set_view(name, node, logical, element)
     return fs, read_results
 
 
-@pytest.mark.parametrize("seed", [0, 1])
-def test_stress_mixed_workload_equals_serial_replay(seed):
-    obs_metrics.reset_metrics("service")
-    n_threads = 8
-    ops_per_thread = 20
-    fs = _deployment()
-
-    records = {}  # admission seq -> op tuple
+def _run_storm(fs, svc, n_threads, ops_per_thread, seed, files, relayouts=True):
+    """Drive the workload; returns records/tickets keyed by (file, seq)."""
+    records = {}
     tickets = {}
     guard = threading.Lock()
     start = threading.Barrier(n_threads)
 
-    with FileService(
-        fs, workers=8, max_queue=32, admission="park", max_batch=8
-    ) as svc:
+    def client(i):
+        start.wait()
+        client_files = files if relayouts else (files[i % len(files)],)
+        for op in _client_ops(
+            1000 * seed + i, ops_per_thread, client_files, relayouts
+        ):
+            if op[0] == "write":
+                _, name, node, off, data = op
+                t = svc.submit_write(name, node, off, data)
+            elif op[0] == "read":
+                _, name, node, off, length = op
+                t = svc.submit_read(name, node, off, length)
+            else:
+                _, name, layout = op
+                t = svc.submit_relayout(name, layout)
+            with guard:
+                records[(t.file, t.seq)] = op
+                tickets[(t.file, t.seq)] = t
 
-        def client(i):
-            start.wait()
-            for op in _client_ops(1000 * seed + i, ops_per_thread):
-                if op[0] == "write":
-                    _, name, node, off, data = op
-                    t = svc.submit_write(name, node, off, data)
-                elif op[0] == "read":
-                    _, name, node, off, length = op
-                    t = svc.submit_read(name, node, off, length)
-                else:
-                    _, name, layout = op
-                    t = svc.submit_relayout(name, layout)
-                with guard:
-                    records[t.seq] = op
-                    tickets[t.seq] = t
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert svc.drain(timeout=120)
+    return records, tickets
 
-        threads = [
-            threading.Thread(target=client, args=(i,))
-            for i in range(n_threads)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        assert svc.drain(timeout=120)
 
-    total = n_threads * ops_per_thread
+def _assert_per_file_contiguity(records, total):
     assert len(records) == total
-    # Admission sequence numbers are the service-wide total order and
-    # must be exactly 0..total-1 with no gaps or duplicates.
-    assert sorted(records) == list(range(total))
+    # Per file, sequence numbers are a total order: exactly 0..n-1 with
+    # no gaps or duplicates.  (Across files they are incomparable.)
+    per_file = defaultdict(list)
+    for name, seq in records:
+        per_file[name].append(seq)
+    for name, seqs in per_file.items():
+        assert sorted(seqs) == list(range(len(seqs))), (
+            f"per-file sequence of {name!r} is not contiguous"
+        )
+    assert sum(len(s) for s in per_file.values()) == total
 
-    failures = {
-        seq: t.exception(timeout=5)
-        for seq, t in tickets.items()
-        if t.exception(timeout=5) is not None
-    }
-    assert not failures, f"operations failed: {failures}"
 
-    # -- byte equivalence against the serial replay ----------------------
-    replay_fs, replay_reads = _replay_serially(records)
-    for name in FILES:
+def _assert_replay_identical(fs, records, tickets, files):
+    replay_fs, replay_reads = _replay_serially(records, files)
+    for name in files:
         np.testing.assert_array_equal(
             fs.linear_contents(name),
             replay_fs.linear_contents(name),
             err_msg=f"final bytes of {name!r} diverge from serial replay",
         )
-    for seq, want in replay_reads.items():
-        got = tickets[seq].result(timeout=5)
+    for key, want in replay_reads.items():
+        got = tickets[key].result(timeout=5)
         np.testing.assert_array_equal(
-            got, want, err_msg=f"read #{seq} diverges from serial replay"
+            got, want, err_msg=f"read {key} diverges from serial replay"
         )
 
-    # -- metrics integrity under contention ------------------------------
+
+def _assert_metrics_reconcile(records, tickets, total, max_queue):
     counts = obs_metrics.snapshot("service")
     gauges = obs_metrics.get_registry().gauges("service")
     n_writes = sum(1 for op in records.values() if op[0] == "write")
@@ -169,10 +183,10 @@ def test_stress_mixed_workload_equals_serial_replay(seed):
     # Wait time and queue depth were sampled once per operation.
     assert gauges["service.wait_s"]["count"] == total
     assert gauges["service.queue_depth"]["count"] == total
-    assert gauges["service.queue_depth"]["max"] <= 32
+    assert gauges["service.queue_depth"]["max"] <= max_queue
     # Ticket-side per-op facts agree with the registry aggregates.
     write_tickets = [
-        tickets[seq] for seq, op in records.items() if op[0] == "write"
+        tickets[key] for key, op in records.items() if op[0] == "write"
     ]
     assert sum(1.0 / t.batched_with for t in write_tickets) == pytest.approx(
         counts["service.batches"]
@@ -180,3 +194,67 @@ def test_stress_mixed_workload_equals_serial_replay(seed):
     assert sum(t.wait_s for t in tickets.values()) == pytest.approx(
         gauges["service.wait_s"]["sum"]
     )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_stress_mixed_workload_equals_serial_replay(seed):
+    obs_metrics.reset_metrics("service")
+    n_threads = 8
+    ops_per_thread = 20
+    fs = _deployment()
+
+    with FileService(
+        fs, workers=8, max_queue=32, admission="park", max_batch=8
+    ) as svc:
+        records, tickets = _run_storm(
+            fs, svc, n_threads, ops_per_thread, seed, FILES
+        )
+
+    total = n_threads * ops_per_thread
+    _assert_per_file_contiguity(records, total)
+
+    failures = {
+        key: t.exception(timeout=5)
+        for key, t in tickets.items()
+        if t.exception(timeout=5) is not None
+    }
+    assert not failures, f"operations failed: {failures}"
+
+    _assert_replay_identical(fs, records, tickets, FILES)
+    _assert_metrics_reconcile(records, tickets, total, max_queue=32)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_stress_independent_files_no_cross_file_conflicts(seed):
+    """8 threads over 8 independent files: every file byte-identical to
+    its own serial replay, and the cross-file lock-conflict counter —
+    incremented whenever a blocked worker finds an active holder tagged
+    with a *different* file — stays exactly 0.  Per-file locks make
+    cross-file blocking structurally impossible; this pins it."""
+    obs_metrics.reset_metrics("service")
+    n_threads = 8
+    ops_per_thread = 12
+    files = tuple(f"shard{i}" for i in range(8))
+    fs = _deployment(files)
+
+    with FileService(
+        fs, workers=8, max_queue=64, admission="park", max_batch=8
+    ) as svc:
+        # relayouts=False also pins each thread to one file, making the
+        # workload genuinely independent across threads.
+        records, tickets = _run_storm(
+            fs, svc, n_threads, ops_per_thread, seed, files, relayouts=False
+        )
+        file_ids = {t.file_id for t in tickets.values()}
+        assert len(file_ids) == len(files)
+
+    total = n_threads * ops_per_thread
+    _assert_per_file_contiguity(records, total)
+    for key, t in tickets.items():
+        assert t.exception(timeout=5) is None, f"operation {key} failed"
+
+    _assert_replay_identical(fs, records, tickets, files)
+
+    counts = obs_metrics.snapshot("service")
+    assert counts.get("service.lock.cross_file_conflicts", 0) == 0
+    assert counts["service.completed"] == total
