@@ -1,0 +1,311 @@
+"""Durability benchmark: journal overhead and recovery cost.
+
+Two questions, both with acceptance bars:
+
+* **What does the write-ahead journal cost on the batch-coalesced
+  write path?**  The same stream of coalesced batches runs through the
+  engine twice — journal off vs journal on — timing exactly what a
+  service worker does under the file lock: one engine call per batch,
+  plus (journal on) one group commit per batch.  This is the
+  *harshest* denominator: the bare in-memory engine call, with
+  dispatch, locking, tracing and ticket resolution all stripped away
+  (the service's end-to-end wall is not used — a single driver thread
+  is submission-bound and its wall prices the client, not the
+  journal).  Group commit costs ~0.1 ms per 16-op batch (~7 µs/op,
+  dominated by one ``write(2)`` per touched journal), which measures
+  12–15% of the bare engine call and amortises with batch depth
+  (per-op floor ~4 µs, ≈9% of the engine's per-op cost); against the
+  full worker path it is under 10%.  The bar asserted here is 15% on
+  the bare-engine denominator.
+* **What does recovery cost as the journal grows?**  A deployment is
+  journaled for N batches, then recovered from scratch; recovery
+  replays every record since the last checkpoint, so its wall time
+  should scale roughly linearly in journal length — the rows let the
+  regression gate catch an accidental O(n^2) rescan.
+
+The pytest classes additionally assert the service-level contract:
+byte-identical files with the journal on, through the real
+``FileService`` batching path.
+
+Run as a module to (re)generate the committed results file::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py
+
+which writes ``BENCH_durability.json`` at the repository root (picked
+up by ``regression.py gate --all``), or under pytest
+(``pytest benchmarks/bench_durability.py``).
+"""
+
+import gc
+import json
+import os
+import shutil
+import statistics
+import tempfile
+import time
+
+import numpy as np
+
+from repro.clusterfile.fs import Clusterfile
+from repro.distributions import round_robin
+from repro.durability import DurabilityManager
+from repro.service import FileService
+from repro.simulation.cluster import ClusterConfig
+
+NPROCS = 8
+CHUNK = 256
+PAYLOAD = 512
+BATCHES = 32
+BATCH = 16
+RECOVERY_BATCHES = (16, 64, 256)
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_durability.json",
+)
+
+#: CI-gate overrides (regression.py): fewer repeats, acceptance bars
+#: off — the gate's own ratio thresholds are the bar on shared runners.
+#: Same n_batches as the committed baseline so wall_s compares 1:1.
+GATE_KWARGS = {"repeats": 3, "max_overhead": None}
+
+
+def _make_fs() -> Clusterfile:
+    fs = Clusterfile(ClusterConfig(compute_nodes=NPROCS, io_nodes=4))
+    fs.create("bench", round_robin(NPROCS, CHUNK))
+    for node in range(NPROCS):
+        fs.set_view("bench", node, round_robin(NPROCS, CHUNK))
+    return fs
+
+
+def _batch_stream(seed: int, n_batches: int, batch: int = BATCH):
+    """Coalesced batches of ``(seq, node, offset, payload)`` — the
+    shape the service's dispatcher hands a worker after batching."""
+    rng = np.random.default_rng(seed)
+    out = []
+    seq = 0
+    for _ in range(n_batches):
+        ops = []
+        for i in range(batch):
+            node = i % NPROCS
+            off = int(rng.integers(0, 8)) * PAYLOAD
+            data = rng.integers(0, 256, PAYLOAD, dtype=np.uint8)
+            ops.append((seq, node, off, data))
+            seq += 1
+        out.append(ops)
+    return out
+
+
+def run_write_path(batches, journal_root=None):
+    """The worker's write path: one engine call per batch, plus (with
+    ``journal_root``) one group commit per batch.  Returns
+    ``(fs, manager, wall_s)``.
+
+    Registration (base snapshot + journal creation) happens before the
+    clock starts: it is one-time deployment setup, not part of the
+    per-write journal cost this benchmark prices."""
+    fs = _make_fs()
+    manager = None
+    if journal_root is not None:
+        manager = DurabilityManager(journal_root)
+        manager.register_file(fs, "bench")
+    t0 = time.perf_counter()
+    for ops in batches:
+        fs.write("bench", [(n, o, d) for _s, n, o, d in ops])
+        if manager is not None:
+            manager.commit_write(
+                fs, "bench", [(s, n, o, d.size) for s, n, o, d in ops]
+            )
+    wall = time.perf_counter() - t0
+    return fs, manager, wall
+
+
+def run_service(ops, journal_root=None):
+    """The same contract through the real service (used by the pytest
+    byte-identity checks): ``ops`` is ``[(node, offset, payload)]``."""
+    fs = _make_fs()
+    manager = None
+    if journal_root is not None:
+        manager = DurabilityManager(journal_root)
+        manager.register_file(fs, "bench")
+    with FileService(
+        fs,
+        workers=4,
+        max_queue=len(ops),
+        admission="park",
+        max_batch=BATCH,
+        durability=manager,
+    ) as svc:
+        for node, off, data in ops:
+            svc.submit_write("bench", node, off, data)
+        assert svc.drain(timeout=300)
+    return fs, manager
+
+
+def run_recovery(n_batches: int, batch: int = 4):
+    """Journal ``n_batches`` batches, then time a cold recovery of the
+    whole journal into a fresh deployment."""
+    root = tempfile.mkdtemp(prefix="bench-durability-")
+    try:
+        batches = _batch_stream(7, n_batches, batch)
+        fs, manager, _ = run_write_path(
+            batches, journal_root=os.path.join(root, "j")
+        )
+        records = sum(len(b) for b in batches)
+        want = fs.linear_contents("bench").copy()
+        full_stamp = manager.last_stamp("bench")
+        manager.close()
+
+        fs2 = _make_fs()
+        fs2.unlink("bench")
+        m2 = DurabilityManager(os.path.join(root, "j"))
+        t0 = time.perf_counter()
+        report = m2.recover_into(fs2)
+        wall = time.perf_counter() - t0
+        m2.close()
+        assert report["bench"]["stamp"] == full_stamp, report
+        got = fs2.linear_contents("bench")
+        n = min(got.size, want.size)
+        np.testing.assert_array_equal(got[:n], want[:n])
+        assert not got[n:].any() and not want[n:].any()
+        return {"batches": n_batches, "records": records, "wall_s": wall}
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def measure(
+    n_batches: int = BATCHES, repeats: int = 7, max_overhead=0.15
+) -> dict:
+    batches = _batch_stream(0, n_batches)
+    n_ops = sum(len(b) for b in batches)
+    ref_fs, _m, _ = run_write_path(batches)  # warm-up + byte reference
+    want = ref_fs.linear_contents("bench")
+    root = tempfile.mkdtemp(prefix="bench-durability-")
+    try:
+        _fs, m, _ = run_write_path(  # warm the journaled path too
+            batches, journal_root=os.path.join(root, "warm")
+        )
+        m.close()
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            off_walls, on_walls = [], []
+            for i in range(repeats):
+                gc.collect()
+                _fs, _m, wall = run_write_path(batches)
+                off_walls.append(wall)
+                gc.collect()
+                fs, manager, wall = run_write_path(
+                    batches, journal_root=os.path.join(root, f"j{i}")
+                )
+                manager.close()
+                on_walls.append(wall)
+                np.testing.assert_array_equal(
+                    fs.linear_contents("bench"),
+                    want,
+                    err_msg="journaled write path bytes diverge",
+                )
+            off_s = statistics.median(off_walls)
+            on_s = statistics.median(on_walls)
+
+            recovery_rows = [run_recovery(n) for n in RECOVERY_BATCHES]
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    overhead = on_s / off_s - 1.0
+    result = {
+        "benchmark": "durability",
+        "nprocs": NPROCS,
+        "batches": n_batches,
+        "batch_size": BATCH,
+        "ops": n_ops,
+        "payload_bytes": PAYLOAD,
+        "repeats": repeats,
+        "journal_off": {"wall_s": off_s, "ops_per_s": n_ops / off_s},
+        "journal_on": {"wall_s": on_s, "ops_per_s": n_ops / on_s},
+        "journal_overhead_pct": 100.0 * overhead,
+        "recovery": recovery_rows,
+    }
+    # The acceptance bar: group commit amortised over coalesced batches
+    # stays under 15% of the *bare engine call* — the harshest
+    # denominator; see the module docstring for the full-path framing.
+    # (The regression gate re-runs this on noisy CI with the bar off
+    # and relies on its own ratio thresholds instead.)
+    if max_overhead is not None:
+        assert overhead <= max_overhead, result
+    return result
+
+
+class TestDurabilityBench:
+    def test_bytes_identical_with_journal_on(self, tmp_path):
+        """The real FileService path: journal on vs off, same stream,
+        byte-identical files."""
+        rng = np.random.default_rng(1)
+        ops = [
+            (
+                i % NPROCS,
+                int(rng.integers(0, 8)) * PAYLOAD,
+                rng.integers(0, 256, PAYLOAD, dtype=np.uint8),
+            )
+            for i in range(48)
+        ]
+        plain_fs, _m = run_service(ops)
+        want = plain_fs.linear_contents("bench")
+        fs, manager = run_service(ops, journal_root=str(tmp_path / "j"))
+        manager.close()
+        np.testing.assert_array_equal(fs.linear_contents("bench"), want)
+
+    def test_journal_overhead_is_bounded(self, tmp_path):
+        # Lenient CI bound (noisy shared runners); the 15% headline is
+        # asserted by measure() on a quiet machine and recorded in
+        # BENCH_durability.json.
+        batches = _batch_stream(2, 12)
+        run_write_path(batches)
+        _fs, m, _ = run_write_path(
+            batches, journal_root=str(tmp_path / "w")
+        )
+        m.close()
+        _fs, _m, off_wall = run_write_path(batches)
+        _fs, m, on_wall = run_write_path(
+            batches, journal_root=str(tmp_path / "j")
+        )
+        m.close()
+        assert on_wall < off_wall * 2.0
+
+    def test_recovery_replays_full_journal(self):
+        row = run_recovery(8)
+        assert row["records"] == 32
+
+    def test_throughput(self, benchmark, tmp_path):
+        benchmark.group = "durability"
+        batches = _batch_stream(3, 8)
+        counter = iter(range(10**6))
+
+        def journaled_run():
+            _fs, m, _ = run_write_path(
+                batches, journal_root=str(tmp_path / f"j{next(counter)}")
+            )
+            m.close()
+
+        benchmark(journaled_run)
+
+
+if __name__ == "__main__":
+    result = measure()
+    with open(RESULT_PATH, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(
+        f"journal off: {result['journal_off']['ops_per_s']:8.1f} ops/s\n"
+        f"journal on:  {result['journal_on']['ops_per_s']:8.1f} ops/s "
+        f"({result['journal_overhead_pct']:+.1f}%)"
+    )
+    for row in result["recovery"]:
+        print(
+            f"recovery of {row['records']:5d} records: "
+            f"{row['wall_s'] * 1e3:8.2f} ms"
+        )
+    print(f"results -> {RESULT_PATH}")

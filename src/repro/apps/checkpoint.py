@@ -179,3 +179,67 @@ class CheckpointStore:
 
     def checkpoints(self) -> List[str]:
         return sorted(self._meta)
+
+    # -- portable snapshots ---------------------------------------------------
+
+    def export_snapshot(self, name: str, path: str) -> int:
+        """Write a checkpoint as a portable snapshot file.
+
+        The format (:mod:`repro.durability.snapshot`) is
+        *serial-equivalent*: the bytes depend only on the array's
+        logical contents, shape and dtype — never on the writers'
+        decomposition, node count, or executor mode that produced the
+        checkpoint.  Saving the same array under any partition and
+        exporting yields byte-identical files.  Returns the snapshot
+        size in bytes.
+        """
+        from ..durability.snapshot import write_snapshot_file
+
+        meta = self._meta[name]
+        dtype = np.dtype(meta.dtype)
+        total = int(np.prod(meta.shape)) * dtype.itemsize
+        payload = self.fs.linear_contents(name, total)
+        return write_snapshot_file(
+            path,
+            payload,
+            {"shape": list(meta.shape), "dtype": meta.dtype},
+        )
+
+    def import_snapshot(
+        self,
+        path: str,
+        name: str,
+        partition: Partition | None = None,
+    ) -> np.ndarray:
+        """Load a portable snapshot file as a new checkpoint.
+
+        ``partition`` chooses the imported checkpoint's physical layout
+        (defaults to one element spanning the array — restores under
+        any other decomposition go through views as usual).  Raises
+        :class:`~repro.durability.RecoveryError` on a damaged file.
+        Returns the imported array.
+        """
+        from ..durability.snapshot import read_snapshot_file
+        from ..core.algebra import partition_from_elements
+        from ..core.falls import Falls
+        from ..redistribution.executor import distribute
+
+        payload, meta = read_snapshot_file(path)
+        shape = tuple(int(x) for x in meta.get("shape", [payload.size]))
+        dtype = np.dtype(str(meta.get("dtype", "|u1")))
+        total = int(np.prod(shape)) * dtype.itemsize
+        if total != payload.size:
+            from ..durability.journal import RecoveryError
+
+            raise RecoveryError(
+                f"snapshot payload is {payload.size} bytes but metadata "
+                f"implies {total}"
+            )
+        if partition is None:
+            n = max(1, total)
+            partition = partition_from_elements(
+                [[Falls(0, n - 1, n, 1)]], displacement=0
+            )
+        pieces = distribute(payload, partition)
+        self.save(name, pieces, partition, shape, dtype)
+        return payload.view(dtype).reshape(shape)

@@ -1,0 +1,387 @@
+"""Kill-and-restart chaos: SIGKILL the service, recover, diff.
+
+The scenario the journal exists for, run end-to-end as a differential
+test:
+
+1. a **victim subprocess** (:mod:`repro.durability.victim`) hosts a
+   journaled :class:`~repro.service.FileService` over a deterministic,
+   seeded workload.  Every resolved ticket is appended to an *ack log*
+   (flushed per line) — the ground truth of what the service promised;
+2. the parent SIGKILLs the victim at a randomized point — by wall
+   time or after the N-th ack, landing mid-batch, mid-group-commit or
+   mid-snapshot (the workload sprinkles re-layout checkpoints in);
+3. the parent recovers the journal root into a fresh deployment and
+   compares, per file and per byte, against a **serial replay** of the
+   replayed-seq prefix on a third, journal-free deployment — the same
+   oracle discipline the engine's property tests use;
+4. the invariants: every *acked* seq was replayed (no lost ack), the
+   replayed seqs form a contiguous admission-order prefix (no holes —
+   group commits land in per-file FIFO order), and recovered bytes
+   equal the serial replay exactly.
+
+Everything is a pure function of the seed, so a failing run replays
+exactly — the report carries the seed, the kill point, and the
+per-file verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clusterfile.fs import Clusterfile
+from ..core.falls import Falls
+from ..core.partition import Partition
+from ..obs import metrics as obs_metrics
+from ..simulation.cluster import ClusterConfig
+from .manager import DurabilityManager
+
+__all__ = ["kill_workload", "run_kill_restart", "run_kill_restart_sweep"]
+
+
+def _cyclic(elements: int, chunk: int) -> Partition:
+    period = elements * chunk
+    return Partition(
+        [
+            Falls(e * chunk, (e + 1) * chunk - 1, period, 1)
+            for e in range(elements)
+        ]
+    )
+
+
+def kill_workload(
+    seed: int,
+    nprocs: int = 4,
+    files: int = 2,
+    n_ops: int = 160,
+    max_len: int = 96,
+    domain: int = 2048,
+) -> Tuple[Partition, Partition, List[Tuple[int, int, int, np.ndarray]]]:
+    """The deterministic victim workload: ``(logical, physical, ops)``.
+
+    ``ops`` is ``[(file_idx, node, view_offset, payload), ...]`` in
+    submission order; ops are admitted round-robin across ``files``
+    files, so op ``i`` on file ``f`` has per-file seq ``i // files``.
+    Both the victim and the parent's serial-replay oracle derive the
+    exact same list from the seed.
+    """
+    rng = np.random.default_rng(seed)
+    logical = _cyclic(nprocs, 16)
+    physical = _cyclic(nprocs, 32)
+    ops = []
+    for i in range(n_ops):
+        node = int(rng.integers(nprocs))
+        offset = int(rng.integers(domain))
+        length = int(rng.integers(1, max_len + 1))
+        payload = rng.integers(0, 256, length, dtype=np.uint8)
+        ops.append((i % files, node, offset, payload))
+    return logical, physical, ops
+
+
+def _file_name(idx: int) -> str:
+    return f"victim-f{idx}"
+
+
+def victim_schedule(
+    ops, files: int, snapshot_every: int
+) -> Dict[str, List[Tuple[int, int, int, np.ndarray]]]:
+    """Reproduce the victim's per-file seq assignment.
+
+    Returns ``{file name: [(seq, node, offset, payload), ...]}`` for
+    the *write* ops only.  Interleaved re-layouts (every
+    ``snapshot_every`` submissions) consume a seq on their file, so
+    write seqs are not simply 0..n-1 — the oracle must assign them the
+    way the victim's single submitter thread does.
+    """
+    next_seq = {f: 0 for f in range(files)}
+    out: Dict[str, List[Tuple[int, int, int, np.ndarray]]] = {
+        _file_name(f): [] for f in range(files)
+    }
+    for i, (f, node, offset, payload) in enumerate(ops):
+        if snapshot_every and i and i % snapshot_every == 0:
+            next_seq[f] += 1  # the relayout ticket's seq
+        out[_file_name(f)].append((next_seq[f], node, offset, payload))
+        next_seq[f] += 1
+    return out
+
+
+def _setup_deployment(
+    nprocs: int, files: int, logical: Partition, physical: Partition
+) -> Clusterfile:
+    fs = Clusterfile(ClusterConfig())
+    for f in range(files):
+        fs.create(_file_name(f), physical)
+        for node in range(nprocs):
+            fs.set_view(_file_name(f), node, logical, element=node)
+    return fs
+
+
+def _read_acks(path: str, files: int) -> Dict[str, List[int]]:
+    """The ack log as ``{file name: [seq, ...]}`` (a torn final line —
+    the writer died mid-append — is ignored, like any torn tail)."""
+    acked: Dict[str, List[int]] = {_file_name(f): [] for f in range(files)}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = fh.read()
+    except OSError:
+        return acked
+    for line in raw.split("\n")[:-1]:  # drop the unterminated tail
+        try:
+            name, seq = line.rsplit(",", 1)
+            acked.setdefault(name, []).append(int(seq))
+        except ValueError:
+            continue
+    return acked
+
+
+def run_kill_restart(
+    seed: int,
+    nprocs: int = 4,
+    files: int = 2,
+    n_ops: int = 160,
+    kill_mode: str = "time",
+    kill_after_acks: Optional[int] = None,
+    op_delay_s: float = 0.0015,
+    max_batch: int = 4,
+    batch_window_s: float = 0.002,
+    snapshot_every: int = 0,
+    workdir: Optional[str] = None,
+    timeout_s: float = 60.0,
+) -> Tuple[Dict[str, object], bool]:
+    """One kill-and-restart run; returns ``(report, ok)``.
+
+    ``kill_mode="time"`` kills at a seed-derived fraction of the
+    victim's expected runtime; ``"acks"`` polls the ack log and kills
+    right after the ``kill_after_acks``-th acknowledgment (a
+    seed-derived count when ``None``) — the sharpest way to land on a
+    group-commit boundary.  ``snapshot_every`` > 0 interleaves
+    same-partition re-layouts (checkpoint boundaries) every that many
+    submissions, so kills also land mid-snapshot.
+    """
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    owned = workdir is None
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-killchaos-")
+    root = os.path.join(workdir, "journal")
+    acked_path = os.path.join(workdir, "acked.log")
+    spec = {
+        "root": root,
+        "acked_path": acked_path,
+        "seed": seed,
+        "nprocs": nprocs,
+        "files": files,
+        "n_ops": n_ops,
+        "op_delay_s": op_delay_s,
+        "max_batch": max_batch,
+        "batch_window_s": batch_window_s,
+        "snapshot_every": snapshot_every,
+    }
+    spec_path = os.path.join(workdir, "spec.json")
+    with open(spec_path, "w", encoding="utf-8") as fh:
+        json.dump(spec, fh)
+
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.durability.victim", spec_path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    kill_point: Dict[str, object] = {"mode": kill_mode}
+    killed = False
+    try:
+        # The victim prints READY once the service is up; kill timing
+        # starts there so process start-up noise never skews it.
+        line = proc.stdout.readline()
+        if "READY" not in line:
+            out, err = proc.communicate(timeout=timeout_s)
+            raise RuntimeError(
+                f"victim failed to start: {line!r} {out!r} {err!r}"
+            )
+        if kill_mode == "acks":
+            target = kill_after_acks or int(rng.integers(1, max(2, n_ops)))
+            kill_point["after_acks"] = target
+            deadline = time.monotonic() + timeout_s
+            while time.monotonic() < deadline:
+                acked_now = sum(
+                    len(v) for v in _read_acks(acked_path, files).values()
+                )
+                if acked_now >= target or proc.poll() is not None:
+                    break
+                time.sleep(0.0005)
+        else:
+            expected = n_ops * op_delay_s
+            delay = float(rng.uniform(0.02, max(0.05, expected)))
+            kill_point["after_s"] = delay
+            time.sleep(delay)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+            killed = True
+        proc.wait(timeout=timeout_s)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - timeout safety net
+            proc.kill()
+            proc.wait()
+
+    acked = _read_acks(acked_path, files)
+    logical, physical, ops = kill_workload(
+        seed, nprocs=nprocs, files=files, n_ops=n_ops
+    )
+    schedule = victim_schedule(ops, files, snapshot_every)
+
+    # Restart: recover the journal root into a fresh deployment.
+    manager = DurabilityManager(root)
+    fs = Clusterfile(ClusterConfig())
+    report_files: Dict[str, object] = {}
+    ok = True
+    recovery = manager.recover_into(fs)
+    for f in range(files):
+        name = _file_name(f)
+        rec = recovery.get(name, {})
+        verdict = _verify_file(
+            fs, name, nprocs, logical, physical, schedule[name],
+            acked.get(name, []), int(rec.get("stamp", -1)),
+        )
+        ok = ok and verdict["ok"]
+        verdict.update(
+            {
+                "records_replayed": rec.get("records_replayed", 0),
+                "tail_bytes_discarded": rec.get("tail_bytes_discarded", 0),
+                "recovery_time_s": rec.get("time_s", 0.0),
+            }
+        )
+        report_files[name] = verdict
+    manager.close()
+    report = {
+        "seed": seed,
+        "nprocs": nprocs,
+        "files": files,
+        "n_ops": n_ops,
+        "kill_point": kill_point,
+        "kill_mode": kill_mode,
+        "killed": killed,
+        "acked": {k: len(v) for k, v in acked.items()},
+        "total_acked": sum(len(v) for v in acked.values()),
+        "files_report": report_files,
+        "durability": obs_metrics.snapshot("durability"),
+        "ok": ok,
+    }
+    if owned and ok:
+        _cleanup(workdir)
+    else:
+        report["workdir"] = workdir
+    return report, ok
+
+
+def _verify_file(
+    fs: Clusterfile,
+    name: str,
+    nprocs: int,
+    logical: Partition,
+    physical: Partition,
+    stamped_ops: List[Tuple[int, int, int, np.ndarray]],
+    acked: List[int],
+    stamp: int,
+) -> Dict[str, object]:
+    """The differential invariants for one file (module docstring).
+
+    ``stamp`` — the recovered commit stamp — names the boundary of the
+    durable prefix: group commits land in per-file admission order, so
+    the recovered state must equal a serial replay of exactly the
+    write ops with ``seq <= stamp``.  Every *acked* seq must lie at or
+    below it (the ack followed the commit), and nothing above it may
+    survive (no resurrected unacknowledged writes): both directions
+    reduce to the byte comparison against the stamp-bounded replay.
+    """
+    acked_set = set(acked)
+    write_seqs = {seq for seq, _n, _o, _p in stamped_ops}
+    acked_covered = all(a <= stamp for a in acked_set)
+    # Serial replay of the committed prefix on a journal-free twin.
+    oracle = Clusterfile(ClusterConfig())
+    oracle.create(name, physical)
+    for node in range(nprocs):
+        oracle.set_view(name, node, logical, element=node)
+    replayed = 0
+    for seq, node, offset, payload in stamped_ops:
+        if seq <= stamp:
+            oracle.write(name, [(node, offset, payload)])
+            replayed += 1
+    if name in fs.files:
+        got = fs.linear_contents(name)
+        want = oracle.linear_contents(name)
+        n = min(got.size, want.size)
+        byte_identical = bool(
+            np.array_equal(got[:n], want[:n])
+            and not got[n:].any()
+            and not want[n:].any()
+        )
+    else:
+        byte_identical = not acked_set
+    return {
+        "ok": bool(acked_covered and byte_identical),
+        "acked": len(acked_set),
+        "stamp": stamp,
+        "writes_in_prefix": replayed,
+        "writes_total": len(write_seqs),
+        "acked_covered": bool(acked_covered),
+        "byte_identical": bool(byte_identical),
+    }
+
+
+def _cleanup(workdir: str) -> None:
+    for dirpath, dirnames, filenames in os.walk(workdir, topdown=False):
+        for fn in filenames:
+            try:
+                os.remove(os.path.join(dirpath, fn))
+            except OSError:
+                pass
+        try:
+            os.rmdir(dirpath)
+        except OSError:
+            pass
+
+
+def run_kill_restart_sweep(
+    seeds: Sequence[int],
+    nprocs: int = 4,
+    files: int = 2,
+    n_ops: int = 160,
+    snapshot_every: int = 0,
+    alternate_modes: bool = True,
+    **kwargs,
+) -> Tuple[List[Dict[str, object]], bool]:
+    """A multi-seed kill-and-restart sweep (CLI + CI entry point).
+
+    With ``alternate_modes`` odd seeds kill by ack count and even seeds
+    by wall time, covering both boundary-aligned and arbitrary kills.
+    """
+    reports = []
+    all_ok = True
+    for seed in seeds:
+        mode = "acks" if (alternate_modes and seed % 2) else "time"
+        report, ok = run_kill_restart(
+            seed,
+            nprocs=nprocs,
+            files=files,
+            n_ops=n_ops,
+            kill_mode=mode,
+            snapshot_every=snapshot_every,
+            **kwargs,
+        )
+        reports.append(report)
+        all_ok = all_ok and ok
+    return reports, all_ok

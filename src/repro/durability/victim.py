@@ -1,0 +1,99 @@
+"""The kill-chaos victim: a journaled service meant to die.
+
+``python -m repro.durability.victim <spec.json>`` hosts a
+:class:`~repro.service.FileService` with a
+:class:`~repro.durability.DurabilityManager` over the deterministic
+workload :func:`repro.durability.chaos.kill_workload` derives from the
+spec's seed.  It prints ``READY`` when the service is up (the parent
+starts its kill clock there), appends ``<file>,<seq>`` to the ack log
+— flushed per line — the moment each ticket resolves, and prints
+``DONE`` if it survives the whole workload.  It never handles signals:
+the parent's SIGKILL is the point.
+
+The ack log is written in per-file admission order by a single waiter
+thread, so a torn final line is the only artifact a kill can leave in
+it — exactly the torn-tail discipline the journals use.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from queue import Queue
+
+from ..clusterfile.fs import Clusterfile
+from ..service.service import FileService
+from ..simulation.cluster import ClusterConfig
+from .chaos import _file_name, kill_workload
+from .manager import DurabilityManager
+
+
+def main(spec_path: str) -> int:
+    with open(spec_path, "r", encoding="utf-8") as fh:
+        spec = json.load(fh)
+    nprocs = int(spec["nprocs"])
+    files = int(spec["files"])
+    logical, physical, ops = kill_workload(
+        int(spec["seed"]), nprocs=nprocs, files=files,
+        n_ops=int(spec["n_ops"]),
+    )
+    fs = Clusterfile(ClusterConfig())
+    manager = DurabilityManager(spec["root"])
+    for f in range(files):
+        name = _file_name(f)
+        fs.create(name, physical)
+        for node in range(nprocs):
+            fs.set_view(name, node, logical, element=node)
+        manager.register_file(fs, name)
+    svc = FileService(
+        fs,
+        workers=2,
+        max_batch=int(spec.get("max_batch", 4)),
+        batch_window_s=float(spec.get("batch_window_s", 0.0)),
+        durability=manager,
+    )
+
+    ack_fh = open(spec["acked_path"], "w", encoding="utf-8")
+    tickets: "Queue" = Queue()
+
+    def _acker() -> None:
+        # One writer, tickets in submission order: acks land in the
+        # log in per-file admission order, and only after resolve —
+        # i.e. only after the group commit that covers them.
+        while True:
+            item = tickets.get()
+            if item is None:
+                return
+            item.result()
+            ack_fh.write(f"{item.file},{item.seq}\n")
+            ack_fh.flush()
+
+    acker = threading.Thread(target=_acker, daemon=True)
+    acker.start()
+
+    print("READY", flush=True)
+    op_delay = float(spec.get("op_delay_s", 0.0))
+    snapshot_every = int(spec.get("snapshot_every", 0))
+    for i, (f, node, offset, payload) in enumerate(ops):
+        name = _file_name(f)
+        if snapshot_every and i and i % snapshot_every == 0:
+            # A same-partition re-layout: a checkpoint boundary under
+            # the file lock, so kills land mid-snapshot too.
+            svc.submit_relayout(name, physical)
+        tickets.put(svc.submit_write(name, node, offset, payload))
+        if op_delay:
+            time.sleep(op_delay)
+    svc.drain()
+    tickets.put(None)
+    acker.join()
+    svc.close()
+    manager.close()
+    ack_fh.close()
+    print("DONE", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1]))

@@ -19,7 +19,7 @@ its path.  Consequences:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..clusterfile.fs import Clusterfile
 from ..core.partition import Partition
@@ -39,6 +39,14 @@ class ClusterNamespace:
         An existing metadata tree to bind, or ``None`` for a fresh one.
     cache_capacity:
         Lookup-cache bound when building a fresh tree.
+    durability:
+        An optional :class:`~repro.durability.DurabilityManager`.  When
+        given, every metadata mutation is journaled (flushed before the
+        call returns) through a
+        :class:`~repro.durability.NamespaceJournal` under the manager's
+        root, and file creation registers the backing stores with the
+        manager — so the whole namespace (ids, paths, partitions)
+        outlives the process.  Restart with :meth:`recover`.
     """
 
     def __init__(
@@ -46,6 +54,8 @@ class ClusterNamespace:
         fs: Clusterfile,
         namespace: Optional[Namespace] = None,
         cache_capacity: int = 1024,
+        durability: object = None,
+        _nslog: object = None,
     ):
         self.fs = fs
         self.tree = (
@@ -53,6 +63,78 @@ class ClusterNamespace:
             if namespace is not None
             else Namespace(cache_capacity=cache_capacity)
         )
+        self.durability = durability
+        self.nslog = _nslog
+        if durability is not None and self.nslog is None:
+            from ..durability.nslog import NamespaceJournal
+
+            self.nslog = NamespaceJournal.open(
+                durability.namespace_dir(), self.tree, sync=durability.sync
+            )
+
+    def _record(self, op: Dict[str, object]) -> None:
+        if self.nslog is not None:
+            self.nslog.record(op)
+
+    @classmethod
+    def recover(
+        cls,
+        fs: Clusterfile,
+        durability,
+        cache_capacity: int = 1024,
+    ) -> Tuple["ClusterNamespace", Dict[str, object]]:
+        """Rebuild a crashed namespace: tree, backing files, journals.
+
+        Loads the namespace snapshot, replays journaled metadata ops
+        (ids are allocated sequentially, so every inode keeps its id —
+        and with it its ``fid-<id>`` backing name), recovers every
+        manifested file's bytes into ``fs``, then reconciles the two:
+        an inode whose backing stores never got a manifest (killed
+        between the metadata commit and the data manifest) gets fresh
+        empty stores from its recorded partition; a manifest no inode
+        references (killed mid-delete) is dropped.  Returns the bound
+        namespace and a report.
+        """
+        from ..durability.nslog import NamespaceJournal
+
+        tree, nslog, ns_report = NamespaceJournal.recover(
+            durability.namespace_dir(),
+            cache_capacity=cache_capacity,
+            sync=durability.sync,
+        )
+        file_report = durability.recover_into(fs)
+        self = cls(fs, namespace=tree, durability=durability, _nslog=nslog)
+        referenced = set()
+        created = []
+        for _path, fid in tree.fold(files_only=True).items():
+            node = tree.inode(fid)
+            backing = node.meta.get("backing")
+            if backing is None:
+                continue
+            referenced.add(str(backing))
+            if str(backing) not in fs.files:
+                fs.create(
+                    str(backing),
+                    node.meta["physical"],
+                    replication=int(node.meta.get("replication", 1)),
+                )
+                durability.register_file(fs, str(backing))
+                created.append(str(backing))
+        orphans = [
+            name
+            for name in durability.journaled_files()
+            if name not in referenced
+        ]
+        for name in orphans:
+            durability.drop_file(name)
+            if name in fs.files:
+                fs.unlink(name)
+        return self, {
+            "namespace": ns_report,
+            "files": file_report,
+            "recreated_backings": created,
+            "dropped_orphans": orphans,
+        }
 
     # -- identity ------------------------------------------------------------
 
@@ -72,7 +154,9 @@ class ClusterNamespace:
     # -- metadata operations -------------------------------------------------
 
     def mkdir(self, path: str, parents: bool = False) -> Inode:
-        return self.tree.mkdir(path, parents=parents)
+        node = self.tree.mkdir(path, parents=parents)
+        self._record({"op": "mkdir", "path": path, "parents": parents})
+        return node
 
     def create(
         self,
@@ -96,6 +180,24 @@ class ClusterNamespace:
         except Exception:
             self.tree.unlink(path)  # roll the metadata back
             raise
+        # Journal *after* the stores exist (a failed create leaves no
+        # record), then manifest the backing file: a kill anywhere in
+        # this sequence recovers consistently — no record means the
+        # whole create vanishes; a record without a manifest is
+        # reconciled by :meth:`recover` (fresh empty stores).
+        if self.nslog is not None:
+            from ..durability.nslog import _encode_meta
+
+            self._record(
+                {
+                    "op": "create",
+                    "path": path,
+                    "parents": parents,
+                    "meta": _encode_meta(node.meta),
+                }
+            )
+        if self.durability is not None:
+            self.durability.register_file(self.fs, backing)
         return node
 
     def open(self, path: str) -> Inode:
@@ -108,11 +210,16 @@ class ClusterNamespace:
     def delete(self, path: str) -> None:
         """Unlink the inode, then the backing stores."""
         node = self.tree.unlink(path)
+        self._record({"op": "unlink", "path": path})
         self.fs.unlink(str(node.meta["backing"]))
+        if self.durability is not None:
+            self.durability.drop_file(str(node.meta["backing"]))
 
     def rename(self, src: str, dst: str) -> Inode:
         """Pure metadata — see the module docstring."""
-        return self.tree.rename(src, dst)
+        node = self.tree.rename(src, dst)
+        self._record({"op": "rename", "src": src, "dst": dst})
+        return node
 
     def listdir(self, path: str = "/") -> List[str]:
         return self.tree.listdir(path)

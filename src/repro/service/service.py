@@ -63,6 +63,7 @@ a request's queue_wait → lock_acquire → engine phases across threads.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from collections import deque
@@ -216,6 +217,15 @@ class FileService:
         As before: ``"process"`` fans each engine call's server-side
         work out across a worker-process pool (see
         :class:`~repro.mp.pool.ProcessPoolExecutorBackend`).
+    durability:
+        An optional :class:`~repro.durability.DurabilityManager`.  When
+        given, every executed write batch is group-committed to the
+        file's write-ahead journal (journal stamp = ticket seq) *before
+        its tickets resolve* — an acknowledged write survives a
+        SIGKILL of this process — and a re-layout checkpoints the file
+        (snapshot + fresh journals at a bumped epoch) before its ticket
+        resolves.  ``None`` (the default) journals nothing and adds no
+        overhead.
     """
 
     def __init__(
@@ -231,6 +241,7 @@ class FileService:
         tenant_quota: Optional[int] = None,
         workers_mode: str = "thread",
         io_processes: Optional[int] = None,
+        durability: object = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -253,6 +264,7 @@ class FileService:
             raise ValueError(f"tenant_quota must be >= 1, got {tenant_quota}")
         self.fs = fs
         self.namespace = namespace
+        self.durability = durability
         self.workers_mode = workers_mode
         self._owned_backend = None
         if workers_mode == "process" and fs.backend is None:
@@ -284,8 +296,16 @@ class FileService:
         self._not_empty = threading.Condition(self._qlock)
         self._not_full = threading.Condition(self._qlock)
         self._idle = threading.Condition(self._qlock)
-        #: Files with a non-empty queue (the dispatcher's choice set).
-        self._ready: List[_FileState] = []
+        #: Files with a non-empty queue, as a lazy min-heap of
+        #: ``(wfq_finish, wfq_start, file_id, fstate)`` entries keyed
+        #: by each file's *head* operation — the dispatcher pops the
+        #: minimum in O(log n) instead of scanning every ready file.
+        #: Entries whose key went stale (the head changed under them —
+        #: linger drains, or dispatch of the old head) are detected and
+        #: refreshed at pop time; ``fstate.ready`` means "has a live
+        #: heap entry", keeping membership O(1) and at most one entry
+        #: per file.
+        self._ready_heap: List[Tuple[float, float, int, _FileState]] = []
         self._queued = 0  # admitted, not yet dispatched (all files)
         self._pending = 0  # admitted, not yet resolved
         self._vtime = 0.0  # WFQ virtual time
@@ -477,7 +497,7 @@ class FileService:
                 return
             self._closed = True
             if not drain:
-                for fstate in self._ready:
+                for fstate in self._files.values():
                     fstate.ready = False
                     for op in fstate.queue:
                         op.ticket._fail(ServiceClosed("service closed"))
@@ -486,7 +506,7 @@ class FileService:
                             op_tenant.queued -= 1
                         self._pending -= 1
                     fstate.queue.clear()
-                self._ready.clear()
+                self._ready_heap.clear()
                 self._queued = 0
                 if not self._pending:
                     self._idle.notify_all()
@@ -590,7 +610,9 @@ class FileService:
             fstate.queue.append(op)
             if not fstate.ready:
                 fstate.ready = True
-                self._ready.append(fstate)
+                heapq.heappush(
+                    self._ready_heap, (*self._head_key(fstate), fstate)
+                )
             self._queued += 1
             tstate.queued += 1
             self._pending += 1
@@ -610,28 +632,56 @@ class FileService:
             self._tenants[op.tenant].queued -= 1
         self._not_full.notify_all()
 
-    def _retire_if_empty_locked(self, fstate: _FileState) -> None:
-        if fstate.ready and not fstate.queue:
-            fstate.ready = False
-            self._ready.remove(fstate)
-
     @staticmethod
     def _head_key(fstate: _FileState) -> Tuple[float, float, int]:
         head = fstate.queue[0]
         return (head.wfq_finish, head.wfq_start, fstate.file_id)
 
+    def _requeue_if_ready_locked(self, fstate: _FileState) -> None:
+        """Give a file with remaining backlog a fresh heap entry."""
+        if fstate.queue and not fstate.ready:
+            fstate.ready = True
+            heapq.heappush(
+                self._ready_heap, (*self._head_key(fstate), fstate)
+            )
+
+    def _pop_ready_locked(self) -> Optional[_FileState]:
+        """Pop the ready file whose head has the smallest WFQ key.
+
+        Lazy invalidation: an entry for a drained queue is discarded;
+        an entry whose key no longer matches the current head (ops
+        lingered away or were admitted since the push) is refreshed in
+        place.  Each entry is refreshed at most once per call — only
+        this (single) dispatcher mutates heads, so a refreshed key
+        cannot go stale again before it is re-examined.
+        """
+        while self._ready_heap:
+            finish, start, fid, fstate = heapq.heappop(self._ready_heap)
+            if not fstate.queue:
+                fstate.ready = False
+                continue
+            key = self._head_key(fstate)
+            if (finish, start, fid) != key:
+                heapq.heappush(self._ready_heap, (*key, fstate))
+                continue
+            fstate.ready = False
+            return fstate
+        return None
+
     def _dispatch_loop(self) -> None:
         while True:
             with self._qlock:
-                while not self._ready and not self._closed:
-                    self._not_empty.wait()
-                if not self._ready:
-                    return  # closed and drained
                 # WFQ across tenants: of every file's head operation,
                 # run the one with the smallest virtual finish tag.
                 # Only heads are eligible, so per-file FIFO order is
                 # preserved no matter how the tags interleave.
-                fstate = min(self._ready, key=self._head_key)
+                while True:
+                    fstate = self._pop_ready_locked()
+                    if fstate is not None or self._closed:
+                        break
+                    self._not_empty.wait()
+                if fstate is None:
+                    return  # closed and drained
                 head = fstate.queue.popleft()
                 self._vtime = max(self._vtime, head.wfq_start)
                 batch = [head]
@@ -643,7 +693,7 @@ class FileService:
                     ):
                         batch.append(fstate.queue.popleft())
                 self._account_dispatch_locked(batch)
-                self._retire_if_empty_locked(fstate)
+                self._requeue_if_ready_locked(fstate)
             if (
                 head.kind == "write"
                 and self.batch_window_s > 0
@@ -679,7 +729,9 @@ class FileService:
                 if remaining <= 0:
                     break
                 self._not_empty.wait(remaining)
-            self._retire_if_empty_locked(fstate)
+            # Any heap entry this file gained from admissions during
+            # the linger now points at a drained (or changed) head; the
+            # pop-time lazy check discards or refreshes it.
 
     # -- execution -----------------------------------------------------------
 
@@ -768,6 +820,21 @@ class FileService:
             )
             accesses = [(op.node, op.offset, op.data) for op in batch]
             result = self.fs.write(head.name, accesses, to_disk=head.to_disk)
+            if self.durability is not None:
+                # Group commit rides the batch: one commit record per
+                # engine call, stamped with the batch's ticket seqs,
+                # flushed *before* any ticket resolves — the ack is the
+                # commit point.  The file lock is still held here, so
+                # the redo payloads read back from the stores are
+                # exactly this batch's post-state.
+                self.durability.commit_write(
+                    self.fs,
+                    head.name,
+                    [
+                        (op.ticket.seq, op.node, op.offset, op.data.size)
+                        for op in batch
+                    ],
+                )
             for op in batch:
                 op.ticket._resolve(result)
         elif head.kind == "read":
@@ -789,6 +856,13 @@ class FileService:
             result = relayout(self.fs, head.name, head.new_physical)
             for node, logical, element in saved:
                 self.fs.set_view(head.name, node, logical, element)
+            if self.durability is not None:
+                # A re-layout changes the physical partition the redo
+                # records' subfile offsets refer to, so it is a
+                # checkpoint boundary: snapshot the (logically
+                # unchanged) contents and restart the journals against
+                # the new partition before acknowledging.
+                self.durability.checkpoint(self.fs, head.name)
             head.ticket._resolve(result)
         else:  # pragma: no cover - _admit only builds the three kinds
             raise AssertionError(f"unknown operation kind {head.kind!r}")

@@ -1,0 +1,187 @@
+"""Kill-and-restart differential tests.
+
+Two layers:
+
+* **Real SIGKILL** — :func:`repro.durability.chaos.run_kill_restart`
+  hosts the journaled service in a subprocess, kills it at a
+  randomized point (mid-batch, mid-group-commit, mid-snapshot), and
+  diffs recovery against a serial replay of the acknowledged-ticket
+  prefix.  A few full runs here; the CI chaos job sweeps more seeds.
+* **Crash simulation** — the same group-commit/recover protocol driven
+  in-process over 100+ randomized nested-FALLS partitions (the
+  existing ``nested_partitions()`` strategy), with the crash modeled
+  as truncating a journal at an arbitrary drawn point.  Recovery must
+  land on a committed prefix byte-identical to its serial replay for
+  *every* partition shape and cut.
+"""
+
+import os
+import shutil
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clusterfile.fs import Clusterfile
+from repro.durability import DurabilityManager
+from repro.durability.chaos import run_kill_restart
+from repro.simulation.cluster import ClusterConfig
+
+from ..properties.strategies import nested_partitions
+
+NAME = "sim"
+
+
+class TestRealSigkill:
+    def test_time_mode_kill_recovers_acked_prefix(self):
+        report, ok = run_kill_restart(3, n_ops=80, kill_mode="time")
+        assert report["killed"]
+        assert ok, report
+
+    def test_acks_mode_kill_with_snapshots_recovers_acked_prefix(self):
+        """Ack-triggered kill with checkpoint boundaries sprinkled in:
+        kills land mid-snapshot and right after acks — the case that
+        once lost acked writes to an unflushed journal header."""
+        report, ok = run_kill_restart(
+            5, n_ops=80, kill_mode="acks", snapshot_every=10
+        )
+        assert report["killed"]
+        assert ok, report
+
+
+def _deployment(physical):
+    nodes = max(1, physical.num_elements)
+    fs = Clusterfile(
+        ClusterConfig(compute_nodes=nodes, io_nodes=nodes)
+    )
+    fs.create(NAME, physical)
+    for node in range(physical.num_elements):
+        fs.set_view(NAME, node, physical, element=node)
+    return fs
+
+
+def _workload(physical, seed, n_ops=12):
+    """Deterministic ``(seq, node, offset, payload)`` ops through the
+    partition's own views (each node writes its element)."""
+    rng = np.random.default_rng(seed)
+    length = 2 * physical.size
+    ops = []
+    for seq in range(n_ops):
+        node = int(rng.integers(physical.num_elements))
+        elen = physical.element_length(node, length)
+        if elen < 1:
+            continue
+        offset = int(rng.integers(0, elen))
+        span = int(rng.integers(1, min(24, elen - offset) + 1))
+        payload = rng.integers(1, 255, size=span, dtype=np.uint8)
+        ops.append((seq, node, offset, payload))
+    return ops
+
+
+def _apply(fs, ops):
+    for _seq, node, offset, payload in ops:
+        fs.write(NAME, [(node, offset, payload)])
+
+
+class TestCrashSimulationProperties:
+    @given(
+        physical=nested_partitions(max_displacement=0),
+        seed=st.integers(0, 2**16),
+        victim=st.integers(0, 10**6),
+        frac=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_truncated_journal_recovers_committed_prefix(
+        self, physical, seed, victim, frac
+    ):
+        """Journal a batched workload under a random nested-FALLS
+        partition, tear one journal at a random point, recover, and
+        byte-compare against a serial replay of the recovered stamp's
+        prefix on a journal-free deployment (the naive oracle)."""
+        ops = _workload(physical, seed)
+        if not ops:
+            return
+        root = tempfile.mkdtemp(prefix="crashsim-")
+        try:
+            fs = _deployment(physical)
+            manager = DurabilityManager(os.path.join(root, "j"))
+            manager.register_file(fs, NAME)
+            for i in range(0, len(ops), 3):
+                batch = ops[i : i + 3]
+                _apply(fs, batch)
+                manager.commit_write(
+                    fs, NAME, [(s, n, o, p.size) for s, n, o, p in batch]
+                )
+            full_stamp = manager.last_stamp(NAME)
+            manager.close()  # flush everything: the pre-crash image
+
+            # The crash: tear one journal at an arbitrary point.
+            d = manager.file_dir(NAME)
+            wals = sorted(
+                p for p in os.listdir(d) if p.endswith(".wal")
+            )
+            target = os.path.join(d, wals[victim % len(wals)])
+            size = os.path.getsize(target)
+            cut = int(frac * size)
+            with open(target, "r+b") as fh:
+                fh.truncate(cut)
+
+            fs2 = _deployment(physical)
+            fs2.unlink(NAME)
+            m2 = DurabilityManager(os.path.join(root, "j"))
+            report = m2.recover_into(fs2)
+            m2.close()
+            stamp = report[NAME]["stamp"]
+            assert stamp <= full_stamp
+            if cut == size:
+                assert stamp == full_stamp  # no damage: nothing lost
+
+            oracle = _deployment(physical)
+            _apply(oracle, [op for op in ops if op[0] <= stamp])
+            got = fs2.linear_contents(NAME)
+            want = oracle.linear_contents(NAME)
+            n = min(got.size, want.size)
+            assert np.array_equal(got[:n], want[:n])
+            assert not got[n:].any() and not want[n:].any()
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    @given(
+        physical=nested_partitions(max_displacement=0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_clean_restart_is_lossless(self, physical, seed):
+        """No damage at all: recovery must reproduce the full state and
+        the full stamp for any nested partition."""
+        ops = _workload(physical, seed)
+        if not ops:
+            return
+        root = tempfile.mkdtemp(prefix="crashsim-")
+        try:
+            fs = _deployment(physical)
+            manager = DurabilityManager(os.path.join(root, "j"))
+            manager.register_file(fs, NAME)
+            for i in range(0, len(ops), 2):
+                batch = ops[i : i + 2]
+                _apply(fs, batch)
+                manager.commit_write(
+                    fs, NAME, [(s, n, o, p.size) for s, n, o, p in batch]
+                )
+            full_stamp = manager.last_stamp(NAME)
+            manager.close()
+
+            fs2 = _deployment(physical)
+            fs2.unlink(NAME)
+            m2 = DurabilityManager(os.path.join(root, "j"))
+            report = m2.recover_into(fs2)
+            m2.close()
+            assert report[NAME]["stamp"] == full_stamp
+            got = fs2.linear_contents(NAME)
+            want = fs.linear_contents(NAME)
+            n = min(got.size, want.size)
+            assert np.array_equal(got[:n], want[:n])
+            assert not got[n:].any() and not want[n:].any()
+        finally:
+            shutil.rmtree(root, ignore_errors=True)

@@ -1,0 +1,186 @@
+"""Namespace persistence round-trips: the inode tree (ids, paths,
+renames, lookup cache) and every file's bytes must outlive a crash
+— fold -> snapshot -> restart -> replay, then diff everything."""
+
+import numpy as np
+import pytest
+
+from repro.clusterfile.fs import Clusterfile
+from repro.core.falls import Falls
+from repro.core.partition import Partition
+from repro.durability import DurabilityManager, RecoveryError
+from repro.namespace import ClusterNamespace
+from repro.simulation.cluster import ClusterConfig
+
+NPROCS = 2
+
+
+def _cyclic(elements, chunk):
+    period = elements * chunk
+    return Partition(
+        [Falls(e * chunk, (e + 1) * chunk - 1, period, 1)
+         for e in range(elements)]
+    )
+
+
+def _build(root):
+    """A namespace with nesting, data, a rename and a delete — the
+    pre-crash state every test recovers from."""
+    fs = Clusterfile(ClusterConfig(compute_nodes=NPROCS, io_nodes=NPROCS))
+    manager = DurabilityManager(root)
+    cns = ClusterNamespace(fs, durability=manager)
+    physical = _cyclic(NPROCS, 16)
+    cns.mkdir("/proj")
+    cns.mkdir("/proj/run1")
+    cns.mkdir("/scratch")
+    cns.create("/proj/run1/state.dat", physical)
+    cns.create("/proj/run1/grid.dat", physical)
+    cns.create("/scratch/tmp.dat", physical)
+    rng = np.random.default_rng(9)
+    for seq, path in enumerate(
+        ["/proj/run1/state.dat", "/proj/run1/grid.dat"] * 3
+    ):
+        backing, _fid = cns.locate(path)
+        cns.set_view(path, 0, physical, element=0)
+        payload = rng.integers(1, 255, size=24, dtype=np.uint8)
+        offset = int(rng.integers(0, 40))
+        fs.write(backing, [(0, offset, payload)])
+        manager.commit_write(
+            fs, backing, [(seq, 0, offset, payload.size)]
+        )
+    # Rename a whole subtree, then delete a file: both journaled.
+    cns.rename("/proj/run1", "/proj/final")
+    cns.delete("/scratch/tmp.dat")
+    return fs, manager, cns
+
+
+def _recover(root):
+    fs = Clusterfile(ClusterConfig(compute_nodes=NPROCS, io_nodes=NPROCS))
+    manager = DurabilityManager(root)
+    return ClusterNamespace.recover(fs, manager)
+
+
+class TestNamespaceRoundTrip:
+    def test_fold_and_ids_survive(self, tmp_path):
+        root = str(tmp_path / "j")
+        fs, manager, cns = _build(root)
+        want_fold = cns.tree.fold()
+        want_ids = {
+            path: cns.tree.resolve(path).id for path in want_fold
+        }
+        manager.close()  # crash: nothing else shuts down cleanly
+
+        rec, report = _recover(root)
+        assert rec.tree.fold() == want_fold
+        for path, fid in want_ids.items():
+            assert rec.tree.resolve(path).id == fid, path
+        assert report["namespace"]["ops_replayed"] >= 0
+        assert not report["dropped_orphans"]
+
+    def test_rename_continuity(self, tmp_path):
+        """Files keep their id-derived backing names across a rename +
+        crash + recovery: the renamed path resolves, the old one is
+        gone, and the data follows the id, not the path."""
+        root = str(tmp_path / "j")
+        fs, manager, cns = _build(root)
+        backing, fid = cns.locate("/proj/final/state.dat")
+        want = fs.linear_contents(backing).copy()
+        manager.close()
+
+        rec, _report = _recover(root)
+        assert not rec.exists("/proj/run1")
+        got_backing, got_fid = rec.locate("/proj/final/state.dat")
+        assert (got_backing, got_fid) == (backing, fid)
+        got = rec.fs.linear_contents(got_backing)
+        n = min(got.size, want.size)
+        assert np.array_equal(got[:n], want[:n])
+        assert not got[n:].any() and not want[n:].any()
+
+    def test_deleted_file_stays_deleted(self, tmp_path):
+        root = str(tmp_path / "j")
+        fs, manager, cns = _build(root)
+        manager.close()
+        rec, _report = _recover(root)
+        assert not rec.exists("/scratch/tmp.dat")
+        assert "/scratch" in rec.tree.fold()
+        # Its journal directory is gone too — no orphan resurrection.
+        assert all(
+            "tmp" not in name for name in rec.durability.journaled_files()
+        )
+
+    def test_id_allocation_continues_without_collision(self, tmp_path):
+        root = str(tmp_path / "j")
+        fs, manager, cns = _build(root)
+        old_ids = {cns.tree.resolve(p).id for p in cns.tree.fold()}
+        manager.close()
+        rec, _report = _recover(root)
+        node = rec.create("/proj/new.dat", _cyclic(NPROCS, 16))
+        assert node.id not in old_ids
+        assert rec.locate("/proj/new.dat")[0] == f"fid-{node.id}"
+
+    def test_lookup_cache_correct_after_recovery(self, tmp_path):
+        root = str(tmp_path / "j")
+        fs, manager, cns = _build(root)
+        want_fold = cns.tree.fold()
+        manager.close()
+        rec, _report = _recover(root)
+        cache = rec.tree.cache
+        base = cache.stats()
+        # First resolve misses, second hits, and both return the truth.
+        for path in want_fold:
+            a = rec.tree.resolve(path)
+            b = rec.tree.resolve(path)
+            assert a is b
+        stats = cache.stats()
+        assert stats["hits"] > base.get("hits", 0)
+        # A post-recovery rename still invalidates by prefix.
+        rec.rename("/proj/final", "/proj/v2")
+        assert rec.tree.resolve("/proj/v2/state.dat").is_file
+        with pytest.raises(FileNotFoundError):
+            rec.tree.resolve("/proj/final/state.dat")
+
+    def test_double_restart_is_stable(self, tmp_path):
+        """Recover, mutate, crash again, recover again — ids and bytes
+        stay consistent across generations of the journal."""
+        root = str(tmp_path / "j")
+        fs, manager, cns = _build(root)
+        manager.close()
+
+        rec1, _r1 = _recover(root)
+        rec1.mkdir("/gen2")
+        rec1.create("/gen2/a.dat", _cyclic(NPROCS, 16))
+        rec1.set_view("/gen2/a.dat", 0, _cyclic(NPROCS, 16), element=0)
+        backing, _ = rec1.locate("/gen2/a.dat")
+        payload = np.arange(1, 33, dtype=np.uint8)
+        rec1.fs.write(backing, [(0, 0, payload)])
+        rec1.durability.commit_write(
+            rec1.fs, backing, [(0, 0, 0, payload.size)]
+        )
+        want_fold = rec1.tree.fold()
+        want = rec1.fs.linear_contents(backing).copy()
+        assert want.any()  # the committed write is in generation 1
+        rec1.durability.close()
+
+        rec2, _r2 = _recover(root)
+        assert rec2.tree.fold() == want_fold
+        got = rec2.fs.linear_contents(backing)
+        n = min(got.size, want.size)
+        np.testing.assert_array_equal(got[:n], want[:n])
+        assert not got[n:].any() and not want[n:].any()
+
+    def test_corrupt_tree_snapshot_raises_recovery_error(self, tmp_path):
+        import os
+
+        from repro.durability.nslog import SNAPSHOT_FILE
+
+        root = str(tmp_path / "j")
+        fs, manager, cns = _build(root)
+        manager.close()
+        snap = os.path.join(manager.namespace_dir(), SNAPSHOT_FILE)
+        with open(snap, "r+b") as fh:
+            fh.seek(6)
+            b = fh.read(1)
+            fh.seek(6)
+            fh.write(bytes([b[0] ^ 0x02]))
+        with pytest.raises(RecoveryError):
+            _recover(root)

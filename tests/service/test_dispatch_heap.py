@@ -1,0 +1,176 @@
+"""Regression tests for the heap-backed ready-file dispatcher.
+
+The dispatcher used to scan every ready file per dispatch (O(ready
+files)); it now keeps a min-heap keyed by ``(wfq_finish, wfq_start,
+file_id)`` with lazy invalidation.  These tests pin the property the
+heap must preserve — of all ready files' *heads*, the smallest WFQ key
+dispatches first — using the same deterministically stalled service as
+the tenant tests, but across enough files that the heap actually has
+to order something.
+"""
+
+import numpy as np
+
+import pytest
+
+from repro.clusterfile.fs import Clusterfile
+from repro.distributions import round_robin
+from repro.service import FileService
+
+from .test_tenants import NPROCS, _StalledService, _payload
+
+
+def _deployment(files):
+    fs = Clusterfile()
+    for name in files:
+        fs.create(name, round_robin(NPROCS, 8))
+        for node in range(NPROCS):
+            fs.set_view(name, node, round_robin(NPROCS, 8))
+    return fs
+
+
+HEAVY_FILES = [f"heavy-{i}" for i in range(3)]
+LIGHT_FILES = [f"light-{i}" for i in range(3)]
+
+
+@pytest.fixture
+def stalled():
+    fs = _deployment(["blocked"] + HEAVY_FILES + LIGHT_FILES)
+    svc = FileService(
+        fs,
+        workers=1,
+        max_queue=256,
+        admission="park",
+        max_batch=1,
+        tenant_weights={"heavy": 3.0, "light": 1.0},
+    )
+    stall = _StalledService(svc)
+    yield stall
+    stall.release()
+    svc.close()
+
+
+class TestHeapOrder:
+    def test_equal_weight_heads_dispatch_in_admission_order(self, stalled):
+        """One op per file, equal weight, admitted from one thread:
+        WFQ tags are strictly increasing with admission, so the heap
+        must release the files in exactly admission order — any
+        heap-key or invalidation bug shows up as a permutation."""
+        svc = stalled.svc
+        svc.set_tenant("heavy", weight=1.0)
+        names = [HEAVY_FILES[i % 3] if i % 2 else LIGHT_FILES[i % 3]
+                 for i in range(12)]
+        # Every op goes to a distinct (file, position) — heads only.
+        tickets = []
+        for i, name in enumerate(names):
+            tenant = "heavy" if name.startswith("heavy") else "light"
+            tickets.append(
+                svc.submit_write(name, 0, 0, _payload(i), tenant=tenant)
+            )
+        stalled.release()
+        assert svc.drain(timeout=60)
+        # Global admission order: ticket identity order must match.
+        order = stalled.backlog_order()
+        assert order == tickets
+        for t in tickets:
+            assert t.exception(timeout=5) is None
+
+    def test_weighted_share_across_many_files(self, stalled):
+        """The 3:1 tenant share must hold when each tenant's backlog is
+        spread over several files (several live heap entries per
+        tenant), not just one queue each."""
+        svc = stalled.svc
+        heavy = [
+            svc.submit_write(
+                HEAVY_FILES[i % 3], 0, 0, _payload(i), tenant="heavy"
+            )
+            for i in range(9)
+        ]
+        light = [
+            svc.submit_write(
+                LIGHT_FILES[i % 3], 0, 0, _payload(i), tenant="light"
+            )
+            for i in range(3)
+        ]
+        stalled.release()
+        assert svc.drain(timeout=60)
+        order = stalled.backlog_order()
+        assert len(order) == 12
+        first8 = [t.tenant for t in order[:8]]
+        assert first8.count("heavy") == 6
+        assert first8.count("light") == 2
+        # Per-file FIFO must survive the heap: seqs on any single file
+        # dispatch in admission order.
+        for name in HEAVY_FILES + LIGHT_FILES:
+            seqs = [t.seq for t in order if t.file == name]
+            assert seqs == sorted(seqs)
+        for t in heavy + light:
+            assert t.exception(timeout=5) is None
+
+    def test_file_with_backlog_is_requeued_not_lost(self, stalled):
+        """After a dispatch the file's remaining backlog must get a
+        fresh heap entry — a file must never strand queued ops."""
+        svc = stalled.svc
+        tickets = [
+            svc.submit_write("heavy-0", 0, 0, _payload(i), tenant="heavy")
+            for i in range(5)
+        ]
+        tickets += [
+            svc.submit_write("light-0", 0, 0, _payload(i), tenant="light")
+            for i in range(5)
+        ]
+        stalled.release()
+        assert svc.drain(timeout=60)
+        assert len(stalled.backlog_order()) == 10
+        for t in tickets:
+            assert t.exception(timeout=5) is None
+
+
+class TestHeapInvalidation:
+    def test_lingered_batches_leave_no_stale_dispatch(self):
+        """With a linger window, queued ops are stolen into in-flight
+        batches after the file was already re-pushed — the heap entry
+        goes stale (or its queue drains).  All ops must still resolve
+        exactly once and the bytes must match a serial run."""
+        names = [f"f{i}" for i in range(4)]
+        fs = _deployment(names)
+        svc = FileService(
+            fs, workers=2, max_queue=256, max_batch=4,
+            batch_window_s=0.003,
+        )
+        rng = np.random.default_rng(7)
+        oracle = _deployment(names)
+        tickets = []
+        try:
+            for i in range(120):
+                name = names[int(rng.integers(len(names)))]
+                off = int(rng.integers(0, 48))
+                payload = rng.integers(1, 255, size=8, dtype=np.uint8)
+                oracle.write(name, [(0, off, payload)])
+                tickets.append(svc.submit_write(name, 0, off, payload))
+            assert svc.drain(timeout=60)
+        finally:
+            svc.close()
+        for t in tickets:
+            assert t.exception(timeout=5) is None
+        for name in names:
+            got = fs.linear_contents(name, 64)
+            want = oracle.linear_contents(name, 64)
+            assert np.array_equal(got, want), name
+
+    def test_queue_depth_returns_to_zero(self):
+        """Lazy invalidation must not leak phantom ready entries that
+        keep the dispatcher spinning or miscount the queue."""
+        fs = _deployment(["a", "b"])
+        svc = FileService(fs, workers=1, max_batch=2)
+        try:
+            ts = [
+                svc.submit_write("a" if i % 2 else "b", 0, 0, _payload(i))
+                for i in range(20)
+            ]
+            assert svc.drain(timeout=60)
+            assert svc.queue_depth == 0
+            for t in ts:
+                assert t.exception(timeout=5) is None
+        finally:
+            svc.close()
