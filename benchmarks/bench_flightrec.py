@@ -1,0 +1,177 @@
+"""Flight-recorder overhead benchmark: what always-on costs.
+
+The flight recorder is designed to live on the hot path permanently —
+every op start/finish, batch dispatch, lock grant and group commit
+stores one 64-byte CRC-stamped slot into a shared mmap.  This
+benchmark prices that store on the same least-forgiving path as
+``bench_telemetry``: the single-worker, unbatched service write
+stream, armed vs. disarmed.
+
+Estimator: the drift-robust **median of adjacent-window ratios** —
+each repetition times one armed and one disarmed window back-to-back
+(``inner`` runs each, order alternating) so both sides of a ratio see
+the same machine state; the median discards preempted windows.  The
+acceptance bar is < 5% overhead (the ISSUE's headline number).
+
+A second figure prices the primitive itself: ``record()`` calls per
+second into an armed ring, straight-line.
+
+Run as a module to (re)generate the committed results file::
+
+    PYTHONPATH=src python benchmarks/bench_flightrec.py
+
+which writes ``BENCH_flightrec.json`` at the repository root.
+"""
+
+import gc
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_service import _make_fs, _op_stream  # noqa: E402
+
+from repro.obs import flightrec  # noqa: E402
+from repro.service import FileService  # noqa: E402
+
+N_OPS = 96
+RESULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_flightrec.json",
+)
+
+#: The regression gate re-runs on noisy shared CI runners: fewer
+#: repetitions, looser budget (the <5% headline is asserted by a
+#: quiet-machine ``measure()`` and committed in the JSON).
+GATE_KWARGS = {"n_ops": 48, "repeats": 5, "inner": 2, "budget": 0.25}
+
+
+def _run_once(ops) -> float:
+    """One single-worker, unbatched pass of the write stream through
+    the service; returns wall seconds."""
+    fs = _make_fs()
+    t0 = time.perf_counter()
+    with FileService(
+        fs, workers=1, max_queue=len(ops), admission="park", max_batch=1
+    ) as svc:
+        for node, off, data in ops:
+            svc.submit_write("bench", node, off, data)
+        assert svc.drain(timeout=300)
+    return time.perf_counter() - t0
+
+
+def _record_rate(events: int = 200_000) -> float:
+    """Straight-line ``record()`` calls per second into an armed ring."""
+    with tempfile.TemporaryDirectory() as d:
+        rec = flightrec.FlightRecorder(
+            os.path.join(d, "rate.ring"), capacity=4096
+        )
+        try:
+            t0 = time.perf_counter()
+            for i in range(events):
+                rec.record(flightrec.EV_OP_FINISH, trace=i, tseq=i, a=i)
+            dt = time.perf_counter() - t0
+        finally:
+            rec.close()
+    return events / dt
+
+
+def measure(
+    n_ops: int = N_OPS,
+    repeats: int = 9,
+    inner: int = 4,
+    budget: float = 0.05,
+) -> dict:
+    ops = _op_stream(0, n_ops)
+    _run_once(ops)  # warm-up (plan cache, allocator, thread pools)
+
+    ring_dir = tempfile.mkdtemp(prefix="bench_flightrec_")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        ratios, bare_walls = [], []
+        for rep in range(repeats):
+            gc.collect()
+            window = {}
+            order = [True, False] if rep % 2 == 0 else [False, True]
+            for armed in order:
+                if armed:
+                    flightrec.arm(
+                        os.path.join(ring_dir, f"rep{rep}.ring"),
+                        capacity=4096,
+                    )
+                else:
+                    flightrec.disarm()
+                wall = 0.0
+                for _ in range(inner):
+                    wall += _run_once(ops)
+                window[armed] = wall / inner
+            ratios.append(window[True] / window[False])
+            bare_walls.append(window[False])
+    finally:
+        flightrec.disarm()
+        if gc_was_enabled:
+            gc.enable()
+        for fn in os.listdir(ring_dir):
+            try:
+                os.remove(os.path.join(ring_dir, fn))
+            except OSError:
+                pass
+        try:
+            os.rmdir(ring_dir)
+        except OSError:
+            pass
+
+    ratio = statistics.median(ratios)
+    bare_s = min(bare_walls)
+    result = {
+        "benchmark": "flightrec",
+        "n_ops": n_ops,
+        "repeats": repeats,
+        "inner": inner,
+        "bare_wall_us": bare_s * 1e6,
+        "armed_wall_us": bare_s * ratio * 1e6,
+        "overhead": ratio - 1.0,
+        # "_hz" deliberately: the regression gate's generic extractor
+        # treats *_s suffixes as lower-is-better timings, and this is
+        # a rate.
+        "record_rate_hz": _record_rate(),
+    }
+    # The acceptance bar: an armed ring costs under 5% on the
+    # single-worker unfaulted write path.
+    assert result["overhead"] < budget, result
+    return result
+
+
+class TestFlightrecBench:
+    def test_overhead_is_small(self):
+        # Lenient CI bound (noisy shared runners); the <5% headline is
+        # asserted by measure() on a quiet machine and recorded in
+        # BENCH_flightrec.json.
+        result = measure(n_ops=32, repeats=3, inner=2, budget=0.5)
+        assert result["bare_wall_us"] > 0
+        assert flightrec.active() is None  # disarmed after measure
+
+    def test_record_rate_is_sub_microsecond_scale(self):
+        # The ISSUE's "sub-microsecond" is a quiet-machine figure; here
+        # just require record() to be far from the millisecond regime.
+        rate = _record_rate(events=50_000)
+        assert rate > 100_000, f"{rate:.0f} record()/s"
+
+
+if __name__ == "__main__":
+    result = measure()
+    with open(RESULT_PATH, "w") as f:
+        json.dump(result, f, indent=2)
+        f.write("\n")
+    print(
+        f"bare {result['bare_wall_us']:10.0f} us, armed "
+        f"{result['armed_wall_us']:10.0f} us "
+        f"({result['overhead'] * 100:+.2f}%), "
+        f"{result['record_rate_hz']:.0f} record()/s"
+    )
+    print(f"results -> {RESULT_PATH}")

@@ -171,9 +171,11 @@ def run_kill_restart(
     workdir = workdir or tempfile.mkdtemp(prefix="repro-killchaos-")
     root = os.path.join(workdir, "journal")
     acked_path = os.path.join(workdir, "acked.log")
+    flight_path = os.path.join(workdir, "flight.ring")
     spec = {
         "root": root,
         "acked_path": acked_path,
+        "flightrec": flight_path,
         "seed": seed,
         "nprocs": nprocs,
         "files": files,
@@ -243,6 +245,37 @@ def run_kill_restart(
     )
     schedule = victim_schedule(ops, files, snapshot_every)
 
+    # Post-mortem forensics: decode the victim's flight ring — from
+    # the mmap file alone, no journal access — into its "last words",
+    # and cross-check it against the ack log.  The service records each
+    # op_finish *before* resolving its ticket, so every acked (file,
+    # seq) must appear in the ring (modulo wrap: the ring is bounded,
+    # so a wrapped run can only be checked for its newest acks), and a
+    # SIGKILL must never yield a misparsed record — only counted torn
+    # slots, of which a single 64-byte store leaves at most one.
+    blackbox: Dict[str, object] = {}
+    blackbox_ok = True
+    try:
+        from ..obs.forensics import decode_ring, finished_ops, reconstruct
+
+        dump = decode_ring(flight_path)
+        blackbox = reconstruct(dump)
+        finished = finished_ops(dump)
+        missing: Dict[str, List[int]] = {}
+        for fname, seqs in acked.items():
+            have = finished.get(fname, set())
+            required = seqs if not dump.wrapped else seqs[-1:]
+            gone = [s for s in required if s not in have]
+            if gone:
+                missing[fname] = gone
+        if missing:
+            blackbox["missing_acks"] = missing
+            blackbox_ok = False
+        blackbox_ok = blackbox_ok and dump.torn == 0
+    except (OSError, ValueError) as exc:
+        blackbox = {"error": str(exc)}
+        blackbox_ok = False
+
     # Restart: recover the journal root into a fresh deployment.
     manager = DurabilityManager(root)
     fs = Clusterfile(ClusterConfig())
@@ -266,6 +299,7 @@ def run_kill_restart(
         )
         report_files[name] = verdict
     manager.close()
+    ok = ok and blackbox_ok
     report = {
         "seed": seed,
         "nprocs": nprocs,
@@ -278,6 +312,8 @@ def run_kill_restart(
         "total_acked": sum(len(v) for v in acked.values()),
         "files_report": report_files,
         "durability": obs_metrics.snapshot("durability"),
+        "blackbox": blackbox,
+        "blackbox_ok": blackbox_ok,
         "ok": ok,
     }
     if owned and ok:

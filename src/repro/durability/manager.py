@@ -59,6 +59,7 @@ import numpy as np
 
 from ..clusterfile.engine import IOEngine
 from ..core.serialize import partition_from_obj, partition_to_obj
+from ..obs import flightrec
 from ..obs import metrics as obs_metrics
 from .journal import (
     HEADER_SIZE,
@@ -354,6 +355,15 @@ class DurabilityManager:
         if not ops:
             return fj.stamp
         stamp = max(op[0] for op in ops)
+        # The commit being cut is itself an event: a SIGKILL between
+        # commit_start and commit leaves a mid-commit marker in the
+        # flight ring that forensics surfaces as "last words".
+        rec = flightrec.active()
+        fkey = rec.file_key(name) if rec is not None else 0
+        if rec is not None:
+            rec.record(
+                flightrec.EV_COMMIT_START, file=fkey, a=stamp, b=len(ops)
+            )
         stores = fs.open(name).stores
         writers = fj.data
         seg_of = self._touched_segments
@@ -401,6 +411,8 @@ class DurabilityManager:
         fj.commit.append(REC_COMMIT, stamp, 0, body.encode("utf-8"))
         fj.commit.flush()
         fj.stamp = max(fj.stamp, stamp)
+        if rec is not None:
+            rec.record(flightrec.EV_COMMIT, file=fkey, a=stamp, b=records)
         self._m_records.inc(records)
         self._m_bytes.inc(payload_bytes)
         self._m_commits.inc()
@@ -450,6 +462,11 @@ class DurabilityManager:
         fj.open_fresh(cfile.num_subfiles, self.sync)
         self._m_snapshots.inc()
         self._m_snap_bytes.inc(size)
+        rec = flightrec.active()
+        if rec is not None:
+            rec.record(
+                flightrec.EV_CHECKPOINT, file=rec.file_key(name), a=fj.epoch
+            )
         return snap_path
 
     # -- recovery -------------------------------------------------------------
@@ -505,6 +522,14 @@ class DurabilityManager:
             self._m_rec_records.inc(replayed)
             self._m_rec_tail.inc(tail)
             self._h_recovery_s.observe(elapsed)
+            rec = flightrec.active()
+            if rec is not None:
+                rec.record(
+                    flightrec.EV_RECOVERY,
+                    file=rec.file_key(name),
+                    a=replayed,
+                    b=tail,
+                )
             report[name] = {
                 "stamp": stamp,
                 "seqs": seqs,

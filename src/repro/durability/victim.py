@@ -24,6 +24,7 @@ import time
 from queue import Queue
 
 from ..clusterfile.fs import Clusterfile
+from ..obs import flightrec
 from ..service.service import FileService
 from ..simulation.cluster import ClusterConfig
 from .chaos import _file_name, kill_workload
@@ -33,6 +34,14 @@ from .manager import DurabilityManager
 def main(spec_path: str) -> int:
     with open(spec_path, "r", encoding="utf-8") as fh:
         spec = json.load(fh)
+    if spec.get("flightrec"):
+        # Armed before any service work: every op/commit/lock event of
+        # this process's short life lands in the crash-surviving ring
+        # the parent will decode after killing us.
+        flightrec.arm(
+            spec["flightrec"],
+            capacity=int(spec.get("flightrec_capacity", 4096)),
+        )
     nprocs = int(spec["nprocs"])
     files = int(spec["files"])
     logical, physical, ops = kill_workload(

@@ -144,10 +144,12 @@ def _server_read(cluster, config, store, job, from_disk: bool):
 
 
 def _worker_main(worker_id: int, cfg_bytes: bytes, transport_handle,
-                 cmd_name: str, res_name: str) -> None:
+                 cmd_name: str, res_name: str,
+                 flight_path: Optional[str] = None) -> None:
     """The worker process entry point: a command loop until shutdown."""
     from contextlib import nullcontext
 
+    from ..obs import flightrec
     from ..obs import metrics as obs_metrics
     from ..obs.export import span_to_dict
     from ..obs.span import Tracer, open_span
@@ -159,6 +161,15 @@ def _worker_main(worker_id: int, cfg_bytes: bytes, transport_handle,
     # drop it so this process never unlinks segments it does not own.
     shm_mod._OWNED.clear()
     shm_mod._ATTACHED.clear()
+
+    # Same for the flight recorder: the inherited mapping belongs to the
+    # parent (two writers with independent sequence counters would
+    # corrupt one ring).  Each worker gets its *own* per-process ring —
+    # a worker SIGKILL leaves its own decodable last words.
+    if flight_path is not None:
+        flightrec.arm(flight_path, capacity=1024)
+    else:
+        flightrec.disarm()
 
     rank = worker_id + 1
     parent = multiprocessing.parent_process()
@@ -354,6 +365,7 @@ class ProcessPoolExecutorBackend:
         region_bytes: int = DEFAULT_REGION_BYTES,
         ring_bytes: int = DEFAULT_RING_BYTES,
         start_method: Optional[str] = None,
+        flightrec_base: Optional[str] = None,
     ):
         if processes < 1:
             raise ValueError(f"need >= 1 worker process, got {processes}")
@@ -377,15 +389,28 @@ class ProcessPoolExecutorBackend:
         ctx = multiprocessing.get_context(start_method)
         cfg_bytes = pickle.dumps(config)
         handle = self.transport.handle()
+        # Workers record into sibling rings of the parent's: a pool
+        # built in a process with an armed flight recorder at
+        # ``ring.bin`` gives worker ``w`` its own ``ring.bin.w<w>``.
+        if flightrec_base is None:
+            from ..obs import flightrec as _flightrec
+
+            armed = _flightrec.active()
+            flightrec_base = armed.path if armed is not None else None
         try:
             for w in range(processes):
                 cmd = ShmRing.create(ring_bytes, f"c{w}")
                 res = ShmRing.create(ring_bytes, f"r{w}")
                 self._cmd_rings.append(cmd)
                 self._res_rings.append(res)
+                wring = (
+                    f"{flightrec_base}.w{w}"
+                    if flightrec_base is not None
+                    else None
+                )
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(w, cfg_bytes, handle, cmd.name, res.name),
+                    args=(w, cfg_bytes, handle, cmd.name, res.name, wring),
                     daemon=True,
                     name=f"repro-io-worker-{w}",
                 )
@@ -433,6 +458,15 @@ class ProcessPoolExecutorBackend:
 
     def _mark_broken(self, w: int) -> None:
         dead = [i for i, p in enumerate(self._procs) if not p.is_alive()]
+        from ..obs import flightrec
+
+        rec = flightrec.active()
+        if rec is not None:
+            for i in dead or [w]:
+                rec.record(
+                    flightrec.EV_WORKER_CRASH,
+                    a=i if i >= 0 else 0xFFFFFFFF,
+                )
         self._broken = (
             f"worker(s) {dead or [w]} died; pool shut down and all "
             f"shared-memory segments unlinked"

@@ -17,7 +17,13 @@ instrument:
 * :mod:`repro.obs.prometheus` — Prometheus text exposition (and its
   strict parser, used by the tests);
 * :mod:`repro.obs.live` — an HTTP ``/metrics`` + ``/stats`` endpoint
-  and a periodic ring-buffer sampler for ``repro.tools serve``.
+  and a periodic ring-buffer sampler for ``repro.tools serve``;
+* :mod:`repro.obs.flightrec` — a crash-surviving mmap ring of binary
+  hot-path events (the flight recorder);
+* :mod:`repro.obs.forensics` — the post-mortem decoder that turns a
+  dead process's ring into a timeline (``repro.tools blackbox``);
+* :mod:`repro.obs.slo` — per-tenant latency SLOs with multi-window
+  burn-rate alerts fed from the service histograms.
 """
 
 from .context import current_trace_id, new_trace_id, trace_context
@@ -45,7 +51,9 @@ from .metrics import (
     snapshot,
     stage_histograms_enabled,
 )
+from .flightrec import FlightRecorder
 from .prometheus import parse_prometheus_text, prometheus_name, render_prometheus
+from .slo import SloObjective, SloTracker
 from .span import (
     Span,
     Tracer,
@@ -57,9 +65,12 @@ from .span import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SloObjective",
+    "SloTracker",
     "Span",
     "StatsServer",
     "TelemetrySampler",

@@ -31,6 +31,7 @@ from typing import Deque, Dict, List, Optional
 
 from .metrics import MetricsRegistry, get_registry
 from .prometheus import render_prometheus
+from .slo import SloTracker
 
 __all__ = ["StatsServer", "TelemetrySampler", "stats_payload"]
 
@@ -90,10 +91,41 @@ def _tenants_section(reg: MetricsRegistry, counters: Dict[str, int]) -> Dict[str
     return tenants
 
 
+def _durability_section(reg: MetricsRegistry, counters: Dict[str, int]) -> dict:
+    """Journal/commit/recovery health from the ``durability.*`` metrics
+    the journal manager maintains: record and byte throughput, group
+    commits cut, recovery work done, and commit-latency quantiles."""
+    section: dict = {
+        "journal": {
+            "records": counters.get("durability.journal.records", 0),
+            "bytes": counters.get("durability.journal.bytes", 0),
+            "commits": counters.get("durability.journal.commits", 0),
+        },
+        "snapshots": counters.get("durability.snapshots", 0),
+        "recovery": {
+            "files": counters.get("durability.recovery.files", 0),
+            "records_replayed": counters.get(
+                "durability.recovery.records_replayed", 0
+            ),
+            "tail_bytes_discarded": counters.get(
+                "durability.recovery.tail_bytes_discarded", 0
+            ),
+        },
+    }
+    commit = reg.histograms().get("durability.commit_s")
+    if commit is not None:
+        summary = commit.as_dict()
+        section["commit_s"] = {
+            k: summary[k] for k in ("p50", "p90", "p99", "max", "count")
+        }
+    return section
+
+
 def stats_payload(
     registry: Optional[MetricsRegistry] = None,
     sampler: Optional["TelemetrySampler"] = None,
     started_at: Optional[float] = None,
+    slo: Optional["SloTracker"] = None,
 ) -> dict:
     """The JSON-ready ``/stats`` document for a registry."""
     reg = registry if registry is not None else get_registry()
@@ -126,6 +158,14 @@ def stats_payload(
     tenants = _tenants_section(reg, counters)
     if tenants:
         payload["tenants"] = tenants
+    # Durability only shows up once journaling has done *something* —
+    # a stats poll against a journal-less service stays unchanged.
+    if any(k.startswith("durability.") for k in counters):
+        payload["durability"] = _durability_section(reg, counters)
+    if slo is not None:
+        slo.tick()
+        payload["slo"] = slo.payload()
+        payload["alerts"] = payload["slo"]["alerts"]
     derived = _derived_hit_rates(counters)
     if derived:
         payload["derived"] = derived
@@ -150,10 +190,12 @@ class TelemetrySampler:
         registry: Optional[MetricsRegistry] = None,
         interval_s: float = 1.0,
         capacity: int = 512,
+        slo: Optional[SloTracker] = None,
     ):
         if interval_s <= 0:
             raise ValueError(f"interval_s must be > 0, got {interval_s}")
         self.registry = registry if registry is not None else get_registry()
+        self.slo = slo
         self.interval_s = float(interval_s)
         self._ring: Deque[dict] = deque(maxlen=capacity)
         self._stop = threading.Event()
@@ -163,6 +205,8 @@ class TelemetrySampler:
 
     def sample(self) -> dict:
         """Take one snapshot now and append it to the ring."""
+        if self.slo is not None:
+            self.slo.tick()
         s = {
             "t": time.monotonic() - self._started_at,
             "counters": self.registry.snapshot(),
@@ -224,11 +268,18 @@ class _StatsHandler(BaseHTTPRequestHandler):
         owner = self.server.owner
         path = self.path.split("?", 1)[0]
         if path == "/metrics":
+            if owner.slo is not None:
+                owner.slo.tick()
             body = render_prometheus(owner.registry).encode("utf-8")
             ctype = "text/plain; version=0.0.4; charset=utf-8"
         elif path == "/stats":
             body = json.dumps(
-                stats_payload(owner.registry, owner.sampler, owner.started_at),
+                stats_payload(
+                    owner.registry,
+                    owner.sampler,
+                    owner.started_at,
+                    slo=owner.slo,
+                ),
                 indent=1,
                 sort_keys=True,
             ).encode("utf-8")
@@ -265,9 +316,11 @@ class StatsServer:
         host: str = "127.0.0.1",
         registry: Optional[MetricsRegistry] = None,
         sampler: Optional[TelemetrySampler] = None,
+        slo: Optional[SloTracker] = None,
     ):
         self.registry = registry if registry is not None else get_registry()
         self.sampler = sampler
+        self.slo = slo
         self.started_at = time.time()
         self._httpd: Optional[_StatsHTTPServer] = _StatsHTTPServer(
             (host, port), _StatsHandler

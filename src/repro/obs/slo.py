@@ -1,0 +1,268 @@
+"""Per-tenant SLO objectives and multi-window burn-rate alerting.
+
+The flight recorder (:mod:`repro.obs.flightrec`) closes the
+observability loop backwards — what happened before a crash.  This
+module closes it forwards: from the per-tenant latency histograms the
+service already maintains (``service.tenant.<t>.wait_s``) to a
+page-able signal, with nothing new on the hot path.
+
+An :class:`SloObjective` is the classic latency SLO: "``target``
+fraction of tenant ``t``'s requests complete within ``threshold_s``
+seconds".  The error *budget* is ``1 - target``; the **burn rate** over
+a window is the fraction of requests in that window that violated the
+threshold, divided by the budget — burn 1.0 consumes the budget exactly
+at the sustainable pace, burn 14.4 exhausts a 30-day budget in ~2 days.
+
+:class:`SloTracker` periodically samples cumulative ``(good, total)``
+pairs from the histograms (:meth:`~SloTracker.tick`, driven by the
+telemetry sampler or on demand by ``/stats``), differentiates them over
+a ladder of windows, and applies the Google-SRE multi-window rule: an
+alert fires only when *both* a long window and its paired short window
+exceed the burn threshold — the long window filters noise, the short
+one guarantees the condition is still happening.
+
+Good counts come from the histogram's cumulative buckets at the largest
+bucket edge ``<= threshold_s``; with the default ~9%-wide log buckets
+the good count is underestimated by at most one bucket's width, which
+only makes alerts marginally *more* eager, never blind.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from . import metrics as obs_metrics
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "SloObjective",
+    "SloTracker",
+    "DEFAULT_WINDOWS",
+    "DEFAULT_BURN_RULES",
+]
+
+#: Window ladder (seconds), short to long.
+DEFAULT_WINDOWS: Tuple[int, ...] = (60, 300, 3600)
+
+#: Multi-window alert rules: (long_window_s, short_window_s,
+#: burn_threshold, severity).  Both windows must exceed the threshold.
+DEFAULT_BURN_RULES: Tuple[Tuple[int, int, float, str], ...] = (
+    (300, 60, 14.4, "page"),
+    (3600, 300, 6.0, "ticket"),
+)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """``target`` fraction of ``tenant``'s requests within
+    ``threshold_s`` seconds (measured on service wait time)."""
+
+    tenant: str
+    threshold_s: float
+    target: float
+
+    def __post_init__(self) -> None:
+        if self.threshold_s <= 0:
+            raise ValueError(f"threshold_s must be > 0, got {self.threshold_s}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerated bad fraction."""
+        return 1.0 - self.target
+
+    @classmethod
+    def parse(cls, spec: str) -> "SloObjective":
+        """Parse ``"tenant=<threshold_s>@<target>"`` — the CLI form,
+        e.g. ``"t0=0.05@0.99"`` (99% of t0's requests under 50 ms)."""
+        try:
+            tenant, rest = spec.split("=", 1)
+            threshold, target = rest.split("@", 1)
+            return cls(tenant.strip(), float(threshold), float(target))
+        except ValueError as exc:
+            raise ValueError(
+                f"bad SLO spec {spec!r} (want 'tenant=<threshold_s>@<target>',"
+                f" e.g. 't0=0.05@0.99'): {exc}"
+            ) from None
+
+
+def _good_total(hist, threshold_s: float) -> Tuple[int, int]:
+    """Cumulative (good, total) from a histogram: good = samples at or
+    under the largest bucket edge ``<= threshold_s``."""
+    good = 0
+    total = 0
+    for le, cum in hist.buckets():
+        total = cum
+        if le <= threshold_s:
+            good = cum
+    return good, total
+
+
+class SloTracker:
+    """Samples per-tenant histograms into windows and computes burn.
+
+    ``tick()`` is cheap (one ``buckets()`` call per objective) and
+    idempotent within ``min_tick_s`` — both the background telemetry
+    sampler and an on-demand ``/stats`` render can call it without
+    flooding the history.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SloObjective],
+        registry: Optional[MetricsRegistry] = None,
+        windows: Sequence[int] = DEFAULT_WINDOWS,
+        burn_rules: Sequence[Tuple[int, int, float, str]] = DEFAULT_BURN_RULES,
+        clock: Callable[[], float] = time.monotonic,
+        min_tick_s: float = 1.0,
+        source: str = "service.tenant.{tenant}.wait_s",
+    ):
+        self.objectives: Dict[str, SloObjective] = {
+            o.tenant: o for o in objectives
+        }
+        self.registry = registry or obs_metrics.get_registry()
+        self.windows = tuple(sorted(windows))
+        self.burn_rules = tuple(burn_rules)
+        self.clock = clock
+        self.min_tick_s = min_tick_s
+        self.source = source
+        horizon = max(self.windows) if self.windows else 3600
+        # (t, good, total) samples per tenant; enough history for the
+        # longest window at the fastest tick rate, bounded.
+        self._maxlen = max(16, int(horizon / max(min_tick_s, 0.01)) + 2)
+        self._history: Dict[str, Deque[Tuple[float, int, int]]] = {
+            t: deque(maxlen=self._maxlen) for t in self.objectives
+        }
+        self._last_tick = -float("inf")
+        self._active_alerts: Dict[Tuple[str, int, int], dict] = {}
+        self._m_alerts = self.registry.counter("slo.alerts")
+        self._m_ticks = self.registry.counter("slo.ticks")
+        for o in self.objectives.values():
+            self.registry.gauge(f"slo.{o.tenant}.objective.threshold_s").observe(
+                o.threshold_s
+            )
+            self.registry.gauge(f"slo.{o.tenant}.objective.target").observe(
+                o.target
+            )
+
+    # -- sampling ------------------------------------------------------------
+
+    def tick(self, force: bool = False) -> None:
+        """Sample cumulative (good, total) per objective; no-op when
+        the last tick was under ``min_tick_s`` ago (unless forced)."""
+        now = self.clock()
+        if not force and now - self._last_tick < self.min_tick_s:
+            return
+        self._last_tick = now
+        self._m_ticks.inc()
+        for tenant, obj in self.objectives.items():
+            hist = self.registry.histograms().get(
+                self.source.format(tenant=tenant)
+            )
+            if hist is None:
+                good, total = 0, 0
+            else:
+                good, total = _good_total(hist, obj.threshold_s)
+            self._history[tenant].append((now, good, total))
+        # Refresh the burn-rate gauges so Prometheus sees them without
+        # a /stats render.
+        for tenant in self.objectives:
+            for w, burn in self.burn_rates(tenant).items():
+                self.registry.gauge(f"slo.{tenant}.burn_rate.{w}s").observe(
+                    burn
+                )
+
+    # -- burn math -----------------------------------------------------------
+
+    def _window_delta(
+        self, tenant: str, window_s: int
+    ) -> Tuple[int, int]:
+        """(bad, total) request deltas over the trailing window."""
+        hist = self._history.get(tenant)
+        if not hist:
+            return 0, 0
+        t_now, good_now, total_now = hist[-1]
+        t_lo = t_now - window_s
+        # Oldest sample still inside the window; fall back to the
+        # earliest retained one (short uptime: window covers all).
+        base = hist[0]
+        for sample in hist:
+            if sample[0] >= t_lo:
+                break
+            base = sample
+        _, good_0, total_0 = base
+        d_total = total_now - total_0
+        d_good = good_now - good_0
+        return max(0, d_total - d_good), max(0, d_total)
+
+    def burn_rate(self, tenant: str, window_s: int) -> float:
+        """Bad fraction over the window divided by the error budget
+        (0.0 when the window saw no traffic)."""
+        obj = self.objectives[tenant]
+        bad, total = self._window_delta(tenant, window_s)
+        if total == 0:
+            return 0.0
+        return (bad / total) / obj.budget
+
+    def burn_rates(self, tenant: str) -> Dict[int, float]:
+        return {w: self.burn_rate(tenant, w) for w in self.windows}
+
+    # -- alerting ------------------------------------------------------------
+
+    def alerts(self) -> List[dict]:
+        """Currently-firing multi-window burn alerts (both the long and
+        the paired short window over threshold).  Newly-firing alerts
+        bump the ``slo.alerts`` counter once per transition."""
+        firing: List[dict] = []
+        seen: Dict[Tuple[str, int, int], dict] = {}
+        for tenant, obj in self.objectives.items():
+            for long_w, short_w, threshold, severity in self.burn_rules:
+                burn_long = self.burn_rate(tenant, long_w)
+                burn_short = self.burn_rate(tenant, short_w)
+                if burn_long >= threshold and burn_short >= threshold:
+                    alert = {
+                        "tenant": tenant,
+                        "severity": severity,
+                        "long_window_s": long_w,
+                        "short_window_s": short_w,
+                        "burn_threshold": threshold,
+                        "burn_long": burn_long,
+                        "burn_short": burn_short,
+                        "threshold_s": obj.threshold_s,
+                        "target": obj.target,
+                    }
+                    key = (tenant, long_w, short_w)
+                    seen[key] = alert
+                    firing.append(alert)
+                    if key not in self._active_alerts:
+                        self._m_alerts.inc()
+        self._active_alerts = seen
+        return firing
+
+    # -- exposition ----------------------------------------------------------
+
+    def payload(self) -> dict:
+        """The ``slo`` section of ``/stats``: per-tenant objective,
+        overall compliance, burn rate per window, plus firing alerts."""
+        tenants = {}
+        for tenant, obj in self.objectives.items():
+            hist = self._history.get(tenant)
+            good, total = (hist[-1][1], hist[-1][2]) if hist else (0, 0)
+            tenants[tenant] = {
+                "objective": {
+                    "threshold_s": obj.threshold_s,
+                    "target": obj.target,
+                    "budget": obj.budget,
+                },
+                "good": good,
+                "total": total,
+                "compliance": (good / total) if total else 1.0,
+                "burn_rate": {
+                    f"{w}s": self.burn_rate(tenant, w) for w in self.windows
+                },
+            }
+        return {"tenants": tenants, "alerts": self.alerts()}

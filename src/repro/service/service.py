@@ -76,6 +76,7 @@ import numpy as np
 from ..clusterfile.fs import Clusterfile
 from ..clusterfile.relayout import relayout
 from ..core.partition import Partition
+from ..obs import flightrec
 from ..obs import metrics as obs_metrics
 from ..obs.context import trace_context
 from ..obs.span import open_span
@@ -739,8 +740,28 @@ class FileService:
         self, fstate: _FileState, batch: List[_Op], lticket: LockTicket
     ) -> None:
         lock = fstate.lock
+        # Flight recorder: when armed, the batch's dispatch, lock grant
+        # and release land in the crash-surviving ring (one 64-byte
+        # store each).  Unarmed cost: one global read per batch.
+        rec = flightrec.active()
+        fkey = rec.file_key(fstate.name) if rec is not None else 0
+        lock_recorded = False
         try:
-            if not lticket.granted:
+            if rec is not None and len(batch) > 1:
+                # Singleton batches skip the dispatch event — their
+                # op_start says the same thing for half the hot-path
+                # cost on unbatched workloads.
+                head0 = batch[0]
+                rec.record(
+                    flightrec.EV_BATCH,
+                    trace=flightrec.trace_num(head0.ticket.trace_id),
+                    tseq=head0.ticket.seq,
+                    tenant=rec.tenant_key(head0.tenant),
+                    file=fkey,
+                    a=len(batch),
+                )
+            blocked = not lticket.granted
+            if blocked:
                 # Blocked: same-file contention by construction.  The
                 # cross-file counter verifies that construction — any
                 # active holder tagged with another file id would be a
@@ -751,6 +772,20 @@ class FileService:
                 ):
                     self._m_cross_file.inc()
             lock.wait(lticket)
+            if rec is not None and (blocked or len(batch) > 1):
+                # Grant/release are recorded for contended grants and
+                # multi-op batches — the holds forensics cannot infer.
+                # An uncontended singleton's hold is exactly its op
+                # window, so op_start-without-finish already names it
+                # as the holder at death; skipping its two lock events
+                # halves the recorder's cost on unbatched workloads
+                # and stretches the ring's retention horizon.
+                lock_recorded = True
+                rec.record(
+                    flightrec.EV_LOCK_GRANT,
+                    file=fkey,
+                    a=0 if batch[0].kind == "read" else 1,
+                )
             started = time.perf_counter()
             head = batch[0]
             with open_span(
@@ -804,6 +839,8 @@ class FileService:
                             op.ticket._fail(exc)
                     self._m_failed.inc(len(batch))
         finally:
+            if lock_recorded:
+                rec.record(flightrec.EV_LOCK_RELEASE, file=fkey)
             lock.release(lticket)
             self._slots.release()
             with self._qlock:
@@ -813,11 +850,33 @@ class FileService:
 
     def _execute(self, batch: List[_Op]) -> None:
         head = batch[0]
+        rec = flightrec.active()
+        fkey = rec.file_key(head.name) if rec is not None else 0
         if head.kind == "write":
             self._m_batches.inc()
             self._m_batch_size.observe(
                 len(batch), trace_id=head.ticket.trace_id
             )
+            if rec is not None:
+                # trace/tenant keys computed once per op, shared with
+                # the finish records below.
+                fmeta = [
+                    (
+                        flightrec.trace_num(op.ticket.trace_id),
+                        rec.tenant_key(op.tenant),
+                    )
+                    for op in batch
+                ]
+                for op, (tnum, tkey) in zip(batch, fmeta):
+                    rec.record(
+                        flightrec.EV_OP_START,
+                        trace=tnum,
+                        tseq=op.ticket.seq,
+                        tenant=tkey,
+                        file=fkey,
+                        a=op.offset,
+                        b=op.data.size,
+                    )
             accesses = [(op.node, op.offset, op.data) for op in batch]
             result = self.fs.write(head.name, accesses, to_disk=head.to_disk)
             if self.durability is not None:
@@ -835,14 +894,49 @@ class FileService:
                         for op in batch
                     ],
                 )
-            for op in batch:
+            for i, op in enumerate(batch):
+                # Finish lands in the ring *before* the ticket resolves:
+                # every acknowledged write is provably present in the
+                # recorder's event stream (the forensics ack-coverage
+                # check in the chaos harness relies on this ordering).
+                if rec is not None:
+                    tnum, tkey = fmeta[i]
+                    rec.record(
+                        flightrec.EV_OP_FINISH,
+                        trace=tnum,
+                        tseq=op.ticket.seq,
+                        tenant=tkey,
+                        file=fkey,
+                        a=op.offset,
+                        b=0,
+                    )
                 op.ticket._resolve(result)
         elif head.kind == "read":
+            if rec is not None:
+                rec.record(
+                    flightrec.EV_OP_START,
+                    trace=flightrec.trace_num(head.ticket.trace_id),
+                    tseq=head.ticket.seq,
+                    tenant=rec.tenant_key(head.tenant),
+                    file=fkey,
+                    a=head.offset,
+                    b=head.length,
+                )
             [buf] = self.fs.read(
                 head.name,
                 [(head.node, head.offset, head.length)],
                 from_disk=head.from_disk,
             )
+            if rec is not None:
+                rec.record(
+                    flightrec.EV_OP_FINISH,
+                    trace=flightrec.trace_num(head.ticket.trace_id),
+                    tseq=head.ticket.seq,
+                    tenant=rec.tenant_key(head.tenant),
+                    file=fkey,
+                    a=head.offset,
+                    b=0,
+                )
             head.ticket._resolve(buf)
         elif head.kind == "relayout":
             # Capture the file's views: relayout invalidates them (their

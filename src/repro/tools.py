@@ -216,8 +216,25 @@ def _cmd_chaos_kill_restart(args, seeds) -> int:
                 f"    {name:<11} ok={str(p['ok']):<5} "
                 f"acked={p['acked']} stamp={p['stamp']} "
                 f"replayed={p['records_replayed']} "
-                f"tail_discarded={p['tail_bytes_discarded']}"
+                f"tail_discarded={p['tail_bytes_discarded']} "
+                f"recovered_in={p['recovery_time_s']:.4f}s"
             )
+        bb = report.get("blackbox", {})
+        if "error" in bb:
+            print(f"    blackbox: undecodable ({bb['error']})")
+        else:
+            print(
+                f"    blackbox: {bb.get('events', 0)} events "
+                f"({bb.get('torn', 0)} torn) — last words: "
+                f"{len(bb.get('in_flight', []))} in-flight, "
+                f"{len(bb.get('held_locks', []))} held lock(s), "
+                f"{len(bb.get('commit_in_progress', []))} mid-commit"
+            )
+            for d in bb.get("in_flight", []):
+                print(
+                    f"      in-flight {d.get('trace_id', '?')} "
+                    f"file={d.get('file', '?')} seq={d.get('ticket_seq')}"
+                )
     if args.json:
         with open(args.json, "w") as f:
             json.dump(reports, f, indent=2, default=str)
@@ -234,6 +251,43 @@ def _cmd_chaos_kill_restart(args, seeds) -> int:
         f"\nall {len(reports)} seed(s): recovered bytes identical to the "
         "serial replay of every acknowledged write"
     )
+    return 0
+
+
+def _cmd_blackbox(args) -> int:
+    """Decode a dead process's flight-recorder ring(s) into a
+    post-mortem report — from the mmap ring file alone."""
+    import json
+    import os
+
+    from .obs.forensics import decode_ring, reconstruct, render_blackbox
+
+    paths = []
+    if os.path.isdir(args.ring):
+        for entry in sorted(os.listdir(args.ring)):
+            paths.append(os.path.join(args.ring, entry))
+    else:
+        paths.append(args.ring)
+    recons = []
+    decoded = 0
+    for path in paths:
+        try:
+            dump = decode_ring(path)
+        except (OSError, ValueError) as exc:
+            if not os.path.isdir(args.ring):
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            continue  # a directory scan skips non-ring files quietly
+        decoded += 1
+        recon = reconstruct(dump, last=args.last)
+        recons.append(recon)
+        if not args.json:
+            print(render_blackbox(recon))
+    if decoded == 0:
+        print(f"error: no flight rings under {args.ring!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(recons if len(recons) > 1 else recons[0], indent=2))
     return 0
 
 
@@ -274,13 +328,17 @@ def _cmd_serve(args) -> int:
     from .clusterfile.fs import Clusterfile
     from .distributions import round_robin
     from .namespace import ClusterNamespace
-    from .obs import metrics
+    from .obs import flightrec, metrics
     from .obs.live import StatsServer, TelemetrySampler
+    from .obs.slo import SloObjective, SloTracker
     from .service import FileService, request_timeline
 
     metrics.reset_metrics("service")
     metrics.reset_metrics("engine")
     metrics.reset_metrics("namespace")
+    if args.flightrec:
+        flightrec.arm(args.flightrec)
+        print(f"flight recorder armed -> {args.flightrec}", file=sys.stderr)
     nprocs = args.nprocs
     if args.files < 1:
         raise SystemExit("--files must be >= 1")
@@ -296,11 +354,19 @@ def _cmd_serve(args) -> int:
     tenant_names = [f"t{j}" for j in range(args.tenants)]
     tenant_weights = _parse_tenant_weights(args.tenant_weights, args.tenants)
 
+    slo = None
+    if args.slo:
+        slo = SloTracker([SloObjective.parse(s) for s in args.slo])
+
     sampler = None
     stats = None
     if args.stats_port is not None:
-        sampler = TelemetrySampler(interval_s=args.sample_interval).start()
-        stats = StatsServer(port=args.stats_port, sampler=sampler).start()
+        sampler = TelemetrySampler(
+            interval_s=args.sample_interval, slo=slo
+        ).start()
+        stats = StatsServer(
+            port=args.stats_port, sampler=sampler, slo=slo
+        ).start()
         print(
             f"stats endpoint: {stats.url}/metrics  {stats.url}/stats",
             file=sys.stderr,
@@ -393,6 +459,12 @@ def _cmd_serve(args) -> int:
     }
     if series is not None:
         report["telemetry"] = {"samples": len(series), "series": series[-64:]}
+    if slo is not None:
+        slo.tick(force=True)
+        report["slo"] = slo.payload()
+    rec = flightrec.disarm()
+    if rec is not None:
+        report["flightrec"] = {"path": rec.path, "events": rec.events}
     print(json.dumps(report, indent=2))
     if args.json:
         with open(args.json, "w") as f:
@@ -560,8 +632,38 @@ def main(argv=None) -> int:
         "--linger", type=float, default=0.0,
         help="keep the stats endpoint up this long after the workload",
     )
+    ps.add_argument(
+        "--slo", action="append", default=None, metavar="T=THRESH@TARGET",
+        help="per-tenant latency SLO, e.g. 't0=0.05@0.99' (99%% of t0's "
+        "requests under 50 ms); repeatable. Adds burn-rate gauges to "
+        "/metrics and an slo/alerts section to /stats",
+    )
+    ps.add_argument(
+        "--flightrec", default=None, metavar="PATH",
+        help="arm the crash-surviving flight recorder on this ring file "
+        "(decode later with 'blackbox PATH')",
+    )
     _add_mode_flags(ps)
     ps.set_defaults(fn=_cmd_serve)
+
+    pb = sub.add_parser(
+        "blackbox",
+        help="decode a dead process's flight-recorder ring into a "
+        "post-mortem timeline",
+    )
+    pb.add_argument(
+        "ring",
+        help="a flight ring file, or a directory to scan for rings",
+    )
+    pb.add_argument(
+        "--last", type=int, default=32,
+        help="timeline length: the final N events (default 32)",
+    )
+    pb.add_argument(
+        "--json", action="store_true",
+        help="emit the reconstruction as JSON instead of text",
+    )
+    pb.set_defaults(fn=_cmd_blackbox)
 
     pf = sub.add_parser("figure3", help="draw the paper's figure 3")
     pf.set_defaults(fn=_cmd_figure3)

@@ -1,0 +1,193 @@
+"""Flight recorder: ring round-trips, torn-slot detection, wrap order,
+the intern table, and the Prometheus exposition of its counters."""
+
+import os
+
+import pytest
+
+from repro.obs import flightrec as fr
+from repro.obs import forensics as fx
+from repro.obs import metrics as obs_metrics
+from repro.obs.prometheus import parse_prometheus_text, render_prometheus
+
+
+@pytest.fixture
+def ring_path(tmp_path):
+    return str(tmp_path / "flight.ring")
+
+
+class TestRecordRoundTrip:
+    def test_events_decode_back_verbatim(self, ring_path):
+        with fr.FlightRecorder(ring_path, capacity=64) as rec:
+            t = rec.tenant_key("acme")
+            f = rec.file_key("ledger")
+            rec.record(
+                fr.EV_OP_START, trace=42, tseq=7, tenant=t, file=f,
+                a=512, b=64,
+            )
+            rec.record(
+                fr.EV_OP_FINISH, trace=42, tseq=7, tenant=t, file=f,
+                a=512, b=0,
+            )
+        dump = fx.decode_ring(ring_path)
+        assert dump.torn == 0
+        assert [e.name for e in dump.events] == ["op_start", "op_finish"]
+        start = dump.events[0]
+        assert start.trace == 42
+        assert start.trace_id == "op-00000042"
+        assert start.tseq == 7
+        assert start.a == 512 and start.b == 64
+        assert dump.tenant_name(start.tenant) == "acme"
+        assert dump.file_name(start.file) == "ledger"
+
+    def test_sequence_is_monotonic_and_timestamps_ordered(self, ring_path):
+        with fr.FlightRecorder(ring_path, capacity=32) as rec:
+            for i in range(10):
+                rec.record(fr.EV_BATCH, a=i)
+        dump = fx.decode_ring(ring_path)
+        seqs = [e.seq for e in dump.events]
+        assert seqs == list(range(1, 11))
+        times = [e.t_ns for e in dump.events]
+        assert times == sorted(times)
+
+    def test_wrap_keeps_exactly_the_newest_capacity_events(self, ring_path):
+        with fr.FlightRecorder(ring_path, capacity=8) as rec:
+            for i in range(21):
+                rec.record(fr.EV_OP_FINISH, tseq=i)
+        dump = fx.decode_ring(ring_path)
+        assert dump.wrapped
+        assert dump.torn == 0
+        assert [e.seq for e in dump.events] == list(range(14, 22))
+        assert [e.tseq for e in dump.events] == list(range(13, 21))
+
+    def test_ring_file_survives_close(self, ring_path):
+        rec = fr.FlightRecorder(ring_path, capacity=16)
+        rec.record(fr.EV_COMMIT, a=3)
+        rec.close()
+        assert os.path.exists(ring_path)
+        dump = fx.decode_ring(ring_path)
+        assert len(dump.events) == 1
+        assert rec.record(fr.EV_COMMIT) == 0  # closed: recorded nowhere
+
+
+class TestTornSlots:
+    def test_corrupted_slot_is_counted_never_misparsed(self, ring_path):
+        with fr.FlightRecorder(ring_path, capacity=16) as rec:
+            for i in range(5):
+                rec.record(fr.EV_OP_FINISH, tseq=i)
+        # Flip one byte in the middle of slot seq=3's body: a torn
+        # store.  The decoder must drop exactly that record.
+        off = fr.SLOTS_OFFSET + (3 % 16) * fr.SLOT_BYTES + 20
+        with open(ring_path, "r+b") as fh:
+            fh.seek(off)
+            byte = fh.read(1)
+            fh.seek(off)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        dump = fx.decode_ring(ring_path)
+        assert dump.torn == 1
+        assert [e.seq for e in dump.events] == [1, 2, 4, 5]
+
+    def test_partial_slot_write_is_torn(self, ring_path):
+        with fr.FlightRecorder(ring_path, capacity=16) as rec:
+            rec.record(fr.EV_OP_START, tseq=0)
+            rec.record(fr.EV_OP_START, tseq=1)
+        # Simulate a kill mid-store: zero the tail half of the last
+        # slot (the CRC covers the full body, so this cannot verify).
+        off = fr.SLOTS_OFFSET + (2 % 16) * fr.SLOT_BYTES
+        with open(ring_path, "r+b") as fh:
+            fh.seek(off + 32)
+            fh.write(b"\x00" * 32)
+        dump = fx.decode_ring(ring_path)
+        assert dump.torn == 1
+        assert [e.seq for e in dump.events] == [1]
+
+    def test_not_a_ring_raises(self, tmp_path):
+        bogus = tmp_path / "bogus.bin"
+        bogus.write_bytes(b"\x00" * (fr.SLOTS_OFFSET + fr.SLOT_BYTES))
+        with pytest.raises(ValueError):
+            fx.decode_ring(str(bogus))
+        short = tmp_path / "short.bin"
+        short.write_bytes(b"RFR1")
+        with pytest.raises(ValueError):
+            fx.decode_ring(str(short))
+
+
+class TestInternTable:
+    def test_long_names_truncate_but_still_resolve(self, ring_path):
+        long_name = "a-very-long-file-name-exceeding-the-intern-slot"
+        with fr.FlightRecorder(ring_path, capacity=8) as rec:
+            key = rec.file_key(long_name)
+            rec.record(fr.EV_OP_START, file=key)
+        dump = fx.decode_ring(ring_path)
+        resolved = dump.file_name(dump.events[0].file)
+        assert resolved == long_name[:26]
+
+    def test_overflow_drops_entries_but_keys_stay_stable(self, ring_path):
+        with fr.FlightRecorder(ring_path, capacity=8) as rec:
+            keys = {f"f{i}": rec.file_key(f"f{i}") for i in range(100)}
+            # Memoized: re-interning is a no-op, keys never change.
+            assert all(rec.file_key(n) == k for n, k in keys.items())
+        dump = fx.decode_ring(ring_path)
+        assert len(dump.names) == fr.INTERN_SLOTS
+        # Un-interned keys render as stable hex, never crash.
+        dropped = [k for n, k in keys.items() if (2, k) not in dump.names]
+        assert dropped
+        assert dump.file_name(dropped[0]) == f"file#{dropped[0]:08x}"
+
+
+class TestTraceNum:
+    def test_standard_ids_round_trip(self):
+        assert fr.trace_num("op-00000042") == 42
+        assert fr.trace_num(None) == 0
+        assert fr.trace_num("") == 0
+
+    def test_non_numeric_ids_hash_stably(self):
+        a = fr.trace_num("custom-abc")
+        assert a == fr.trace_num("custom-abc")
+        assert a != 0
+
+
+class TestArming:
+    def test_arm_disarm_lifecycle(self, tmp_path):
+        assert fr.active() is None or fr.disarm() is not None
+        rec = fr.arm(str(tmp_path / "a.ring"), capacity=16)
+        assert fr.active() is rec
+        rec2 = fr.arm(str(tmp_path / "b.ring"), capacity=16)
+        assert fr.active() is rec2
+        assert rec.record(fr.EV_BATCH) == 0  # previous was closed
+        closed = fr.disarm()
+        assert closed is rec2
+        assert fr.active() is None
+
+    def test_capacity_floor(self, tmp_path):
+        with pytest.raises(ValueError):
+            fr.FlightRecorder(str(tmp_path / "c.ring"), capacity=1)
+
+
+class TestLayoutInvariants:
+    def test_slot_and_header_sizes(self):
+        assert fr.CRC.size + fr.BODY.size == fr.SLOT_BYTES == 64
+        assert fr.INTERN_ENTRY.size == 32
+        assert fr.SLOTS_OFFSET == fr.HEADER_BYTES + fr.INTERN_BYTES
+
+    def test_file_size_is_header_plus_slots(self, ring_path):
+        with fr.FlightRecorder(ring_path, capacity=128):
+            pass
+        assert os.path.getsize(ring_path) == (
+            fr.SLOTS_OFFSET + 128 * fr.SLOT_BYTES
+        )
+
+
+class TestPrometheusFamilies:
+    def test_flightrec_counters_round_trip(self, tmp_path):
+        obs_metrics.reset_metrics("flightrec")
+        with fr.FlightRecorder(str(tmp_path / "m.ring"), capacity=16) as rec:
+            rec.record(fr.EV_BATCH)
+            rec.record(fr.EV_OP_START)
+        text = render_prometheus()
+        families = parse_prometheus_text(text)
+        events = families["repro_flightrec_events_total"]
+        assert events["type"] == "counter"
+        assert events["samples"][0][2] == 2.0
+        rings = families["repro_flightrec_rings_total"]
+        assert rings["samples"][0][2] >= 1.0

@@ -1,0 +1,251 @@
+"""Per-tenant SLO objectives: spec parsing, windowed burn-rate math on
+a fake clock, multi-window alert transitions, the /stats payload, and
+the Prometheus exposition of the slo.* families."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.live import stats_payload
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import parse_prometheus_text, render_prometheus
+from repro.obs.slo import SloObjective, SloTracker
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _tracker(registry, clock, tenant="t0", threshold=0.05, target=0.99):
+    return SloTracker(
+        [SloObjective(tenant, threshold, target)],
+        registry=registry,
+        clock=clock,
+        min_tick_s=1.0,
+    )
+
+
+def _feed(registry, tenant, good=0, bad=0, threshold=0.05):
+    """Observe `good` samples under and `bad` samples over threshold."""
+    hist = registry.histogram(f"service.tenant.{tenant}.wait_s")
+    for _ in range(good):
+        hist.observe(threshold / 10.0)
+    for _ in range(bad):
+        hist.observe(threshold * 100.0)
+
+
+class TestObjective:
+    def test_parse_cli_form(self):
+        obj = SloObjective.parse("t0=0.05@0.99")
+        assert obj.tenant == "t0"
+        assert obj.threshold_s == 0.05
+        assert obj.target == 0.99
+        assert obj.budget == pytest.approx(0.01)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["t0", "t0=0.05", "t0=abc@0.99", "t0=0.05@1.5", "t0=-1@0.9"],
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            SloObjective.parse(spec)
+
+
+class TestBurnMath:
+    def test_no_traffic_means_zero_burn(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        tr = _tracker(reg, clock)
+        tr.tick(force=True)
+        assert tr.burn_rate("t0", 60) == 0.0
+
+    def test_all_good_burns_nothing(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        tr = _tracker(reg, clock)
+        tr.tick(force=True)
+        _feed(reg, "t0", good=100)
+        clock.advance(10)
+        tr.tick()
+        assert tr.burn_rate("t0", 60) == 0.0
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        # budget = 0.10; 20% bad in the window -> burn 2.0.
+        tr = _tracker(reg, clock, target=0.90)
+        tr.tick(force=True)
+        _feed(reg, "t0", good=80, bad=20)
+        clock.advance(10)
+        tr.tick()
+        assert tr.burn_rate("t0", 60) == pytest.approx(2.0)
+
+    def test_window_excludes_old_badness(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        tr = _tracker(reg, clock, target=0.90)
+        tr.tick(force=True)
+        _feed(reg, "t0", bad=50)  # old badness
+        clock.advance(5)
+        tr.tick()
+        clock.advance(120)  # well past the 60s window
+        tr.tick()
+        _feed(reg, "t0", good=100)  # recent traffic is clean
+        clock.advance(5)
+        tr.tick()
+        assert tr.burn_rate("t0", 60) == 0.0
+        # ...but the hour window still sees the old bad requests.
+        assert tr.burn_rate("t0", 3600) == pytest.approx((50 / 150) / 0.10)
+
+    def test_tick_is_idempotent_within_min_interval(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        tr = _tracker(reg, clock)
+        tr.tick(force=True)
+        tr.tick()
+        tr.tick()
+        assert len(tr._history["t0"]) == 1
+        clock.advance(2)
+        tr.tick()
+        assert len(tr._history["t0"]) == 2
+
+    def test_burn_gauges_refresh_on_tick(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        tr = _tracker(reg, clock, target=0.90)
+        tr.tick(force=True)
+        _feed(reg, "t0", bad=100)
+        clock.advance(10)
+        tr.tick()
+        gauges = reg.gauges("slo.t0.burn_rate")
+        assert gauges["slo.t0.burn_rate.60s"]["last"] == pytest.approx(10.0)
+
+
+class TestAlerts:
+    def _burning_tracker(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        tr = _tracker(reg, clock, target=0.90)
+        tr.tick(force=True)
+        _feed(reg, "t0", bad=100)  # burn 10.0 in every window
+        clock.advance(10)
+        tr.tick()
+        return reg, clock, tr
+
+    def test_multiwindow_rule_fires_both_windows(self):
+        reg, clock, tr = self._burning_tracker()
+        firing = tr.alerts()
+        # burn 10.0: over the 6.0 "ticket" rule, under the 14.4 "page".
+        assert [a["severity"] for a in firing] == ["ticket"]
+        alert = firing[0]
+        assert alert["tenant"] == "t0"
+        assert alert["burn_long"] == pytest.approx(10.0)
+        assert alert["burn_short"] == pytest.approx(10.0)
+
+    def test_alert_counter_counts_transitions_not_polls(self):
+        reg, clock, tr = self._burning_tracker()
+        tr.alerts()
+        tr.alerts()
+        tr.alerts()
+        assert reg.snapshot()["slo.alerts"] == 1
+        # Clear: clean traffic pushes the short window under threshold.
+        _feed(reg, "t0", good=10000)
+        clock.advance(10)
+        tr.tick()
+        assert tr.alerts() == []
+        # Re-fire is a new transition.
+        _feed(reg, "t0", bad=100000)
+        clock.advance(10)
+        tr.tick()
+        assert tr.alerts()
+        assert reg.snapshot()["slo.alerts"] == 2
+
+    def test_short_window_recovery_silences_page(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        tr = SloTracker(
+            [SloObjective("t0", 0.05, 0.99)],
+            registry=reg,
+            clock=clock,
+            min_tick_s=1.0,
+            burn_rules=((300, 60, 14.4, "page"),),
+        )
+        tr.tick(force=True)
+        _feed(reg, "t0", bad=100)
+        # Tick steadily so the badness ages out of the 60s window but
+        # stays inside the 300s one.
+        for _ in range(9):
+            clock.advance(10)
+            tr.tick()
+        # Long window still burning, short one clean: no alert.
+        assert tr.burn_rate("t0", 300) > 14.4
+        assert tr.burn_rate("t0", 60) == 0.0
+        assert tr.alerts() == []
+
+
+class TestPayload:
+    def test_payload_shape_and_compliance(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        tr = _tracker(reg, clock, target=0.90)
+        _feed(reg, "t0", good=90, bad=10)
+        tr.tick(force=True)
+        payload = tr.payload()
+        t0 = payload["tenants"]["t0"]
+        assert t0["objective"] == {
+            "threshold_s": 0.05,
+            "target": 0.90,
+            "budget": pytest.approx(0.10),
+        }
+        assert t0["good"] == 90 and t0["total"] == 100
+        assert t0["compliance"] == pytest.approx(0.90)
+        assert set(t0["burn_rate"]) == {"60s", "300s", "3600s"}
+        assert payload["alerts"] == []
+
+    def test_stats_payload_gains_slo_and_alerts_sections(self):
+        reg = MetricsRegistry()
+        clock = FakeClock()
+        tr = _tracker(reg, clock)
+        _feed(reg, "t0", good=5)
+        payload = stats_payload(registry=reg, slo=tr)
+        assert "slo" in payload
+        assert payload["slo"]["tenants"]["t0"]["total"] == 5
+        assert payload["alerts"] == payload["slo"]["alerts"]
+
+    def test_stats_payload_without_slo_is_unchanged(self):
+        reg = MetricsRegistry()
+        payload = stats_payload(registry=reg)
+        assert "slo" not in payload
+        assert "alerts" not in payload
+
+
+class TestPrometheusFamilies:
+    def test_slo_families_round_trip(self):
+        obs_metrics.reset_metrics("slo")
+        obs_metrics.reset_metrics("service.tenant")
+        reg = obs_metrics.get_registry()
+        clock = FakeClock()
+        tr = _tracker(reg, clock, target=0.90)
+        tr.tick(force=True)
+        _feed(reg, "t0", bad=10)
+        clock.advance(10)
+        tr.tick()
+        tr.alerts()
+        families = parse_prometheus_text(render_prometheus())
+        assert families["repro_slo_ticks_total"]["type"] == "counter"
+        assert families["repro_slo_alerts_total"]["samples"][0][2] == 1.0
+        assert (
+            families["repro_slo_t0_objective_threshold_s"]["samples"][0][2]
+            == 0.05
+        )
+        burn = families["repro_slo_t0_burn_rate_60s"]
+        assert burn["type"] == "gauge"
+        assert burn["samples"][0][2] == pytest.approx(10.0)
+        obs_metrics.reset_metrics("slo")
+        obs_metrics.reset_metrics("service.tenant")
